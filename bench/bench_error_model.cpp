@@ -1,0 +1,66 @@
+// Static error model vs measured error.
+//
+// For every PolyBench kernel tuned with the Fast preset on Stm32, compares
+// the static worst-case absolute error bound (core/error_model.hpp)
+// against the measured worst absolute output deviation of the tuned
+// execution. A sound analysis keeps measured <= predicted on every kernel
+// whose accumulation depth fits the pass budget; the "slack" column shows
+// how conservative the first-order bound is (unbounded rows are the
+// division/recursion kernels the analysis honestly gives up on).
+#include <cmath>
+#include <cstdio>
+
+#include "core/error_model.hpp"
+#include "core/pipeline.hpp"
+#include "polybench/polybench.hpp"
+
+using namespace luis;
+
+int main() {
+  std::printf("=== Static error bound vs measured error (Fast preset, Stm32) "
+              "===\n\n");
+  std::printf("%-16s %-10s %12s %12s %10s\n", "kernel", "output", "predicted",
+              "measured", "slack");
+  int sound = 0, total = 0, unbounded = 0;
+  for (const std::string& name : polybench::kernel_names()) {
+    ir::Module m;
+    polybench::BuiltKernel kernel = polybench::build_kernel(name, m);
+    const vra::RangeMap ranges = vra::analyze_ranges(*kernel.function);
+    const core::AllocationResult alloc =
+        core::allocate_ilp(*kernel.function, ranges, platform::stm32_table(),
+                           core::TuningConfig::fast());
+
+    core::ErrorAnalysisOptions opt;
+    const core::ErrorAnalysis ea =
+        core::analyze_errors(*kernel.function, alloc.assignment, ranges, opt);
+
+    interp::ArrayStore ref = kernel.inputs;
+    interp::TypeAssignment binary64;
+    if (!run_function(*kernel.function, binary64, ref).ok) continue;
+    interp::ArrayStore tuned = kernel.inputs;
+    if (!run_function(*kernel.function, alloc.assignment, tuned).ok) continue;
+
+    for (const std::string& out : kernel.outputs) {
+      double measured = 0.0;
+      for (std::size_t i = 0; i < ref.at(out).size(); ++i)
+        measured =
+            std::max(measured, std::abs(ref.at(out)[i] - tuned.at(out)[i]));
+      const double predicted = ea.array_bound.at(out);
+      ++total;
+      const bool is_unbounded = predicted >= opt.infinity_threshold;
+      unbounded += is_unbounded;
+      if (measured <= predicted * (1 + 1e-9)) ++sound;
+      if (is_unbounded)
+        std::printf("%-16s %-10s %12s %12.3e %10s\n", name.c_str(),
+                    out.c_str(), "unbounded", measured, "-");
+      else
+        std::printf("%-16s %-10s %12.3e %12.3e %9.1fx\n", name.c_str(),
+                    out.c_str(), predicted, measured,
+                    measured > 0 ? predicted / measured : INFINITY);
+    }
+  }
+  std::printf("\nsound on %d/%d outputs (%d reported unbounded: division or "
+              "recursion over zero-straddling ranges)\n",
+              sound, total, unbounded);
+  return 0;
+}

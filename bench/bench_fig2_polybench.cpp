@@ -1,0 +1,138 @@
+// Regenerates Figure 2 of the paper (Speedup% and MPE for the 30
+// PolyBench/C kernels on 4 platforms under the Precise / Balanced / Fast
+// presets and the stock-TAFFO greedy baseline) and the Table IV summary
+// (fraction of benchmarks where the metric ordering tracks the W1 / W2
+// parameter ordering, with a 10% tolerance).
+//
+// Also writes fig2_speedup.csv and fig2_mpe.csv next to the binary's CWD.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "experiment.hpp"
+#include "support/string_utils.hpp"
+
+using namespace luis;
+using namespace luis::bench;
+
+namespace {
+
+void print_matrix(const std::vector<KernelResult>& grid, bool speedup) {
+  std::printf("%-16s", "");
+  for (const std::string& p : platform_order()) {
+    for (const std::string& c : config_order())
+      std::printf(" %9s", (p.substr(0, 3) + ":" + c.substr(0, 4)).c_str());
+    std::printf(" |");
+  }
+  std::printf("\n");
+  for (const KernelResult& kr : grid) {
+    std::printf("%-16s", kr.kernel.c_str());
+    for (const std::string& p : platform_order()) {
+      for (const std::string& c : config_order()) {
+        const Cell& cell = kr.cells.at(p).at(c);
+        if (speedup)
+          std::printf(" %9.1f", cell.speedup_percent);
+        else
+          std::printf(" %9s", format_mpe(cell.mpe).c_str());
+      }
+      std::printf(" |");
+    }
+    std::printf("\n");
+  }
+}
+
+void write_csv(const std::vector<KernelResult>& grid, const char* path,
+               bool speedup) {
+  std::ofstream os(path);
+  os << "kernel";
+  for (const std::string& p : platform_order())
+    for (const std::string& c : config_order()) os << "," << p << ":" << c;
+  os << "\n";
+  for (const KernelResult& kr : grid) {
+    os << kr.kernel;
+    for (const std::string& p : platform_order())
+      for (const std::string& c : config_order()) {
+        const Cell& cell = kr.cells.at(p).at(c);
+        os << "," << (speedup ? cell.speedup_percent : cell.mpe);
+      }
+    os << "\n";
+  }
+}
+
+/// Table IV: per machine, the percentage of benchmarks where the three
+/// presets ordered by increasing speedup (resp. decreasing error) follow
+/// increasing W1 (resp. increasing W2). Discrepancies within a 10% margin
+/// are tolerated, as in the paper.
+void print_table4(const std::vector<KernelResult>& grid) {
+  std::printf("\n=== Table IV: parameter-ordering consistency (10%% margin) "
+              "===\n\n%-12s %10s %10s\n", "Machine", "Time [%]", "Error [%]");
+  for (const std::string& p : platform_order()) {
+    int time_ok = 0, err_ok = 0, total = 0;
+    for (const KernelResult& kr : grid) {
+      const double s_prec = kr.cells.at(p).at("Precise").speedup_percent;
+      const double s_bal = kr.cells.at(p).at("Balanced").speedup_percent;
+      const double s_fast = kr.cells.at(p).at("Fast").speedup_percent;
+      const double e_prec = kr.cells.at(p).at("Precise").mpe;
+      const double e_bal = kr.cells.at(p).at("Balanced").mpe;
+      const double e_fast = kr.cells.at(p).at("Fast").mpe;
+      // Tolerance: 10% of the metric's spread for this benchmark.
+      const double s_tol =
+          0.10 * (std::max({s_prec, s_bal, s_fast}) -
+                  std::min({s_prec, s_bal, s_fast}) + 1e-12);
+      const double e_tol =
+          0.10 * (std::max({e_prec, e_bal, e_fast}) -
+                  std::min({e_prec, e_bal, e_fast}) + 1e-12);
+      // Increasing W1 order is Precise < Balanced < Fast.
+      if (s_prec <= s_bal + s_tol && s_bal <= s_fast + s_tol) ++time_ok;
+      // Increasing W2 order (decreasing error) is Fast >= Balanced >= Precise.
+      if (e_fast >= e_bal - e_tol && e_bal >= e_prec - e_tol) ++err_ok;
+      ++total;
+    }
+    std::printf("%-12s %10.1f %10.1f\n", p.c_str(),
+                100.0 * time_ok / total, 100.0 * err_ok / total);
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Table III: model parameters per configuration ===\n\n");
+  std::printf("%-12s %6s %6s\n", "Configuration", "W1", "W2");
+  std::printf("%-12s %6.0f %6.0f\n", "Fast", 1000.0, 1.0);
+  std::printf("%-12s %6.0f %6.0f\n", "Balanced", 50.0, 50.0);
+  std::printf("%-12s %6.0f %6.0f\n", "Precise", 1.0, 1000.0);
+
+  GridOptions opt;
+  const std::vector<KernelResult> grid = run_grid(opt);
+
+  std::printf("\n=== Figure 2 (top): Speedup [%%] ===\n\n");
+  print_matrix(grid, /*speedup=*/true);
+  std::printf("\n=== Figure 2 (bottom): Mean Percentage Error [%%] ===\n\n");
+  print_matrix(grid, /*speedup=*/false);
+  print_table4(grid);
+
+  write_csv(grid, "fig2_speedup.csv", true);
+  write_csv(grid, "fig2_mpe.csv", false);
+  std::printf("\nWrote fig2_speedup.csv and fig2_mpe.csv\n");
+
+  // Headline claims of the abstract: max speedup and error coverage.
+  double max_speedup = 0.0;
+  int within = 0, cells = 0;
+  for (const KernelResult& kr : grid) {
+    for (const std::string& p : platform_order()) {
+      for (const std::string& c : config_order()) {
+        const Cell& cell = kr.cells.at(p).at(c);
+        max_speedup = std::max(max_speedup, cell.speedup_percent);
+        if (c != "TAFFO") {
+          ++cells;
+          if (cell.mpe < 2.8) ++within;
+        }
+      }
+    }
+  }
+  std::printf("\nHeadline: max speedup %.0f%% (paper: up to ~800%%); "
+              "%.1f%% of LUIS cells have MPE < 2.8%% (paper: >90%%).\n",
+              max_speedup, 100.0 * within / cells);
+  return 0;
+}

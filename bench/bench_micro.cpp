@@ -1,0 +1,127 @@
+// Google-benchmark microbenchmarks of the library's hot paths: software
+// arithmetic (soft-float, fixed point, posit), the simplex/B&B solver, the
+// IR interpreter, and the end-to-end tuning pipeline.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "ilp/branch_and_bound.hpp"
+#include "numrep/fixed_point.hpp"
+#include "numrep/posit.hpp"
+#include "numrep/soft_float.hpp"
+#include "platform/optime.hpp"
+#include "polybench/polybench.hpp"
+#include "support/rng.hpp"
+
+using namespace luis;
+using namespace luis::numrep;
+
+namespace {
+
+void BM_SoftFloatRound(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> xs(1024);
+  for (double& x : xs) x = rng.next_double(-1e6, 1e6);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round_to_format(kBinary32, xs[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_SoftFloatRound);
+
+void BM_FixedQuantize(benchmark::State& state) {
+  Rng rng(2);
+  const FixedSpec spec{32, 16, true};
+  std::vector<double> xs(1024);
+  for (double& x : xs) x = rng.next_double(-1e3, 1e3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantize_fixed(spec, xs[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_FixedQuantize);
+
+void BM_PositRoundTrip(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> xs(1024);
+  for (double& x : xs) x = rng.next_double(-100, 100);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantize_posit(kPosit32, xs[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_PositRoundTrip);
+
+void BM_SimplexKnapsackLp(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  ilp::Model m;
+  ilp::LinearExpr wsum, vsum;
+  for (int i = 0; i < n; ++i) {
+    const ilp::VarId x = m.add_continuous("x" + std::to_string(i), 0.0, 1.0);
+    wsum.add(x, static_cast<double>(rng.next_int(1, 20)));
+    vsum.add(x, static_cast<double>(rng.next_int(1, 30)));
+  }
+  m.add_le(std::move(wsum), 5.0 * n);
+  m.set_objective(ilp::Direction::Maximize, std::move(vsum));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_lp(m));
+  }
+}
+BENCHMARK(BM_SimplexKnapsackLp)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BranchAndBoundKnapsack(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  ilp::Model m;
+  ilp::LinearExpr wsum, vsum;
+  for (int i = 0; i < n; ++i) {
+    const ilp::VarId x = m.add_binary("x" + std::to_string(i));
+    wsum.add(x, static_cast<double>(rng.next_int(1, 20)));
+    vsum.add(x, static_cast<double>(rng.next_int(1, 30)));
+  }
+  m.add_le(std::move(wsum), 5.0 * n);
+  m.set_objective(ilp::Direction::Maximize, std::move(vsum));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_milp(m));
+  }
+}
+BENCHMARK(BM_BranchAndBoundKnapsack)->Arg(12)->Arg(24);
+
+void BM_InterpreterGemm(benchmark::State& state) {
+  ir::Module module;
+  polybench::BuiltKernel kernel = polybench::build_kernel("gemm", module);
+  const interp::TypeAssignment binary64;
+  for (auto _ : state) {
+    interp::ArrayStore store = kernel.inputs;
+    benchmark::DoNotOptimize(
+        run_function(*kernel.function, binary64, store));
+  }
+}
+BENCHMARK(BM_InterpreterGemm);
+
+void BM_IlpAllocatorGemm(benchmark::State& state) {
+  ir::Module module;
+  polybench::BuiltKernel kernel = polybench::build_kernel("gemm", module);
+  const vra::RangeMap ranges = vra::analyze_ranges(*kernel.function);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::allocate_ilp(*kernel.function, ranges,
+                                                platform::stm32_table(),
+                                                core::TuningConfig::balanced()));
+  }
+}
+BENCHMARK(BM_IlpAllocatorGemm);
+
+void BM_FullPipeline(benchmark::State& state) {
+  ir::Module module;
+  polybench::BuiltKernel kernel = polybench::build_kernel("atax", module);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::tune_kernel(*kernel.function,
+                                               platform::intel_table(),
+                                               core::TuningConfig::fast()));
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// The W1/W2 trade-off curve (Section IV-B: "the values of weights W1 and
+// W2 can be chosen to fine-tune the trade-off between computation time and
+// precision").
+//
+// Sweeps the weight ratio across six orders of magnitude for a few
+// representative kernels on Stm32 and prints the (speedup, MPE) frontier
+// each ratio reaches — the continuous version of the paper's three
+// presets. Expected shape: monotone speedup in W1/W2, (weakly) monotone
+// error, with the Table III presets sitting on the curve.
+#include <cmath>
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "platform/cost_model.hpp"
+#include "polybench/polybench.hpp"
+#include "support/statistics.hpp"
+
+using namespace luis;
+
+int main() {
+  const char* kernels[] = {"gemm", "atax", "trisolv", "covariance"};
+  // W1 : W2 ratios from extreme-precision to extreme-speed.
+  const double ratios[] = {1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3};
+
+  std::printf("=== Speedup/MPE frontier over the W1/W2 ratio (Stm32) ===\n\n");
+  for (const char* name : kernels) {
+    std::printf("%s:\n%12s %12s %12s  %s\n", name, "W1/W2", "speedup",
+                "MPE", "mix");
+    for (const double ratio : ratios) {
+      ir::Module m;
+      polybench::BuiltKernel kernel = polybench::build_kernel(name, m);
+
+      interp::ArrayStore ref = kernel.inputs;
+      interp::TypeAssignment binary64;
+      const interp::RunResult base =
+          run_function(*kernel.function, binary64, ref);
+      if (!base.ok) continue;
+
+      core::TuningConfig config;
+      config.name = "sweep";
+      // Keep W1 + W2 = 1001 like the presets' scale.
+      config.w1 = 1001.0 * ratio / (1.0 + ratio);
+      config.w2 = 1001.0 / (1.0 + ratio);
+      const core::PipelineResult tuned =
+          core::tune_kernel(*kernel.function, platform::stm32_table(), config);
+
+      interp::ArrayStore out = kernel.inputs;
+      const interp::RunResult run =
+          run_function(*kernel.function, tuned.allocation.assignment, out);
+      if (!run.ok) continue;
+
+      std::vector<double> r, t;
+      for (const std::string& o : kernel.outputs) {
+        r.insert(r.end(), ref.at(o).begin(), ref.at(o).end());
+        t.insert(t.end(), out.at(o).begin(), out.at(o).end());
+      }
+      std::printf("%12g %11.1f%% %12.3e ", ratio,
+                  platform::speedup_percent(
+                      platform::simulated_time(base.counters,
+                                               platform::stm32_table()),
+                      platform::simulated_time(run.counters,
+                                               platform::stm32_table())),
+                  mean_percentage_error(r, t));
+      for (const auto& [cls, count] : tuned.allocation.stats.instruction_mix)
+        std::printf(" %s=%d", cls.c_str(), count);
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("(Table III presets are the ratio points 1e-3 'Precise', 1 "
+              "'Balanced', 1e3 'Fast'.)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Regenerates Table II of the paper: the op-time(o, t) platform
+// characterization. Prints the four canned tables (the paper's measured
+// values for Stm32 / Raspberry / Intel / AMD) and then runs the live
+// micro-benchmark procedure of Section IV-C on the host machine.
+#include <cstdio>
+
+#include <vector>
+
+#include "platform/microbench.hpp"
+#include "platform/optime.hpp"
+
+using namespace luis::platform;
+
+namespace {
+
+void print_tables(const std::vector<const OpTimeTable*>& tables) {
+  std::printf("%-12s %-8s", "o", "t");
+  for (const OpTimeTable* t : tables) std::printf(" %10s", t->machine().c_str());
+  std::printf("\n");
+  // Use the canonical row order of Table II.
+  const std::pair<const char*, const char*> rows[] = {
+      {"add", "fix"},        {"add", "float"},        {"add", "double"},
+      {"sub", "fix"},        {"sub", "float"},        {"sub", "double"},
+      {"mul", "fix"},        {"mul", "float"},        {"mul", "double"},
+      {"div", "fix"},        {"div", "float"},        {"div", "double"},
+      {"rem", "fix"},        {"rem", "float"},        {"rem", "double"},
+      {"cast_fix", "fix"},   {"cast_fix", "float"},   {"cast_fix", "double"},
+      {"cast_float", "fix"}, {"cast_float", "double"},
+      {"cast_double", "fix"}, {"cast_double", "float"},
+  };
+  for (const auto& [op, type] : rows) {
+    std::printf("%-12s %-8s", op, type);
+    for (const OpTimeTable* t : tables)
+      std::printf(" %10.2f", t->op_time(op, type));
+    std::printf("\n");
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Table II: hardware characterization on elementary LLVM "
+              "mathematical operations ===\n");
+  std::printf("(canned tables: the paper's measured values, normalized to the "
+              "fastest op per machine)\n\n");
+  print_tables({&stm32_table(), &raspberry_table(), &intel_table(), &amd_table()});
+
+  std::printf("\n=== Live host characterization (the paper's measurement "
+              "procedure: 128-iteration\nblocks timed with "
+              "clock_gettime(CLOCK_PROCESS_CPUTIME_ID), normalized) ===\n\n");
+  MicrobenchOptions opt;
+  const OpTimeTable host = run_microbenchmark(opt);
+  print_tables({&host});
+
+  std::printf("\nDerived fallback entries used by the cost model (sqrt = 2x "
+              "div, exp/pow = rem,\nneg/abs/min/max = add; posit arithmetic = "
+              "float x %.0f software factor):\n\n",
+              kPositSoftwareFactor);
+  std::printf("%-12s %-8s %10s\n", "op", "type", "host");
+  for (const char* op : {"sqrt", "exp", "min"})
+    std::printf("%-12s %-8s %10.2f\n", op, "double", host.op_time(op, "double"));
+  std::printf("%-12s %-8s %10.2f\n", "add", "posit", host.op_time("add", "posit"));
+  return 0;
+}

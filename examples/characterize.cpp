@@ -1,0 +1,50 @@
+// Characterize the host machine with the paper's micro-benchmark
+// procedure (Section IV-C) and tune a kernel against the fresh table —
+// the "new architecture" workflow the paper's future work points at.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/microbench.hpp"
+#include "polybench/polybench.hpp"
+#include "support/statistics.hpp"
+
+using namespace luis;
+
+int main() {
+  std::printf("characterizing this machine (128-iteration blocks, "
+              "CLOCK_PROCESS_CPUTIME_ID)...\n\n");
+  const platform::OpTimeTable host = platform::run_microbenchmark();
+  std::printf("%-12s %-8s %10s\n", "op", "type", "op-time");
+  for (const auto& [key, time] : host.entries())
+    std::printf("%-12s %-8s %10.2f\n", key.first.c_str(), key.second.c_str(),
+                time);
+
+  std::printf("\ntuning 'atax' against the host characterization "
+              "(Fast preset)...\n");
+  ir::Module module;
+  polybench::BuiltKernel kernel = polybench::build_kernel("atax", module);
+
+  interp::ArrayStore reference = kernel.inputs;
+  interp::TypeAssignment binary64;
+  const interp::RunResult base =
+      run_function(*kernel.function, binary64, reference);
+  if (!base.ok) return 1;
+
+  const core::PipelineResult tuned =
+      core::tune_kernel(*kernel.function, host, core::TuningConfig::fast());
+  for (const auto& arr : kernel.function->arrays())
+    std::printf("  %-6s -> %s\n", arr->name().c_str(),
+                tuned.allocation.assignment.of(arr.get()).name().c_str());
+
+  interp::ArrayStore out = kernel.inputs;
+  const interp::RunResult run =
+      run_function(*kernel.function, tuned.allocation.assignment, out);
+  if (!run.ok) return 1;
+  const double t_base = platform::simulated_time(base.counters, host);
+  const double t_tuned = platform::simulated_time(run.counters, host);
+  std::printf("\nsimulated Speedup on this machine: %.1f%%   MPE: %.3g%%\n",
+              platform::speedup_percent(t_base, t_tuned),
+              mean_percentage_error(reference.at("y"), out.at("y")));
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Common result types of the data type allocation passes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ilp/model.hpp"
+#include "interp/type_assignment.hpp"
+
+namespace luis::core {
+
+struct AllocationStats {
+  int num_registers = 0;
+  int num_classes = 0;
+  int num_uses = 0;
+  std::size_t model_variables = 0;
+  std::size_t model_constraints = 0;
+  ilp::SolveStatus status = ilp::SolveStatus::Optimal;
+  long nodes = 0;
+  long iterations = 0;
+  double objective = 0.0;
+  /// Tunable arithmetic instructions per chosen cost class — the
+  /// "instruction mix" / precision mix of Table V.
+  std::map<std::string, int> instruction_mix;
+};
+
+struct AllocationResult {
+  interp::TypeAssignment assignment;
+  AllocationStats stats;
+};
+
+} // namespace luis::core

@@ -1,0 +1,100 @@
+#include "core/cast_materializer.hpp"
+
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace luis::core {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::ScalarType;
+
+namespace {
+
+bool is_real_register(const ir::Value* v) {
+  return v->is_instruction() && v->type() == ScalarType::Real;
+}
+
+/// Loads produce the array's representation by definition; pin the
+/// assignment down so boundary detection is consumer-side only.
+void normalize_loads(const ir::Function& f, interp::TypeAssignment& assignment) {
+  for (const auto& bb : f.blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->opcode() == Opcode::Load)
+        assignment.set(inst.get(), assignment.of(inst->operand(0)));
+}
+
+struct Boundary {
+  Instruction* consumer;
+  std::size_t operand_index;
+  numrep::ConcreteType target;
+};
+
+std::vector<Boundary> find_boundaries(const ir::Function& f,
+                                      const interp::TypeAssignment& assignment) {
+  std::vector<Boundary> out;
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst_ptr : bb->instructions()) {
+      Instruction* inst = inst_ptr.get();
+      if (inst->opcode() == Opcode::Store) {
+        const ir::Value* value = inst->operand(0);
+        if (is_real_register(value) &&
+            !(assignment.of(value) == assignment.of(inst->operand(1))))
+          out.push_back({inst, 0, assignment.of(inst->operand(1))});
+        continue;
+      }
+      if (inst->type() != ScalarType::Real && inst->opcode() != Opcode::FCmp)
+        continue;
+      if (inst->opcode() == Opcode::Load) continue;
+      const numrep::ConcreteType target = assignment.of(inst);
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        const ir::Value* op = inst->operand(i);
+        if (!is_real_register(op)) continue;
+        // FCmp compares its operands in the second operand's type.
+        const numrep::ConcreteType want =
+            inst->opcode() == Opcode::FCmp ? assignment.of(inst->operand(1))
+                                           : target;
+        if (!(assignment.of(op) == want))
+          out.push_back({inst, i, want});
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+int count_type_boundaries(const ir::Function& f,
+                          const interp::TypeAssignment& assignment) {
+  interp::TypeAssignment normalized = assignment;
+  normalize_loads(f, normalized);
+  return static_cast<int>(find_boundaries(f, normalized).size());
+}
+
+int materialize_casts(ir::Function& f, interp::TypeAssignment& assignment) {
+  normalize_loads(f, assignment);
+  const std::vector<Boundary> boundaries = find_boundaries(f, assignment);
+  for (const Boundary& b : boundaries) {
+    ir::Value* op = b.consumer->operand(b.operand_index);
+    ir::BasicBlock* where;
+    const Instruction* before;
+    if (b.consumer->is_phi()) {
+      // The cast must execute on the incoming edge.
+      where = b.consumer->incoming_blocks()[b.operand_index];
+      before = where->terminator();
+      LUIS_ASSERT(before != nullptr, "unterminated incoming block");
+    } else {
+      where = b.consumer->parent();
+      before = b.consumer;
+    }
+    auto cast = std::make_unique<Instruction>(Opcode::Cast, ScalarType::Real,
+                                              std::vector<ir::Value*>{op});
+    Instruction* inserted = where->insert_before(before, std::move(cast));
+    assignment.set(inserted, b.target);
+    b.consumer->set_operand(b.operand_index, inserted);
+  }
+  return static_cast<int>(boundaries.size());
+}
+
+} // namespace luis::core

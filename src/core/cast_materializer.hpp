@@ -1,0 +1,24 @@
+// Cast materialization — the conversion stage of the pipeline (Figure 1).
+//
+// Given a function and a type assignment, inserts an explicit Cast
+// instruction at every use whose operand representation differs from the
+// consumer's, and extends the assignment to the new casts. After this
+// pass the IR makes every representation change visible, exactly like the
+// code TAFFO emits.
+#pragma once
+
+#include "interp/type_assignment.hpp"
+#include "ir/function.hpp"
+
+namespace luis::core {
+
+/// Returns the number of casts inserted. The function is modified in
+/// place; `assignment` gains entries for the inserted casts.
+int materialize_casts(ir::Function& f, interp::TypeAssignment& assignment);
+
+/// Counts uses whose operand and consumer representations differ (the
+/// casts materialize_casts would insert).
+int count_type_boundaries(const ir::Function& f,
+                          const interp::TypeAssignment& assignment);
+
+} // namespace luis::core

@@ -1,0 +1,256 @@
+#include "core/error_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numrep/iebw.hpp"
+#include "support/diag.hpp"
+
+namespace luis::core {
+
+using interp::TypeAssignment;
+using ir::Instruction;
+using ir::Opcode;
+using ir::ScalarType;
+using numrep::ConcreteType;
+using vra::Interval;
+
+double quantization_error(const ConcreteType& type, const Interval& range) {
+  if (type.format == numrep::kBinary64) return 0.0; // the reference format
+  switch (type.format.format_class()) {
+  case numrep::FormatClass::FixedPoint:
+    // Round-to-nearest onto the 2^-f grid.
+    return std::ldexp(1.0, -(type.frac_bits + 1));
+  case numrep::FormatClass::FloatingPoint:
+  case numrep::FormatClass::Posit: {
+    if (range.max_magnitude() == 0.0) return 0.0;
+    // IEBW at the magnitude extreme is the guaranteed resolution; its
+    // Definition-3 form already accounts for the half ULP.
+    const int iebw = numrep::iebw_of_range(type.format, range.lo, range.hi);
+    return std::ldexp(1.0, -iebw);
+  }
+  }
+  LUIS_UNREACHABLE("unknown format class");
+}
+
+namespace {
+
+/// Smallest magnitude of an interval (0 if it straddles zero).
+double min_magnitude(const Interval& iv) {
+  if (iv.lo > 0.0) return iv.lo;
+  if (iv.hi < 0.0) return -iv.hi;
+  return 0.0;
+}
+
+/// Largest accumulation depth the kernel can reach in one loop: the max
+/// constant trip count of any counted loop (phi from a constant, compared
+/// against a constant) joined with the largest array extent (triangular
+/// loops run up to a dimension).
+int estimate_accumulation_depth(const ir::Function& f) {
+  std::int64_t depth = 1;
+  for (const auto& arr : f.arrays())
+    for (const std::int64_t d : arr->dims()) depth = std::max(depth, d);
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() != Opcode::ICmp) continue;
+      const ir::Value* a = inst->operand(0);
+      const ir::Value* b = inst->operand(1);
+      if (a->kind() == ir::Value::Kind::ConstInt)
+        depth = std::max(depth, static_cast<const ir::ConstInt*>(a)->value());
+      if (b->kind() == ir::Value::Kind::ConstInt)
+        depth = std::max(depth, static_cast<const ir::ConstInt*>(b)->value());
+    }
+  }
+  return static_cast<int>(std::min<std::int64_t>(depth, 1 << 20));
+}
+
+class Analyzer {
+public:
+  Analyzer(const ir::Function& f, const TypeAssignment& assignment,
+           const vra::RangeMap& ranges, const ErrorAnalysisOptions& opt)
+      : f_(f), assignment_(assignment), ranges_(ranges), opt_(opt) {}
+
+  ErrorAnalysis run() {
+    int budget = opt_.max_passes;
+    if (opt_.auto_depth)
+      budget = std::min(budget, 2 * estimate_accumulation_depth(f_) + 8);
+    // Arrays start with their own storage quantization (inputs are
+    // binary64 data quantized into the array's representation).
+    for (const auto& arr : f_.arrays())
+      result_.array_bound[arr->name()] =
+          quantization_error(assignment_.of(arr.get()), ranges_.of(arr.get()));
+
+    for (result_.passes = 0; result_.passes < budget; ++result_.passes) {
+      changed_ = false;
+      for (const auto& bb : f_.blocks())
+        for (const auto& inst : bb->instructions()) transfer(inst.get());
+      if (!changed_) {
+        result_.converged = true;
+        break;
+      }
+    }
+    return std::move(result_);
+  }
+
+private:
+  double err_of(const ir::Value* v, const ConcreteType& consumer_type) {
+    if (v->is_constant()) {
+      // Constants materialize in the consumer's format.
+      const double mag =
+          std::abs(static_cast<const ir::ConstReal*>(v)->value());
+      return quantization_error(consumer_type, Interval{-mag, mag});
+    }
+    if (v->is_array()) {
+      return result_.array_bound.at(v->name());
+    }
+    const auto it = result_.bound.find(v);
+    double e = it == result_.bound.end() ? 0.0 : it->second;
+    // A format change at the use adds the target's quantum.
+    if (!(assignment_.of(v) == consumer_type))
+      e += quantization_error(consumer_type, ranges_.of(v));
+    return e;
+  }
+
+  void set_bound(const ir::Value* v, double e) {
+    e = std::min(e, opt_.infinity_threshold);
+    auto [it, fresh] = result_.bound.try_emplace(v, e);
+    if (!fresh) {
+      if (e <= it->second) return;
+      it->second = e;
+    }
+    changed_ = true;
+  }
+
+  void join_array(const std::string& name, double e) {
+    e = std::min(e, opt_.infinity_threshold);
+    double& slot = result_.array_bound.at(name);
+    if (e > slot) {
+      slot = e;
+      changed_ = true;
+    }
+  }
+
+  void transfer(const Instruction* inst) {
+    if (inst->opcode() == Opcode::Store) {
+      const auto* arr = static_cast<const ir::Array*>(inst->operand(1));
+      const ConcreteType at = assignment_.of(arr);
+      join_array(arr->name(), err_of(inst->operand(0), at) +
+                                  quantization_error(at, ranges_.of(arr)));
+      return;
+    }
+    if (inst->type() != ScalarType::Real) return;
+
+    const ConcreteType ty = assignment_.of(inst);
+    const Interval range = ranges_.of(inst);
+    const double q = quantization_error(ty, range);
+    const double inf = opt_.infinity_threshold;
+
+    auto operand_range = [&](std::size_t i) {
+      return ranges_.of(inst->operand(i));
+    };
+    auto e = [&](std::size_t i) { return err_of(inst->operand(i), ty); };
+
+    double out = 0.0;
+    switch (inst->opcode()) {
+    case Opcode::Add:
+    case Opcode::Sub:
+      out = e(0) + e(1) + q;
+      break;
+    case Opcode::Mul: {
+      const double ma = operand_range(0).max_magnitude();
+      const double mb = operand_range(1).max_magnitude();
+      out = ma * e(1) + mb * e(0) + e(0) * e(1) + q;
+      break;
+    }
+    case Opcode::Div: {
+      const double ea = e(0), eb = e(1);
+      const double bmin = min_magnitude(operand_range(1));
+      if (bmin - eb <= 0.0) {
+        out = ea > 0.0 || eb > 0.0 ? inf : q;
+      } else {
+        const double ratio = operand_range(0).max_magnitude() / bmin;
+        out = (ea + ratio * eb) / (bmin - eb) + q;
+      }
+      break;
+    }
+    case Opcode::Rem:
+      // First-order only: fmod's discontinuities are not modeled.
+      out = e(0) + e(1) + q;
+      break;
+    case Opcode::Neg:
+    case Opcode::Abs:
+      out = e(0); // exact in any representation
+      break;
+    case Opcode::Sqrt: {
+      const double ea = e(0);
+      const double amin = std::max(operand_range(0).lo, 0.0);
+      // |sqrt(x+d) - sqrt(x)| <= sqrt(d) always, and <= d / (2 sqrt(xmin))
+      // when the argument stays away from zero.
+      const double coarse = std::sqrt(ea);
+      const double fine = amin > ea ? ea / (2.0 * std::sqrt(amin)) : coarse;
+      out = std::min(coarse, fine) + q;
+      break;
+    }
+    case Opcode::Exp:
+      out = std::min(std::exp(std::min(operand_range(0).hi, 700.0)) * e(0), inf) + q;
+      break;
+    case Opcode::Pow: {
+      // Only constant exponents get a finite bound.
+      const ir::Value* exponent = inst->operand(1);
+      if (exponent->kind() == ir::Value::Kind::ConstReal && e(1) == 0.0) {
+        const double p = static_cast<const ir::ConstReal*>(exponent)->value();
+        const double ma = operand_range(0).max_magnitude();
+        out = std::abs(p) * std::pow(std::max(ma, 1e-300), p - 1.0) * e(0) + q;
+      } else {
+        out = e(0) > 0.0 || e(1) > 0.0 ? inf : q;
+      }
+      break;
+    }
+    case Opcode::Min:
+    case Opcode::Max:
+      out = std::max(e(0), e(1)) + q;
+      break;
+    case Opcode::Select:
+      // Control-flow divergence under a perturbed condition is not
+      // modeled (the condition compares the *same* perturbed values both
+      // ways); the value error is the worst arm.
+      out = std::max(e(1), e(2)) + q;
+      break;
+    case Opcode::Load:
+      out = err_of(inst->operand(0), ty);
+      break;
+    case Opcode::Cast:
+      out = e(0) + q;
+      break;
+    case Opcode::IntToReal:
+      out = q;
+      break;
+    case Opcode::Phi: {
+      for (const ir::Value* op : inst->operands())
+        out = std::max(out, err_of(op, ty));
+      break;
+    }
+    default:
+      return;
+    }
+    set_bound(inst, out);
+  }
+
+  const ir::Function& f_;
+  const TypeAssignment& assignment_;
+  const vra::RangeMap& ranges_;
+  const ErrorAnalysisOptions& opt_;
+  ErrorAnalysis result_;
+  bool changed_ = false;
+};
+
+} // namespace
+
+ErrorAnalysis analyze_errors(const ir::Function& f,
+                             const TypeAssignment& assignment,
+                             const vra::RangeMap& ranges,
+                             const ErrorAnalysisOptions& options) {
+  return Analyzer(f, assignment, ranges, options).run();
+}
+
+} // namespace luis::core

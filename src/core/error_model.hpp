@@ -1,0 +1,68 @@
+// Static round-off error analysis of a tuned kernel.
+//
+// Given a type assignment, propagates a sound worst-case absolute error
+// bound through the kernel: every operation contributes its representation
+// quantum (half ULP of the assigned format over the VRA range) plus the
+// first-order amplification of its operands' incoming errors
+// (interval-arithmetic style). Arrays accumulate the join of their stores,
+// so loop-carried accumulation converges after about one pass per
+// accumulation step.
+//
+// This is the analysis direction the paper contrasts with Daisy's
+// SMT-based contracts (Section II): cheap, sound, and composable with the
+// ILP allocation — the bench compares its predictions against the
+// measured errors of the tuned kernels.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "interp/type_assignment.hpp"
+#include "ir/function.hpp"
+#include "vra/range_analysis.hpp"
+
+namespace luis::core {
+
+struct ErrorAnalysisOptions {
+  /// Fixpoint pass budget. One pass models one step of every loop-carried
+  /// accumulation chain (the unroll-budget semantics of static error
+  /// analyzers): the result is a sound bound for every execution whose
+  /// deepest accumulation chain is at most this many steps. Straight-line
+  /// and non-accumulating kernels converge early (ErrorAnalysis::converged
+  /// is then true and the bound is unconditional).
+  int max_passes = 400;
+  /// Derive the pass budget from the kernel itself (twice the largest
+  /// constant loop trip count / array extent, clamped by max_passes).
+  /// Multiplicative loop updates compound once per pass, so a budget close
+  /// to the real accumulation depth keeps the bound orders of magnitude
+  /// tighter than a flat cap.
+  bool auto_depth = true;
+  /// Bounds reaching this magnitude are reported as unbounded.
+  double infinity_threshold = 1e30;
+};
+
+struct ErrorAnalysis {
+  /// Worst-case absolute error per Real register.
+  std::map<const ir::Value*, double> bound;
+  /// Worst-case absolute error of each array's contents at exit.
+  std::map<std::string, double> array_bound;
+  bool converged = false;
+  int passes = 0;
+
+  double of(const ir::Value* v) const {
+    const auto it = bound.find(v);
+    return it == bound.end() ? 0.0 : it->second;
+  }
+};
+
+/// Half-ULP quantization error of storing a value of range `range` in
+/// `type` (0 for binary64, the reference format).
+double quantization_error(const numrep::ConcreteType& type,
+                          const vra::Interval& range);
+
+ErrorAnalysis analyze_errors(const ir::Function& f,
+                             const interp::TypeAssignment& assignment,
+                             const vra::RangeMap& ranges,
+                             const ErrorAnalysisOptions& options = {});
+
+} // namespace luis::core

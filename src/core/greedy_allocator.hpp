@@ -1,0 +1,23 @@
+// The baseline greedy data type allocation of stock TAFFO.
+//
+// A peep-hole optimization: each value is retyped in isolation to the
+// format that minimizes its own representation error within the configured
+// data size — which in practice means fixed point whenever the value range
+// fits a fixed word, falling back to the original binary64 otherwise. It
+// ignores cast overheads and cross-operation error propagation, which is
+// exactly why it wins big on FPU-less machines (Stm32) and loses on
+// superscalar ones (Intel/AMD), the behaviour Figure 2 of the paper shows.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/config.hpp"
+#include "ir/function.hpp"
+#include "vra/range_analysis.hpp"
+
+namespace luis::core {
+
+AllocationResult allocate_greedy(const ir::Function& f,
+                                 const vra::RangeMap& ranges,
+                                 const TuningConfig& config);
+
+} // namespace luis::core

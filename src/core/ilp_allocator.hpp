@@ -1,0 +1,33 @@
+// The LUIS Data Type Allocation pass — Section IV of the paper.
+//
+// Builds the ILP model of the kernel's precision profile from the SSA
+// def/use graph, the value ranges, and the platform characterization, then
+// solves it and extracts a TypeAssignment:
+//
+//   variables   x_{c,t}   type t chosen for type-class c (binary)
+//               z_{v,f}   fractional bits of register v if fixed type f
+//               y_{A,t,B,t'} cast indicator per class pair and type pair
+//               y-shift   fixed point realignment indicator per use
+//   objective   min  W1 (Ex^ + C^ + Cfix^) - W2 Err^
+//
+// Deviations from the paper's formulation, chosen for solver efficiency
+// and documented in DESIGN.md: hard x_{a,t} = x_{b,t} equalities are
+// merged into type classes up front; cast indicators are aggregated per
+// (class, class) pair with a use-count multiplier; z and y variables are
+// continuous (their LP values are integral whenever the x's are, except
+// the shift indicators, whose cost the LP may under-estimate).
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/config.hpp"
+#include "ir/function.hpp"
+#include "platform/optime.hpp"
+#include "vra/range_analysis.hpp"
+
+namespace luis::core {
+
+AllocationResult allocate_ilp(const ir::Function& f, const vra::RangeMap& ranges,
+                              const platform::OpTimeTable& table,
+                              const TuningConfig& config);
+
+} // namespace luis::core

@@ -1,0 +1,42 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+
+#include "core/cast_materializer.hpp"
+#include "ir/passes.hpp"
+
+namespace luis::core {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+} // namespace
+
+PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
+                           const TuningConfig& config,
+                           const PipelineOptions& options) {
+  PipelineResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (options.optimize_ir) result.ir_changes = ir::run_default_pipeline(f);
+
+  result.ranges = vra::analyze_ranges(f, options.vra);
+  result.vra_seconds = seconds_since(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.allocation = options.allocator == AllocatorKind::Ilp
+                          ? allocate_ilp(f, result.ranges, table, config)
+                          : allocate_greedy(f, result.ranges, config);
+  result.allocation_seconds = seconds_since(t1);
+
+  if (options.materialize_casts)
+    result.casts_inserted = materialize_casts(f, result.allocation.assignment);
+
+  result.total_seconds = seconds_since(t0);
+  return result;
+}
+
+} // namespace luis::core

@@ -1,0 +1,47 @@
+// The end-to-end LUIS tuning pipeline (Figure 1 of the paper):
+//
+//   annotated IR --VRA--> value ranges --Data Type Allocation--> ILP model
+//   --solver--> type assignment --conversion--> tuned kernel
+//
+// The pipeline also exposes per-stage wall-clock timings, which the
+// compilation-overhead experiment (Section V-B) consumes.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/ilp_allocator.hpp"
+#include "core/greedy_allocator.hpp"
+#include "platform/optime.hpp"
+
+namespace luis::core {
+
+enum class AllocatorKind { Ilp, Greedy };
+
+struct PipelineOptions {
+  AllocatorKind allocator = AllocatorKind::Ilp;
+  vra::VraOptions vra;
+  /// Run the IR cleanup passes (constant folding, DCE, CFG simplification)
+  /// before analysis — the position LUIS occupies after LLVM's pipeline.
+  /// Mutates the IR; off by default so one build can be tuned repeatedly.
+  bool optimize_ir = false;
+  /// Insert explicit Cast instructions into the function after allocation
+  /// (mutates the IR; off by default so one build can be tuned repeatedly).
+  bool materialize_casts = false;
+};
+
+struct PipelineResult {
+  AllocationResult allocation;
+  vra::RangeMap ranges;
+  int ir_changes = 0; ///< rewrites made by the optional cleanup passes
+  double vra_seconds = 0.0;
+  double allocation_seconds = 0.0; ///< model build + solve (or greedy scan)
+  double total_seconds = 0.0;
+  int casts_inserted = 0;
+};
+
+/// Runs the pipeline on `f`. The op-time table is only consulted by the
+/// ILP allocator (the greedy baseline is cost-blind, as in stock TAFFO).
+PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
+                           const TuningConfig& config,
+                           const PipelineOptions& options = {});
+
+} // namespace luis::core

@@ -1,0 +1,47 @@
+#include "core/profiled_ranges.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace luis::core {
+namespace {
+
+vra::Interval widened(double lo, double hi, double margin) {
+  const double mag = std::max({std::abs(lo), std::abs(hi), 1e-6});
+  return {lo - margin * mag, hi + margin * mag};
+}
+
+} // namespace
+
+vra::RangeMap ranges_from_profile(const ir::Function& f,
+                                  const interp::RunResult& profile,
+                                  double margin) {
+  vra::RangeMap map;
+  for (const auto& arr : f.arrays()) {
+    const auto it = profile.array_ranges.find(arr->name());
+    if (it != profile.array_ranges.end())
+      map.set(arr.get(), widened(it->second.first, it->second.second, margin));
+  }
+  for (const auto& [inst, range] : profile.register_ranges)
+    map.set(inst, widened(range.first, range.second, margin));
+  return map;
+}
+
+vra::RangeMap profile_ranges(const ir::Function& f,
+                             const interp::ArrayStore& inputs, double margin,
+                             std::string* error) {
+  interp::ArrayStore store = inputs;
+  interp::TypeAssignment binary64;
+  interp::RunOptions opt;
+  opt.track_array_ranges = true;
+  opt.track_register_ranges = true;
+  opt.count_costs = false;
+  const interp::RunResult run = run_function(f, binary64, store, opt);
+  if (!run.ok) {
+    if (error) *error = run.error;
+    return {};
+  }
+  return ranges_from_profile(f, run, margin);
+}
+
+} // namespace luis::core

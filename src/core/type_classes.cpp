@@ -1,0 +1,116 @@
+#include "core/type_classes.hpp"
+
+#include "support/diag.hpp"
+#include "support/union_find.hpp"
+
+namespace luis::core {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::ScalarType;
+
+TypeClasses compute_type_classes(const ir::Function& f) {
+  TypeClasses out;
+
+  // Enumerate model registers: arrays first, then Real instructions.
+  std::map<const ir::Value*, std::size_t> index;
+  auto add_register = [&](const ir::Value* v) {
+    if (index.count(v)) return;
+    index[v] = out.registers.size();
+    out.registers.push_back(v);
+  };
+  for (const auto& arr : f.arrays()) add_register(arr.get());
+  for (const auto& bb : f.blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->type() == ScalarType::Real) add_register(inst.get());
+
+  UnionFind uf(out.registers.size());
+  auto merge = [&](const ir::Value* a, const ir::Value* b) {
+    out.same_type_edges.emplace_back(a, b);
+    uf.unite(index.at(a), index.at(b));
+  };
+  auto is_register = [&](const ir::Value* v) {
+    return index.count(v) > 0; // Real instruction or array (not a constant)
+  };
+
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst_ptr : bb->instructions()) {
+      const Instruction* inst = inst_ptr.get();
+      switch (inst->opcode()) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+      case Opcode::Rem: case Opcode::Pow: case Opcode::Min: case Opcode::Max:
+      case Opcode::Neg: case Opcode::Abs: case Opcode::Sqrt: case Opcode::Exp:
+        for (const ir::Value* op : inst->operands())
+          if (is_register(op)) merge(inst, op);
+        break;
+      case Opcode::Phi:
+        for (const ir::Value* op : inst->operands())
+          if (inst->type() == ScalarType::Real && is_register(op))
+            merge(inst, op);
+        break;
+      case Opcode::Select:
+        if (inst->type() == ScalarType::Real) {
+          if (is_register(inst->operand(1))) merge(inst, inst->operand(1));
+          if (is_register(inst->operand(2))) merge(inst, inst->operand(2));
+        }
+        break;
+      case Opcode::FCmp:
+        // Operands must agree with each other (not with the bool result).
+        if (is_register(inst->operand(0)) && is_register(inst->operand(1)))
+          merge(inst->operand(0), inst->operand(1));
+        break;
+      case Opcode::Load:
+        merge(inst, inst->operand(0)); // load result shares the array type
+        break;
+      case Opcode::Store:
+      case Opcode::Cast:
+      case Opcode::IntToReal:
+        break; // representation change points / free result type
+      default:
+        break;
+      }
+    }
+  }
+
+  // Densify class ids.
+  std::map<std::size_t, int> root_to_class;
+  out.class_of.clear();
+  for (std::size_t i = 0; i < out.registers.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    const auto it = root_to_class.find(root);
+    int cls;
+    if (it == root_to_class.end()) {
+      cls = static_cast<int>(out.members.size());
+      root_to_class[root] = cls;
+      out.members.emplace_back();
+    } else {
+      cls = it->second;
+    }
+    out.class_of[out.registers[i]] = cls;
+    out.members[static_cast<std::size_t>(cls)].push_back(out.registers[i]);
+  }
+
+  // Collect the use set U.
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst_ptr : bb->instructions()) {
+      const Instruction* inst = inst_ptr.get();
+      if (inst->opcode() == Opcode::Store) {
+        // Use of the stored value by the array.
+        if (is_register(inst->operand(0)))
+          out.uses.push_back({inst->operand(0), inst->operand(1)});
+        continue;
+      }
+      if (inst->type() != ScalarType::Real) continue;
+      if (inst->opcode() == Opcode::Load) {
+        out.uses.push_back({inst->operand(0), inst});
+        continue;
+      }
+      for (const ir::Value* op : inst->operands())
+        if (is_register(op)) out.uses.push_back({op, inst});
+    }
+  }
+
+  return out;
+}
+
+} // namespace luis::core

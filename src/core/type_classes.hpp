@@ -1,0 +1,51 @@
+// Type equivalence classes over the virtual registers of a kernel.
+//
+// LLVM-IR requires the operands and result of an arithmetic operation to
+// share one type, which the paper encodes as x_{a,t} = x_{b,t} constraints.
+// Merging those hard-equalities up front (union-find) collapses the ILP's
+// x variables from one set per register to one set per *class*, which is
+// what keeps the model small; representation changes can then only happen
+// at the remaining use edges (stores into arrays, explicit casts), each of
+// which carries the paper's cast indicator variables.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace luis::core {
+
+/// A use edge (a, b): register a is consumed by register b across a class
+/// boundary or a potential cast point.
+struct UseEdge {
+  const ir::Value* used = nullptr;
+  const ir::Value* user = nullptr;
+};
+
+struct TypeClasses {
+  /// All Real registers of the model: Real-typed instructions plus arrays.
+  std::vector<const ir::Value*> registers;
+  /// Class id per register (dense, 0-based).
+  std::map<const ir::Value*, int> class_of;
+  /// Members per class.
+  std::vector<std::vector<const ir::Value*>> members;
+  /// Every use of a Real register by another Real register (the set U of
+  /// the paper), including the within-class ones (those can still incur
+  /// fixed point shift casts).
+  std::vector<UseEdge> uses;
+  /// The hard same-type pairs that produced the classes — the x_{a,t} =
+  /// x_{b,t} constraints of the paper's literal formulation (used when the
+  /// model is built without class merging).
+  std::vector<std::pair<const ir::Value*, const ir::Value*>> same_type_edges;
+
+  int num_classes() const { return static_cast<int>(members.size()); }
+};
+
+/// Computes the classes for `f`. Hard same-type edges: operands/results of
+/// arithmetic ops, phi webs, select arms, fcmp operand pairs, and loads
+/// with their backing array. Stores and explicit casts do NOT merge — they
+/// are the representation change points.
+TypeClasses compute_type_classes(const ir::Function& f);
+
+} // namespace luis::core

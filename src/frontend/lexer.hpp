@@ -1,0 +1,42 @@
+// Lexer for the LUIS kernel language (see frontend/parser.hpp for the
+// grammar). Produces a token stream with source positions for error
+// reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace luis::frontend {
+
+enum class TokenKind {
+  // Literals and names.
+  Identifier, IntLiteral, RealLiteral,
+  // Keywords.
+  KwKernel, KwArray, KwScalar, KwRange, KwFor, KwIn, KwIf, KwElse, KwDownTo,
+  // Punctuation.
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Comma, Semicolon, Assign, DotDot,
+  // Operators.
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, NotEq,
+  End, Error,
+};
+
+const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;     ///< identifier spelling / literal spelling
+  double real_value = 0.0;
+  std::int64_t int_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source`. On a lexical error the last token has kind Error
+/// and `text` holds the message. Comments run from '#' to end of line.
+std::vector<Token> tokenize(std::string_view source);
+
+} // namespace luis::frontend

@@ -1,0 +1,468 @@
+#include "frontend/parser.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "frontend/lexer.hpp"
+#include "ir/kernel_builder.hpp"
+
+namespace luis::frontend {
+namespace {
+
+using ir::BVal;
+using ir::CmpPred;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::RVal;
+using ir::ScalarCell;
+
+/// Parse-time error carrying the offending token's position.
+struct ParseError : std::runtime_error {
+  ParseError(const std::string& msg, const Token& at)
+      : std::runtime_error(msg), line(at.line), column(at.column) {}
+  int line, column;
+};
+
+/// A value of either type domain during expression parsing.
+struct Val {
+  bool is_real = false;
+  RVal real;
+  IVal index;
+};
+
+class Parser {
+public:
+  Parser(ir::Module& module, std::string_view source)
+      : module_(module), tokens_(tokenize(source)) {}
+
+  ir::Function* run() {
+    if (!tokens_.empty() && tokens_.back().kind == TokenKind::Error)
+      throw ParseError(tokens_.back().text, tokens_.back());
+
+    expect(TokenKind::KwKernel);
+    const std::string name = expect(TokenKind::Identifier).text;
+    kb_ = std::make_unique<KernelBuilder>(module_, name);
+    expect(TokenKind::LBrace);
+    while (at(TokenKind::KwArray) || at(TokenKind::KwScalar)) parse_decl();
+    while (!at(TokenKind::RBrace)) parse_stmt();
+    expect(TokenKind::RBrace);
+    expect(TokenKind::End);
+    return kb_->finish();
+  }
+
+private:
+  // --- Token plumbing ---
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = std::min(pos_ + static_cast<std::size_t>(ahead),
+                                   tokens_.size() - 1);
+    return tokens_[i];
+  }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  const Token& advance() { return tokens_[pos_++]; }
+  const Token& expect(TokenKind kind) {
+    if (!at(kind))
+      throw ParseError(std::string("expected ") + to_string(kind) + ", found " +
+                           to_string(peek().kind),
+                       peek());
+    return advance();
+  }
+  bool accept(TokenKind kind) {
+    if (!at(kind)) return false;
+    advance();
+    return true;
+  }
+
+  // --- Declarations ---
+  double parse_signed_number() {
+    const bool neg = accept(TokenKind::Minus);
+    const Token& t = advance();
+    double v;
+    if (t.kind == TokenKind::RealLiteral)
+      v = t.real_value;
+    else if (t.kind == TokenKind::IntLiteral)
+      v = static_cast<double>(t.int_value);
+    else
+      throw ParseError("expected a number", t);
+    return neg ? -v : v;
+  }
+
+  void parse_decl() {
+    if (accept(TokenKind::KwArray)) {
+      const std::string name = expect(TokenKind::Identifier).text;
+      std::vector<std::int64_t> dims;
+      while (accept(TokenKind::LBracket)) {
+        dims.push_back(expect(TokenKind::IntLiteral).int_value);
+        expect(TokenKind::RBracket);
+      }
+      if (dims.empty())
+        throw ParseError("array needs at least one dimension", peek());
+      expect(TokenKind::KwRange);
+      expect(TokenKind::LBracket);
+      const double lo = parse_signed_number();
+      expect(TokenKind::Comma);
+      const double hi = parse_signed_number();
+      expect(TokenKind::RBracket);
+      expect(TokenKind::Semicolon);
+      arrays_[name] = kb_->array(name, dims, lo, hi);
+      return;
+    }
+    expect(TokenKind::KwScalar);
+    const std::string name = expect(TokenKind::Identifier).text;
+    expect(TokenKind::KwRange);
+    expect(TokenKind::LBracket);
+    const double lo = parse_signed_number();
+    expect(TokenKind::Comma);
+    const double hi = parse_signed_number();
+    expect(TokenKind::RBracket);
+    expect(TokenKind::Semicolon);
+    scalars_.emplace(name, kb_->scalar(name, lo, hi));
+  }
+
+  // --- Statements ---
+  void parse_stmt() {
+    if (at(TokenKind::KwFor)) {
+      parse_for();
+      return;
+    }
+    if (at(TokenKind::KwIf)) {
+      parse_if();
+      return;
+    }
+    parse_assignment();
+  }
+
+  void parse_for() {
+    expect(TokenKind::KwFor);
+    const Token name = expect(TokenKind::Identifier);
+    if (loop_vars_.count(name.text) || arrays_.count(name.text) ||
+        scalars_.count(name.text))
+      throw ParseError("loop variable '" + name.text + "' shadows a name", name);
+    expect(TokenKind::KwIn);
+    const IVal begin = parse_index_expr();
+    const bool descending = at(TokenKind::KwDownTo);
+    if (!descending) expect(TokenKind::DotDot);
+    else advance();
+    const IVal end = parse_index_expr();
+    expect(TokenKind::LBrace);
+    const std::size_t body_start = pos_;
+
+    // KernelBuilder's loop body is a callback; re-enter the parser there.
+    auto body = [&](IVal iv) {
+      loop_vars_[name.text] = iv;
+      pos_ = body_start;
+      while (!at(TokenKind::RBrace)) parse_stmt();
+      loop_vars_.erase(name.text);
+    };
+    if (descending)
+      kb_->for_down(name.text, begin, end, body);
+    else
+      kb_->for_loop(name.text, begin, end, body);
+    expect(TokenKind::RBrace);
+  }
+
+  void parse_if() {
+    expect(TokenKind::KwIf);
+    expect(TokenKind::LParen);
+    const BVal cond = parse_condition();
+    expect(TokenKind::RParen);
+    expect(TokenKind::LBrace);
+    const std::size_t then_start = pos_;
+    // First scan: find the matching close brace so we can locate 'else'.
+    skip_block();
+    const std::size_t after_then = pos_;
+    const bool has_else = accept(TokenKind::KwElse);
+    std::size_t else_start = 0, after_else = after_then;
+    if (has_else) {
+      expect(TokenKind::LBrace);
+      else_start = pos_;
+      skip_block();
+      after_else = pos_;
+    }
+
+    auto then_body = [&] {
+      pos_ = then_start;
+      while (!at(TokenKind::RBrace)) parse_stmt();
+    };
+    if (has_else) {
+      auto else_body = [&] {
+        pos_ = else_start;
+        while (!at(TokenKind::RBrace)) parse_stmt();
+      };
+      kb_->if_then_else(cond, then_body, else_body);
+    } else {
+      kb_->if_then(cond, then_body);
+    }
+    pos_ = after_else;
+  }
+
+  /// Skips a balanced { ... } body (the opening brace already consumed),
+  /// leaving the cursor after the closing brace.
+  void skip_block() {
+    int depth = 1;
+    while (depth > 0) {
+      const Token& t = advance();
+      if (t.kind == TokenKind::LBrace) ++depth;
+      if (t.kind == TokenKind::RBrace) --depth;
+      if (t.kind == TokenKind::End)
+        throw ParseError("unterminated block", t);
+    }
+  }
+
+  void parse_assignment() {
+    const Token name = expect(TokenKind::Identifier);
+    if (arrays_.count(name.text)) {
+      ir::Array* arr = arrays_.at(name.text);
+      std::vector<IVal> indices = parse_indices(arr, name);
+      expect(TokenKind::Assign);
+      const RVal value = as_real(parse_expr(), name);
+      expect(TokenKind::Semicolon);
+      // store wants an initializer_list; spell out the ranks we support.
+      store_indexed(value, arr, indices, name);
+      return;
+    }
+    if (scalars_.count(name.text)) {
+      expect(TokenKind::Assign);
+      const RVal value = as_real(parse_expr(), name);
+      expect(TokenKind::Semicolon);
+      kb_->set(scalars_.at(name.text), value);
+      return;
+    }
+    throw ParseError("assignment to unknown name '" + name.text + "'", name);
+  }
+
+  std::vector<IVal> parse_indices(const ir::Array* arr, const Token& at_tok) {
+    std::vector<IVal> indices;
+    while (accept(TokenKind::LBracket)) {
+      indices.push_back(parse_index_expr());
+      expect(TokenKind::RBracket);
+    }
+    if (indices.size() != arr->rank())
+      throw ParseError("array '" + arr->name() + "' expects " +
+                           std::to_string(arr->rank()) + " indices",
+                       at_tok);
+    return indices;
+  }
+
+  void store_indexed(RVal value, ir::Array* arr, const std::vector<IVal>& idx,
+                     const Token& at_tok) {
+    switch (idx.size()) {
+    case 1: kb_->store(value, arr, {idx[0]}); return;
+    case 2: kb_->store(value, arr, {idx[0], idx[1]}); return;
+    case 3: kb_->store(value, arr, {idx[0], idx[1], idx[2]}); return;
+    default: throw ParseError("arrays of rank > 3 are not supported", at_tok);
+    }
+  }
+
+  RVal load_indexed(ir::Array* arr, const std::vector<IVal>& idx,
+                    const Token& at_tok) {
+    switch (idx.size()) {
+    case 1: return kb_->load(arr, {idx[0]});
+    case 2: return kb_->load(arr, {idx[0], idx[1]});
+    case 3: return kb_->load(arr, {idx[0], idx[1], idx[2]});
+    default: throw ParseError("arrays of rank > 3 are not supported", at_tok);
+    }
+  }
+
+  // --- Conditions ---
+  BVal parse_condition() {
+    const Val lhs = parse_expr();
+    CmpPred pred;
+    const Token& op = advance();
+    switch (op.kind) {
+    case TokenKind::Lt: pred = CmpPred::LT; break;
+    case TokenKind::Le: pred = CmpPred::LE; break;
+    case TokenKind::Gt: pred = CmpPred::GT; break;
+    case TokenKind::Ge: pred = CmpPred::GE; break;
+    case TokenKind::EqEq: pred = CmpPred::EQ; break;
+    case TokenKind::NotEq: pred = CmpPred::NE; break;
+    default: throw ParseError("expected a comparison operator", op);
+    }
+    const Val rhs = parse_expr();
+    if (lhs.is_real || rhs.is_real)
+      return kb_->fcmp(pred, as_real(lhs, op), as_real(rhs, op));
+    return kb_->icmp(pred, lhs.index, rhs.index);
+  }
+
+  // --- Expressions (shared grammar for both type domains) ---
+  Val parse_expr() {
+    Val lhs = parse_term();
+    while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+      const Token& op = advance();
+      Val rhs = parse_term();
+      lhs = combine(lhs, rhs, op);
+    }
+    return lhs;
+  }
+
+  Val parse_term() {
+    Val lhs = parse_factor();
+    while (at(TokenKind::Star) || at(TokenKind::Slash) || at(TokenKind::Percent)) {
+      const Token& op = advance();
+      Val rhs = parse_factor();
+      lhs = combine(lhs, rhs, op);
+    }
+    return lhs;
+  }
+
+  Val combine(const Val& lhs, const Val& rhs, const Token& op) {
+    Val out;
+    if (lhs.is_real || rhs.is_real) {
+      const RVal a = as_real(lhs, op);
+      const RVal b = as_real(rhs, op);
+      out.is_real = true;
+      switch (op.kind) {
+      case TokenKind::Plus: out.real = kb_->add(a, b); break;
+      case TokenKind::Minus: out.real = kb_->sub(a, b); break;
+      case TokenKind::Star: out.real = kb_->mul(a, b); break;
+      case TokenKind::Slash: out.real = kb_->div(a, b); break;
+      case TokenKind::Percent: out.real = kb_->rem(a, b); break;
+      default: throw ParseError("bad operator", op);
+      }
+      return out;
+    }
+    out.is_real = false;
+    switch (op.kind) {
+    case TokenKind::Plus: out.index = kb_->iadd(lhs.index, rhs.index); break;
+    case TokenKind::Minus: out.index = kb_->isub(lhs.index, rhs.index); break;
+    case TokenKind::Star: out.index = kb_->imul(lhs.index, rhs.index); break;
+    case TokenKind::Slash: out.index = kb_->idiv(lhs.index, rhs.index); break;
+    case TokenKind::Percent: {
+      ir::IRBuilder& b = kb_->ir();
+      out.index = IVal{b.irem(lhs.index.value, rhs.index.value), kb_.get()};
+      break;
+    }
+    default: throw ParseError("bad operator", op);
+    }
+    return out;
+  }
+
+  Val parse_factor() {
+    if (accept(TokenKind::Minus)) {
+      Val v = parse_factor();
+      if (v.is_real) {
+        v.real = kb_->neg(v.real);
+      } else {
+        v.index = kb_->isub(kb_->idx(0), v.index);
+      }
+      return v;
+    }
+    if (accept(TokenKind::LParen)) {
+      const Val v = parse_expr();
+      expect(TokenKind::RParen);
+      return v;
+    }
+    const Token t = advance();
+    Val out;
+    switch (t.kind) {
+    case TokenKind::RealLiteral:
+      out.is_real = true;
+      out.real = kb_->real(t.real_value);
+      return out;
+    case TokenKind::IntLiteral:
+      out.is_real = false;
+      out.index = kb_->idx(t.int_value);
+      return out;
+    case TokenKind::Identifier:
+      return parse_reference(t);
+    default:
+      throw ParseError(std::string("unexpected ") + to_string(t.kind) +
+                           " in expression",
+                       t);
+    }
+  }
+
+  Val parse_reference(const Token& name) {
+    Val out;
+    // Math intrinsics.
+    if (at(TokenKind::LParen)) {
+      advance();
+      std::vector<Val> args;
+      if (!at(TokenKind::RParen)) {
+        args.push_back(parse_expr());
+        while (accept(TokenKind::Comma)) args.push_back(parse_expr());
+      }
+      expect(TokenKind::RParen);
+      auto arg = [&](std::size_t i) -> RVal {
+        if (i >= args.size())
+          throw ParseError("missing argument to " + name.text, name);
+        return as_real(args[i], name);
+      };
+      out.is_real = true;
+      if (name.text == "sqrt") out.real = kb_->sqrt(arg(0));
+      else if (name.text == "exp") out.real = kb_->exp(arg(0));
+      else if (name.text == "abs") out.real = kb_->abs(arg(0));
+      else if (name.text == "pow") out.real = kb_->pow(arg(0), arg(1));
+      else if (name.text == "min") out.real = kb_->fmin(arg(0), arg(1));
+      else if (name.text == "max") out.real = kb_->fmax(arg(0), arg(1));
+      else
+        throw ParseError("unknown function '" + name.text + "'", name);
+      return out;
+    }
+    if (arrays_.count(name.text)) {
+      ir::Array* arr = arrays_.at(name.text);
+      const std::vector<IVal> indices = parse_indices(arr, name);
+      out.is_real = true;
+      out.real = load_indexed(arr, indices, name);
+      return out;
+    }
+    if (scalars_.count(name.text)) {
+      out.is_real = true;
+      out.real = kb_->get(scalars_.at(name.text));
+      return out;
+    }
+    if (loop_vars_.count(name.text)) {
+      out.is_real = false;
+      out.index = loop_vars_.at(name.text);
+      return out;
+    }
+    throw ParseError("unknown name '" + name.text + "'", name);
+  }
+
+  // Index expressions are ordinary expressions restricted to Int.
+  IVal parse_index_expr() {
+    const Token& where = peek();
+    const Val v = parse_expr();
+    if (v.is_real)
+      throw ParseError("expected an integer index expression", where);
+    return v.index;
+  }
+
+  RVal as_real(const Val& v, const Token& where) {
+    if (v.is_real) return v.real;
+    // Int promotes to Real through an explicit conversion...
+    if (v.index.value->is_constant()) {
+      // ...except literals, which become real literals directly.
+      const auto* c = static_cast<const ir::ConstInt*>(v.index.value);
+      return kb_->real(static_cast<double>(c->value()));
+    }
+    (void)where;
+    return kb_->to_real(v.index);
+  }
+
+  ir::Module& module_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<KernelBuilder> kb_;
+  std::map<std::string, ir::Array*> arrays_;
+  std::map<std::string, ScalarCell> scalars_;
+  std::map<std::string, IVal> loop_vars_;
+};
+
+} // namespace
+
+CompileResult compile_kernel(ir::Module& module, std::string_view source) {
+  CompileResult result;
+  try {
+    Parser parser(module, source);
+    result.function = parser.run();
+  } catch (const ParseError& e) {
+    result.error = e.what();
+    result.line = e.line;
+    result.column = e.column;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+} // namespace luis::frontend

@@ -1,0 +1,42 @@
+// The LUIS kernel language — a small C-like source language that lowers
+// onto the IR through KernelBuilder, playing the role Clang plays in the
+// paper's pipeline (Figure 1). Grammar:
+//
+//   kernel NAME {
+//     array A[16][20] range [-1.0, 1.0];     # annotated input/output
+//     scalar acc range [0.0, 100.0];         # one-element accumulator
+//     acc = 0.0;
+//     for i in 0 .. 16 {                     # half-open ascending
+//       for j in 15 downto 0 { ... }         # inclusive descending
+//       if (i < 8) { ... } else { ... }
+//       A[i][0] = sqrt(A[i][0]) + acc * 2.0;
+//       acc = acc + A[i][1];
+//     }
+//   }
+//
+// Expressions mix freely over Real values (array/scalar reads, real
+// literals, sqrt/exp/abs/pow/min/max calls) and Int values (loop
+// variables, integer literals); Int promotes to Real where a Real is
+// required. Comparisons pick icmp or fcmp by operand type. '#' starts a
+// comment.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/function.hpp"
+
+namespace luis::frontend {
+
+struct CompileResult {
+  ir::Function* function = nullptr; ///< owned by the module
+  std::string error;                ///< empty on success
+  int line = 0;
+  int column = 0;
+  bool ok() const { return error.empty(); }
+};
+
+/// Compiles one kernel definition into `module`.
+CompileResult compile_kernel(ir::Module& module, std::string_view source);
+
+} // namespace luis::frontend

@@ -1,0 +1,192 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include "ilp/presolve.hpp"
+
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace luis::ilp {
+namespace {
+
+struct Node {
+  std::vector<BoundsOverride> overrides;
+  double bound = 0.0; // parent LP objective, in minimization sign
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    return a->bound > b->bound; // best (smallest) bound first
+  }
+};
+
+/// Finds the integer variable with the most fractional LP value.
+int most_fractional(const Model& model, const std::vector<double>& values,
+                    double tol) {
+  int best = -1;
+  double best_dist = tol;
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    if (model.variables()[j].kind == VarKind::Continuous) continue;
+    const double v = values[j];
+    const double dist = std::abs(v - std::round(v));
+    const double frac_dist = std::min(v - std::floor(v), std::ceil(v) - v);
+    if (dist > tol && frac_dist > best_dist) {
+      best = static_cast<int>(j);
+      best_dist = frac_dist;
+    }
+  }
+  return best;
+}
+
+} // namespace
+
+namespace {
+Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt);
+} // namespace
+
+Solution solve_milp(const Model& model, const BranchAndBoundOptions& opt) {
+  if (!opt.presolve) return solve_milp_impl(model, opt);
+
+  const PresolvedModel pre = presolve(model);
+  if (pre.infeasible) {
+    Solution sol;
+    sol.status = SolveStatus::Infeasible;
+    return sol;
+  }
+  Solution sol = solve_milp_impl(pre.reduced, opt);
+  if (!sol.values.empty()) {
+    sol.values = pre.restore(sol.values);
+    sol.objective = model.objective_value(sol.values);
+  } else if (sol.status == SolveStatus::Optimal ||
+             pre.reduced.num_variables() == 0) {
+    // Fully presolved model: the fixed assignment is the solution, if it
+    // satisfies the (already verified) constraints.
+    sol.values = pre.restore({});
+    if (model.is_feasible(sol.values)) {
+      sol.status = SolveStatus::Optimal;
+      sol.objective = model.objective_value(sol.values);
+      sol.best_bound = sol.objective;
+    }
+  }
+  return sol;
+}
+
+namespace {
+
+Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
+  // Work in minimization sign internally.
+  const double sign = model.objective_direction() == Direction::Minimize ? 1.0 : -1.0;
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::Infeasible;
+  double incumbent_cost = kInfinity;
+  double best_open_bound = -kInfinity;
+  long nodes = 0;
+  long iterations = 0;
+  bool hit_limit = false;
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      open;
+  auto root = std::make_shared<Node>();
+  root->bound = -kInfinity;
+  open.push(std::move(root));
+
+  bool any_unbounded = false;
+  while (!open.empty()) {
+    if (nodes >= opt.max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    const std::shared_ptr<Node> node = open.top();
+    open.pop();
+    if (node->bound >= incumbent_cost - 1e-12) continue; // pruned by bound
+    ++nodes;
+
+    Solution lp = solve_lp(model, opt.lp, node->overrides);
+    iterations += lp.iterations;
+    if (lp.status == SolveStatus::IterationLimit) {
+      hit_limit = true;
+      continue;
+    }
+    if (lp.status == SolveStatus::Infeasible) continue;
+    if (lp.status == SolveStatus::Unbounded) {
+      // An unbounded relaxation at the root makes the MILP unbounded or
+      // infeasible; report unbounded (LUIS models are always bounded).
+      any_unbounded = true;
+      continue;
+    }
+    const double cost = sign * lp.objective;
+    if (cost >= incumbent_cost - 1e-12) continue; // bound prune
+
+    const int branch_var =
+        most_fractional(model, lp.values, opt.integrality_tolerance);
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      incumbent.values = lp.values;
+      incumbent.objective = lp.objective;
+      incumbent.status = SolveStatus::Optimal;
+      incumbent_cost = cost;
+      continue;
+    }
+
+    const double v = lp.values[static_cast<std::size_t>(branch_var)];
+    const Variable& var = model.variables()[static_cast<std::size_t>(branch_var)];
+    // Current effective bounds of the branch variable at this node.
+    double cur_lo = var.lower, cur_hi = var.upper;
+    for (const BoundsOverride& o : node->overrides) {
+      if (o.var == branch_var) {
+        cur_lo = o.lower;
+        cur_hi = o.upper;
+      }
+    }
+    const double floor_v = std::floor(v);
+    // Down child: x <= floor(v).
+    if (floor_v >= cur_lo - 1e-9) {
+      auto down = std::make_shared<Node>();
+      down->overrides = node->overrides;
+      down->overrides.push_back({branch_var, cur_lo, floor_v});
+      down->bound = cost;
+      open.push(std::move(down));
+    }
+    // Up child: x >= ceil(v).
+    if (floor_v + 1.0 <= cur_hi + 1e-9) {
+      auto up = std::make_shared<Node>();
+      up->overrides = node->overrides;
+      up->overrides.push_back({branch_var, floor_v + 1.0, cur_hi});
+      up->bound = cost;
+      open.push(std::move(up));
+    }
+  }
+
+  // The tightest bound still open (for gap reporting).
+  best_open_bound = open.empty() ? incumbent_cost : open.top()->bound;
+
+  incumbent.nodes = nodes;
+  incumbent.iterations = iterations;
+  incumbent.best_bound = sign * std::min(best_open_bound, incumbent_cost);
+  if (incumbent.status == SolveStatus::Optimal) {
+    // Snap integer values that are within tolerance of an integer.
+    for (std::size_t j = 0; j < model.num_variables(); ++j) {
+      if (model.variables()[j].kind == VarKind::Continuous) continue;
+      incumbent.values[j] = std::round(incumbent.values[j]);
+    }
+    incumbent.objective = model.objective_value(incumbent.values);
+    if (hit_limit) incumbent.status = SolveStatus::NodeLimit;
+    return incumbent;
+  }
+  if (hit_limit) {
+    incumbent.status = SolveStatus::NodeLimit;
+  } else if (any_unbounded) {
+    incumbent.status = SolveStatus::Unbounded;
+  }
+  return incumbent;
+}
+
+} // namespace
+
+} // namespace luis::ilp

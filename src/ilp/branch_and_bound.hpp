@@ -1,0 +1,29 @@
+// Branch & bound MILP driver on top of the simplex LP solver.
+//
+// Best-first search over LP relaxations with bound overrides (no model
+// copies). Branching picks the integer variable whose LP value is most
+// fractional. The search is exact when it terminates with Optimal; node
+// and iteration limits degrade gracefully to the best incumbent found.
+#pragma once
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace luis::ilp {
+
+struct BranchAndBoundOptions {
+  long max_nodes = 50000;
+  double integrality_tolerance = 1e-6;
+  /// Relative optimality gap at which the search stops early.
+  double relative_gap = 1e-9;
+  /// Run the presolve reductions before the search (see presolve.hpp).
+  bool presolve = true;
+  SimplexOptions lp;
+};
+
+/// Solves `model` to integer optimality (within the configured limits).
+/// Continuous variables are left to the LP. Returns the incumbent and the
+/// proven bound; status NodeLimit means the incumbent may be suboptimal.
+Solution solve_milp(const Model& model, const BranchAndBoundOptions& options = {});
+
+} // namespace luis::ilp

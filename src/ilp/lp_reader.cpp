@@ -1,0 +1,236 @@
+#include "ilp/lp_reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "support/string_utils.hpp"
+
+namespace luis::ilp {
+namespace {
+
+bool is_number_token(const std::string& tok) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size();
+}
+
+class Reader {
+public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  LpParseResult run() {
+    LpParseResult out;
+    std::istringstream is{std::string(text_)};
+    std::string line;
+    enum class Section { None, Objective, Constraints, Bounds, Integers, Done };
+    Section section = Section::None;
+    Direction direction = Direction::Minimize;
+    std::vector<std::string> objective_lines;
+    std::vector<std::string> constraint_lines;
+    std::vector<std::string> bounds_lines;
+    std::vector<std::string> integer_names;
+
+    while (std::getline(is, line)) {
+      const std::string t{trim(line)};
+      if (t.empty()) continue;
+      if (t == "Minimize" || t == "Maximize") {
+        direction = t == "Minimize" ? Direction::Minimize : Direction::Maximize;
+        section = Section::Objective;
+        continue;
+      }
+      if (t == "Subject To") {
+        section = Section::Constraints;
+        continue;
+      }
+      if (t == "Bounds") {
+        section = Section::Bounds;
+        continue;
+      }
+      if (t == "General" || t == "Binary") {
+        section = Section::Integers;
+        continue;
+      }
+      if (t == "End") {
+        section = Section::Done;
+        continue;
+      }
+      switch (section) {
+      case Section::Objective: objective_lines.push_back(t); break;
+      case Section::Constraints: constraint_lines.push_back(t); break;
+      case Section::Bounds: bounds_lines.push_back(t); break;
+      case Section::Integers: integer_names.push_back(t); break;
+      default:
+        out.error = "unexpected content outside any section: " + t;
+        return out;
+      }
+    }
+
+    // Objective.
+    std::string obj_text;
+    for (const std::string& l : objective_lines) obj_text += l + " ";
+    LinearExpr objective;
+    if (!parse_expr(strip_label(obj_text), objective)) {
+      out.error = error_;
+      return out;
+    }
+
+    // Constraints.
+    struct Row {
+      LinearExpr expr;
+      Sense sense;
+      double rhs;
+      std::string name;
+    };
+    std::vector<Row> rows;
+    for (const std::string& l : constraint_lines) {
+      std::string body = l;
+      std::string name;
+      const std::size_t colon = body.find(':');
+      if (colon != std::string::npos) {
+        name = std::string(trim(body.substr(0, colon)));
+        body = body.substr(colon + 1);
+      }
+      Sense sense;
+      std::size_t rel_at, rel_len;
+      if ((rel_at = body.find("<=")) != std::string::npos) {
+        sense = Sense::LE;
+        rel_len = 2;
+      } else if ((rel_at = body.find(">=")) != std::string::npos) {
+        sense = Sense::GE;
+        rel_len = 2;
+      } else if ((rel_at = body.find('=')) != std::string::npos) {
+        sense = Sense::EQ;
+        rel_len = 1;
+      } else {
+        out.error = "constraint without relation: " + l;
+        return out;
+      }
+      Row row;
+      row.sense = sense;
+      row.name = std::move(name);
+      if (!parse_expr(body.substr(0, rel_at), row.expr)) {
+        out.error = error_;
+        return out;
+      }
+      row.rhs = std::strtod(body.c_str() + rel_at + rel_len, nullptr);
+      rows.push_back(std::move(row));
+    }
+
+    // Bounds: "lo <= name <= hi".
+    for (const std::string& l : bounds_lines) {
+      std::istringstream ls(l);
+      std::string lo_tok, le1, name, le2, hi_tok;
+      ls >> lo_tok >> le1 >> name >> le2 >> hi_tok;
+      if (le1 != "<=" || le2 != "<=") {
+        out.error = "malformed bounds line: " + l;
+        return out;
+      }
+      const VarId id = var(name);
+      bounds_[id] = {parse_bound(lo_tok, true), parse_bound(hi_tok, false)};
+    }
+
+    for (const std::string& name : integer_names) integers_.insert(var(name));
+
+    // Assemble the model (variables in first-use order).
+    for (std::size_t j = 0; j < names_.size(); ++j) {
+      double lo = 0.0, hi = kInfinity;
+      const auto b = bounds_.find(static_cast<VarId>(j));
+      if (b != bounds_.end()) {
+        lo = b->second.first;
+        hi = b->second.second;
+      }
+      VarKind kind = VarKind::Continuous;
+      if (integers_.count(static_cast<VarId>(j)))
+        kind = lo == 0.0 && hi == 1.0 ? VarKind::Binary : VarKind::Integer;
+      out.model.add_variable(names_[j], kind, lo, hi);
+    }
+    for (Row& row : rows)
+      out.model.add_constraint(std::move(row.expr), row.sense, row.rhs,
+                               std::move(row.name));
+    out.model.set_objective(direction, std::move(objective));
+    return out;
+  }
+
+private:
+  static std::string strip_label(const std::string& text) {
+    const std::size_t colon = text.find(':');
+    return colon == std::string::npos ? text : text.substr(colon + 1);
+  }
+
+  static double parse_bound(const std::string& tok, bool is_lower) {
+    if (tok == "-inf") return -kInfinity;
+    if (tok == "+inf" || tok == "inf") return kInfinity;
+    (void)is_lower;
+    return std::strtod(tok.c_str(), nullptr);
+  }
+
+  VarId var(const std::string& name) {
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<VarId>(names_.size());
+    ids_[name] = id;
+    names_.push_back(name);
+    return id;
+  }
+
+  /// Parses "2 x + 3.5 y - z + 4" into a LinearExpr (trailing constants
+  /// fold into the expression constant).
+  bool parse_expr(const std::string& text, LinearExpr& expr) {
+    std::istringstream is(text);
+    std::string tok;
+    double sign = 1.0;
+    double pending_coeff = 1.0;
+    bool have_coeff = false;
+    while (is >> tok) {
+      if (tok == "+") {
+        if (have_coeff) expr.add_constant(sign * pending_coeff);
+        sign = 1.0;
+        pending_coeff = 1.0;
+        have_coeff = false;
+        continue;
+      }
+      if (tok == "-") {
+        if (have_coeff) expr.add_constant(sign * pending_coeff);
+        sign = -1.0;
+        pending_coeff = 1.0;
+        have_coeff = false;
+        continue;
+      }
+      if (is_number_token(tok)) {
+        if (have_coeff) {
+          error_ = "two consecutive numbers in expression: " + text;
+          return false;
+        }
+        pending_coeff = std::strtod(tok.c_str(), nullptr);
+        have_coeff = true;
+        continue;
+      }
+      if (tok == "0" || tok.empty()) continue;
+      // A name: consume the pending coefficient.
+      expr.add(var(tok), sign * pending_coeff);
+      sign = 1.0;
+      pending_coeff = 1.0;
+      have_coeff = false;
+    }
+    if (have_coeff) expr.add_constant(sign * pending_coeff);
+    return true;
+  }
+
+  std::string_view text_;
+  std::map<std::string, VarId> ids_;
+  std::vector<std::string> names_;
+  std::map<VarId, std::pair<double, double>> bounds_;
+  std::set<VarId> integers_;
+  std::string error_;
+};
+
+} // namespace
+
+LpParseResult parse_lp(std::string_view text) { return Reader(text).run(); }
+
+} // namespace luis::ilp

@@ -1,0 +1,13 @@
+// CPLEX-LP-format dump of a model, for debugging and external validation.
+#pragma once
+
+#include <string>
+
+#include "ilp/model.hpp"
+
+namespace luis::ilp {
+
+/// Renders the model in CPLEX LP text format.
+std::string to_lp_format(const Model& model);
+
+} // namespace luis::ilp

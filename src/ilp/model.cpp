@@ -1,0 +1,102 @@
+#include "ilp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/diag.hpp"
+
+namespace luis::ilp {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+  case SolveStatus::Optimal: return "optimal";
+  case SolveStatus::Infeasible: return "infeasible";
+  case SolveStatus::Unbounded: return "unbounded";
+  case SolveStatus::IterationLimit: return "iteration-limit";
+  case SolveStatus::NodeLimit: return "node-limit";
+  }
+  return "<invalid>";
+}
+
+void LinearExpr::normalize() {
+  std::map<VarId, double> combined;
+  for (const auto& [var, coeff] : terms_) combined[var] += coeff;
+  terms_.clear();
+  for (const auto& [var, coeff] : combined)
+    if (coeff != 0.0) terms_.emplace_back(var, coeff);
+}
+
+VarId Model::add_variable(std::string name, VarKind kind, double lower,
+                          double upper) {
+  LUIS_ASSERT(lower <= upper, "variable bounds crossed: " + name);
+  if (kind == VarKind::Binary) {
+    LUIS_ASSERT(lower >= 0.0 && upper <= 1.0, "binary bounds must be in [0,1]");
+  }
+  variables_.push_back(Variable{std::move(name), kind, lower, upper});
+  return static_cast<VarId>(variables_.size()) - 1;
+}
+
+void Model::add_constraint(LinearExpr expr, Sense sense, double rhs,
+                           std::string name) {
+  expr.normalize();
+  for (const auto& [var, coeff] : expr.terms()) {
+    (void)coeff;
+    LUIS_ASSERT(var >= 0 && static_cast<std::size_t>(var) < variables_.size(),
+                "constraint references unknown variable");
+  }
+  // Fold the expression constant into the right-hand side.
+  const double folded_rhs = rhs - expr.constant();
+  constraints_.push_back(
+      Constraint{std::move(expr), sense, folded_rhs, std::move(name)});
+}
+
+void Model::set_objective(Direction direction, LinearExpr expr) {
+  expr.normalize();
+  direction_ = direction;
+  objective_ = std::move(expr);
+}
+
+std::size_t Model::num_integer_variables() const {
+  return static_cast<std::size_t>(
+      std::count_if(variables_.begin(), variables_.end(), [](const Variable& v) {
+        return v.kind != VarKind::Continuous;
+      }));
+}
+
+double Model::objective_value(const std::vector<double>& values) const {
+  double acc = objective_.constant();
+  for (const auto& [var, coeff] : objective_.terms())
+    acc += coeff * values[static_cast<std::size_t>(var)];
+  return acc;
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tol) const {
+  if (values.size() != variables_.size()) return false;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    const Variable& v = variables_[i];
+    if (values[i] < v.lower - tol || values[i] > v.upper + tol) return false;
+    if (v.kind != VarKind::Continuous &&
+        std::abs(values[i] - std::round(values[i])) > tol)
+      return false;
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : c.expr.terms())
+      lhs += coeff * values[static_cast<std::size_t>(var)];
+    switch (c.sense) {
+    case Sense::LE:
+      if (lhs > c.rhs + tol) return false;
+      break;
+    case Sense::GE:
+      if (lhs < c.rhs - tol) return false;
+      break;
+    case Sense::EQ:
+      if (std::abs(lhs - c.rhs) > tol) return false;
+      break;
+    }
+  }
+  return true;
+}
+
+} // namespace luis::ilp

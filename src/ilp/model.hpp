@@ -1,0 +1,129 @@
+// Mixed integer linear programming model.
+//
+// This is the in-memory problem description consumed by the simplex LP
+// solver and the branch & bound MILP driver. It plays the role that the
+// Google OR-Tools modeling layer plays in the paper's implementation.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace luis::ilp {
+
+using VarId = int;
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class VarKind { Continuous, Integer, Binary };
+
+struct Variable {
+  std::string name;
+  VarKind kind = VarKind::Continuous;
+  double lower = 0.0;
+  double upper = kInfinity;
+};
+
+/// A linear expression: sum of coeff * var terms plus a constant offset.
+/// Duplicate variables are allowed while building; they are combined when
+/// the expression is attached to the model.
+class LinearExpr {
+public:
+  LinearExpr() = default;
+
+  LinearExpr& add(VarId var, double coeff) {
+    if (coeff != 0.0) terms_.emplace_back(var, coeff);
+    return *this;
+  }
+  LinearExpr& add_constant(double c) {
+    constant_ += c;
+    return *this;
+  }
+
+  const std::vector<std::pair<VarId, double>>& terms() const { return terms_; }
+  double constant() const { return constant_; }
+
+  /// Combines duplicate variables and drops zero coefficients.
+  void normalize();
+
+private:
+  std::vector<std::pair<VarId, double>> terms_;
+  double constant_ = 0.0;
+};
+
+enum class Sense { LE, GE, EQ };
+
+struct Constraint {
+  LinearExpr expr;
+  Sense sense = Sense::LE;
+  double rhs = 0.0;
+  std::string name;
+};
+
+enum class Direction { Minimize, Maximize };
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit, NodeLimit };
+
+const char* to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> values; ///< one entry per variable
+  long iterations = 0;        ///< total simplex pivots
+  long nodes = 0;             ///< branch & bound nodes explored (MILP only)
+  double best_bound = 0.0;    ///< proven bound on the optimum (MILP only)
+
+  double value(VarId var) const { return values[static_cast<std::size_t>(var)]; }
+};
+
+class Model {
+public:
+  VarId add_variable(std::string name, VarKind kind, double lower, double upper);
+  VarId add_continuous(std::string name, double lower = 0.0, double upper = kInfinity) {
+    return add_variable(std::move(name), VarKind::Continuous, lower, upper);
+  }
+  VarId add_integer(std::string name, double lower, double upper) {
+    return add_variable(std::move(name), VarKind::Integer, lower, upper);
+  }
+  VarId add_binary(std::string name) {
+    return add_variable(std::move(name), VarKind::Binary, 0.0, 1.0);
+  }
+
+  void add_constraint(LinearExpr expr, Sense sense, double rhs, std::string name = {});
+  void add_le(LinearExpr expr, double rhs, std::string name = {}) {
+    add_constraint(std::move(expr), Sense::LE, rhs, std::move(name));
+  }
+  void add_ge(LinearExpr expr, double rhs, std::string name = {}) {
+    add_constraint(std::move(expr), Sense::GE, rhs, std::move(name));
+  }
+  void add_eq(LinearExpr expr, double rhs, std::string name = {}) {
+    add_constraint(std::move(expr), Sense::EQ, rhs, std::move(name));
+  }
+
+  void set_objective(Direction direction, LinearExpr expr);
+
+  std::size_t num_variables() const { return variables_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+  std::size_t num_integer_variables() const;
+
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  Direction objective_direction() const { return direction_; }
+  const LinearExpr& objective() const { return objective_; }
+
+  /// Evaluates the objective expression on an assignment.
+  double objective_value(const std::vector<double>& values) const;
+
+  /// True if `values` satisfies every constraint and bound within `tol`,
+  /// including integrality of integer/binary variables.
+  bool is_feasible(const std::vector<double>& values, double tol = 1e-6) const;
+
+private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  LinearExpr objective_;
+  Direction direction_ = Direction::Minimize;
+};
+
+} // namespace luis::ilp

@@ -1,0 +1,176 @@
+#include "ilp/presolve.hpp"
+
+#include <cmath>
+
+#include "support/diag.hpp"
+
+namespace luis::ilp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct WorkingVar {
+  VarKind kind;
+  double lower, upper;
+  bool fixed = false;
+  double value = 0.0;
+};
+
+/// Rounds integer bounds inward; returns false if the domain is empty.
+bool normalize_bounds(WorkingVar& v) {
+  if (v.kind != VarKind::Continuous) {
+    if (std::isfinite(v.lower)) v.lower = std::ceil(v.lower - kTol);
+    if (std::isfinite(v.upper)) v.upper = std::floor(v.upper + kTol);
+  }
+  if (v.lower > v.upper + kTol) return false;
+  if (std::isfinite(v.lower) && std::isfinite(v.upper) &&
+      v.upper - v.lower <= kTol) {
+    v.fixed = true;
+    v.value = v.kind == VarKind::Continuous ? (v.lower + v.upper) / 2
+                                            : std::round(v.lower);
+  }
+  return true;
+}
+
+} // namespace
+
+std::vector<double>
+PresolvedModel::restore(const std::vector<double>& reduced_values) const {
+  std::vector<double> out(reduced_index.size(), 0.0);
+  for (std::size_t j = 0; j < reduced_index.size(); ++j) {
+    out[j] = reduced_index[j] < 0
+                 ? fixed_value[j]
+                 : reduced_values[static_cast<std::size_t>(reduced_index[j])];
+  }
+  return out;
+}
+
+PresolvedModel presolve(const Model& model) {
+  PresolvedModel out;
+  const std::size_t n = model.num_variables();
+
+  std::vector<WorkingVar> vars(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Variable& v = model.variables()[j];
+    vars[j] = WorkingVar{v.kind, v.lower, v.upper, false, 0.0};
+    if (!normalize_bounds(vars[j])) {
+      out.infeasible = true;
+      return out;
+    }
+  }
+
+  std::vector<bool> row_active(model.num_constraints(), true);
+
+  // Fixpoint over {fix variables, absorb singleton rows}.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t r = 0; r < model.num_constraints(); ++r) {
+      if (!row_active[r]) continue;
+      const Constraint& c = model.constraints()[r];
+      // Count live terms; accumulate the fixed contribution.
+      int live = -1;
+      double live_coeff = 0.0;
+      double fixed_sum = 0.0;
+      int live_count = 0;
+      for (const auto& [var, coeff] : c.expr.terms()) {
+        const auto j = static_cast<std::size_t>(var);
+        if (vars[j].fixed) {
+          fixed_sum += coeff * vars[j].value;
+        } else {
+          ++live_count;
+          live = var;
+          live_coeff = coeff;
+        }
+      }
+      const double rhs = c.rhs - fixed_sum;
+      if (live_count == 0) {
+        // Empty row: pure feasibility check.
+        const bool ok = c.sense == Sense::LE   ? 0.0 <= rhs + kTol
+                        : c.sense == Sense::GE ? 0.0 >= rhs - kTol
+                                               : std::abs(rhs) <= kTol;
+        if (!ok) {
+          out.infeasible = true;
+          return out;
+        }
+        row_active[r] = false;
+        ++out.rows_removed;
+        changed = true;
+        continue;
+      }
+      if (live_count == 1) {
+        // Singleton: a*x {<=,>=,=} rhs becomes a bound.
+        WorkingVar& v = vars[static_cast<std::size_t>(live)];
+        const double bound = rhs / live_coeff;
+        switch (c.sense) {
+        case Sense::LE:
+          if (live_coeff > 0)
+            v.upper = std::min(v.upper, bound);
+          else
+            v.lower = std::max(v.lower, bound);
+          break;
+        case Sense::GE:
+          if (live_coeff > 0)
+            v.lower = std::max(v.lower, bound);
+          else
+            v.upper = std::min(v.upper, bound);
+          break;
+        case Sense::EQ:
+          v.lower = std::max(v.lower, bound);
+          v.upper = std::min(v.upper, bound);
+          break;
+        }
+        if (!normalize_bounds(v)) {
+          out.infeasible = true;
+          return out;
+        }
+        row_active[r] = false;
+        ++out.rows_removed;
+        changed = true;
+      }
+    }
+  }
+
+  // Build the reduced model.
+  out.reduced_index.assign(n, -1);
+  out.fixed_value.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (vars[j].fixed) {
+      out.fixed_value[j] = vars[j].value;
+      ++out.vars_removed;
+      continue;
+    }
+    out.reduced_index[j] = static_cast<int>(out.reduced.add_variable(
+        model.variables()[j].name, vars[j].kind, vars[j].lower, vars[j].upper));
+  }
+
+  for (std::size_t r = 0; r < model.num_constraints(); ++r) {
+    if (!row_active[r]) continue;
+    const Constraint& c = model.constraints()[r];
+    LinearExpr expr;
+    double fixed_sum = 0.0;
+    for (const auto& [var, coeff] : c.expr.terms()) {
+      const auto j = static_cast<std::size_t>(var);
+      if (vars[j].fixed)
+        fixed_sum += coeff * vars[j].value;
+      else
+        expr.add(out.reduced_index[j], coeff);
+    }
+    out.reduced.add_constraint(std::move(expr), c.sense, c.rhs - fixed_sum,
+                               c.name);
+  }
+
+  LinearExpr objective;
+  objective.add_constant(model.objective().constant());
+  for (const auto& [var, coeff] : model.objective().terms()) {
+    const auto j = static_cast<std::size_t>(var);
+    if (vars[j].fixed)
+      objective.add_constant(coeff * vars[j].value);
+    else
+      objective.add(out.reduced_index[j], coeff);
+  }
+  out.reduced.set_objective(model.objective_direction(), std::move(objective));
+  return out;
+}
+
+} // namespace luis::ilp

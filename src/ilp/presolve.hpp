@@ -1,0 +1,38 @@
+// MILP presolve: standard reductions applied before the simplex / branch &
+// bound machinery sees the model.
+//
+//   - variables with lb == ub are substituted out,
+//   - singleton rows (one variable) become bound tightenings and vanish,
+//   - empty rows are checked for feasibility and dropped,
+//   - integer variable bounds are rounded inward.
+//
+// The reductions iterate to a fixpoint (tightening can fix a variable,
+// fixing can empty a row). The result maps reduced-space solutions back to
+// the original variable vector.
+#pragma once
+
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace luis::ilp {
+
+struct PresolvedModel {
+  Model reduced;
+  bool infeasible = false;
+
+  /// Per original variable: index in the reduced model, or -1 if the
+  /// variable was eliminated (its value is in fixed_value).
+  std::vector<int> reduced_index;
+  std::vector<double> fixed_value;
+
+  int vars_removed = 0;
+  int rows_removed = 0;
+
+  /// Lifts a reduced-space assignment back to the original variables.
+  std::vector<double> restore(const std::vector<double>& reduced_values) const;
+};
+
+PresolvedModel presolve(const Model& model);
+
+} // namespace luis::ilp

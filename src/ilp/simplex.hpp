@@ -1,0 +1,34 @@
+// Dense two-phase primal simplex for linear programs.
+//
+// This is the LP engine underneath the branch & bound MILP driver. It
+// handles general variable bounds by shifting/mirroring/splitting columns,
+// detects infeasibility through a phase-1 artificial objective, and guards
+// against cycling by falling back to Bland's rule when the objective
+// stalls. Dense tableaus are entirely adequate for the model sizes LUIS
+// produces (hundreds of rows after type-class aggregation).
+#pragma once
+
+#include <span>
+
+#include "ilp/model.hpp"
+
+namespace luis::ilp {
+
+struct BoundsOverride {
+  VarId var = 0;
+  double lower = 0.0;
+  double upper = kInfinity;
+};
+
+struct SimplexOptions {
+  long max_iterations = 500000;
+  double tolerance = 1e-7;
+};
+
+/// Solves the LP relaxation of `model` (integrality is ignored).
+/// `overrides` replaces the bounds of selected variables, which is how the
+/// branch & bound driver explores subproblems without copying the model.
+Solution solve_lp(const Model& model, const SimplexOptions& options = {},
+                  std::span<const BoundsOverride> overrides = {});
+
+} // namespace luis::ilp

@@ -1,0 +1,78 @@
+// IR interpreter with representation-faithful numerics and dynamic cost
+// accounting.
+//
+// This is the execution substrate standing in for the paper's four hardware
+// platforms: functional results are produced by software arithmetic in the
+// assigned representation of every value (so the MPE metric is faithful),
+// and the dynamic operation/cast counts are priced by a platform's
+// op-time table to obtain the simulated execution time used for the
+// speedup metric.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interp/type_assignment.hpp"
+
+namespace luis::interp {
+
+/// Dynamic execution profile: how many times each (operation, type-class)
+/// and each (from-class, to-class) cast executed. Keys use the platform
+/// characterization vocabulary ("add"/"fix", "cast_float"/"double", ...).
+struct CostCounters {
+  std::map<std::pair<std::string, std::string>, long> ops;
+  long non_real_ops = 0; ///< index arithmetic, loads/stores, branches
+
+  void count_op(const std::string& op, const std::string& type) {
+    ++ops[{op, type}];
+  }
+  long total_real_ops() const;
+};
+
+/// Classifies a concrete type into the characterization vocabulary of
+/// Table II: "fix", "float", "double" (plus "half", "bfloat16", "posit"
+/// for the extension formats).
+std::string cost_class(const numrep::ConcreteType& type);
+
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  long steps = 0;
+  CostCounters counters;
+  /// Per-array observed value range (initial contents joined with every
+  /// stored value). Filled when RunOptions::track_array_ranges is set;
+  /// used to derive range annotations by profiling, the alternative the
+  /// paper mentions to hand-written annotations.
+  std::map<std::string, std::pair<double, double>> array_ranges;
+  /// Per-instruction observed value range of every Real register. Filled
+  /// when RunOptions::track_register_ranges is set; the basis of the
+  /// dynamic-profiling range source (see vra::ranges_from_profile).
+  std::map<const ir::Instruction*, std::pair<double, double>> register_ranges;
+};
+
+/// Array contents, indexed by array name. Input and output of a run.
+using ArrayStore = std::map<std::string, std::vector<double>>;
+
+struct RunOptions {
+  long max_steps = 500'000'000;
+  bool count_costs = true;
+  bool track_array_ranges = false;
+  bool track_register_ranges = false;
+  /// Execute fixed point add/sub/mul/div through exact integer arithmetic
+  /// (numrep's mixed-format FixedValue ops) instead of the default
+  /// compute-in-binary64-then-quantize model. The two paths agree to one
+  /// unit in the last place; the exact path is bit-faithful to what
+  /// TAFFO-generated integer code computes.
+  bool exact_fixed_arithmetic = false;
+};
+
+/// Executes `f` under `types`. `store` provides the initial contents of
+/// every array (missing arrays are zero-initialized) and receives the
+/// final contents. Array contents are quantized into the array's assigned
+/// representation both at initialization and on every store.
+RunResult run_function(const ir::Function& f, const TypeAssignment& types,
+                       ArrayStore& store, const RunOptions& options = {});
+
+} // namespace luis::interp

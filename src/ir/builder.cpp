@@ -1,0 +1,122 @@
+#include "ir/builder.hpp"
+
+#include "support/diag.hpp"
+
+namespace luis::ir {
+
+Instruction* IRBuilder::emit(std::unique_ptr<Instruction> inst) {
+  LUIS_ASSERT(block_ != nullptr, "IRBuilder has no insertion block");
+  LUIS_ASSERT(block_->terminator() == nullptr,
+              "appending to a terminated block: " + block_->name());
+  return block_->append(std::move(inst));
+}
+
+Instruction* IRBuilder::binary(Opcode op, Value* a, Value* b) {
+  LUIS_ASSERT(a->type() == ScalarType::Real && b->type() == ScalarType::Real,
+              std::string("real binary op on non-real operands: ") + to_string(op));
+  return emit(std::make_unique<Instruction>(op, ScalarType::Real,
+                                            std::vector<Value*>{a, b}));
+}
+
+Instruction* IRBuilder::unary(Opcode op, Value* a) {
+  LUIS_ASSERT(a->type() == ScalarType::Real,
+              std::string("real unary op on non-real operand: ") + to_string(op));
+  return emit(std::make_unique<Instruction>(op, ScalarType::Real,
+                                            std::vector<Value*>{a}));
+}
+
+Instruction* IRBuilder::int_to_real(Value* a) {
+  LUIS_ASSERT(a->type() == ScalarType::Int, "inttoreal needs an int operand");
+  return emit(std::make_unique<Instruction>(Opcode::IntToReal, ScalarType::Real,
+                                            std::vector<Value*>{a}));
+}
+
+Instruction* IRBuilder::ibinary(Opcode op, Value* a, Value* b) {
+  LUIS_ASSERT(a->type() == ScalarType::Int && b->type() == ScalarType::Int,
+              std::string("int binary op on non-int operands: ") + to_string(op));
+  return emit(std::make_unique<Instruction>(op, ScalarType::Int,
+                                            std::vector<Value*>{a, b}));
+}
+
+Instruction* IRBuilder::icmp(CmpPred pred, Value* a, Value* b) {
+  LUIS_ASSERT(a->type() == ScalarType::Int && b->type() == ScalarType::Int,
+              "icmp needs int operands");
+  Instruction* inst = emit(std::make_unique<Instruction>(
+      Opcode::ICmp, ScalarType::Bool, std::vector<Value*>{a, b}));
+  inst->set_predicate(pred);
+  return inst;
+}
+
+Instruction* IRBuilder::fcmp(CmpPred pred, Value* a, Value* b) {
+  LUIS_ASSERT(a->type() == ScalarType::Real && b->type() == ScalarType::Real,
+              "fcmp needs real operands");
+  Instruction* inst = emit(std::make_unique<Instruction>(
+      Opcode::FCmp, ScalarType::Bool, std::vector<Value*>{a, b}));
+  inst->set_predicate(pred);
+  return inst;
+}
+
+Instruction* IRBuilder::select(Value* cond, Value* if_true, Value* if_false) {
+  LUIS_ASSERT(cond->type() == ScalarType::Bool, "select needs a bool condition");
+  LUIS_ASSERT(if_true->type() == if_false->type(),
+              "select arms must have matching types");
+  return emit(std::make_unique<Instruction>(
+      Opcode::Select, if_true->type(),
+      std::vector<Value*>{cond, if_true, if_false}));
+}
+
+Instruction* IRBuilder::load(Array* array, std::vector<Value*> indices) {
+  LUIS_ASSERT(indices.size() == array->rank(), "load index arity mismatch");
+  std::vector<Value*> ops{array};
+  for (Value* idx : indices) {
+    LUIS_ASSERT(idx->type() == ScalarType::Int, "load indices must be int");
+    ops.push_back(idx);
+  }
+  return emit(std::make_unique<Instruction>(Opcode::Load, ScalarType::Real,
+                                            std::move(ops)));
+}
+
+Instruction* IRBuilder::store(Value* value, Array* array,
+                              std::vector<Value*> indices) {
+  LUIS_ASSERT(value->type() == ScalarType::Real, "store value must be real");
+  LUIS_ASSERT(indices.size() == array->rank(), "store index arity mismatch");
+  std::vector<Value*> ops{value, array};
+  for (Value* idx : indices) {
+    LUIS_ASSERT(idx->type() == ScalarType::Int, "store indices must be int");
+    ops.push_back(idx);
+  }
+  return emit(std::make_unique<Instruction>(Opcode::Store, ScalarType::Void,
+                                            std::move(ops)));
+}
+
+Instruction* IRBuilder::phi(ScalarType type) {
+  LUIS_ASSERT(type == ScalarType::Real || type == ScalarType::Int,
+              "phi must be real or int");
+  // Phis must precede non-phi instructions; the verifier enforces it, the
+  // builder simply appends (KernelBuilder emits them first).
+  return emit(std::make_unique<Instruction>(Opcode::Phi, type,
+                                            std::vector<Value*>{}));
+}
+
+Instruction* IRBuilder::br(BasicBlock* target) {
+  Instruction* inst = emit(std::make_unique<Instruction>(
+      Opcode::Br, ScalarType::Void, std::vector<Value*>{}));
+  inst->set_targets({target});
+  return inst;
+}
+
+Instruction* IRBuilder::cond_br(Value* cond, BasicBlock* if_true,
+                                BasicBlock* if_false) {
+  LUIS_ASSERT(cond->type() == ScalarType::Bool, "condbr needs a bool condition");
+  Instruction* inst = emit(std::make_unique<Instruction>(
+      Opcode::CondBr, ScalarType::Void, std::vector<Value*>{cond}));
+  inst->set_targets({if_true, if_false});
+  return inst;
+}
+
+Instruction* IRBuilder::ret() {
+  return emit(std::make_unique<Instruction>(Opcode::Ret, ScalarType::Void,
+                                            std::vector<Value*>{}));
+}
+
+} // namespace luis::ir

@@ -1,0 +1,74 @@
+// Low-level IR construction: appends instructions to a current insertion
+// block with per-opcode type checking. The structured KernelBuilder sits on
+// top of this and is what kernel authors normally use.
+#pragma once
+
+#include <memory>
+
+#include "ir/function.hpp"
+
+namespace luis::ir {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Function* function) : function_(function) {}
+
+  Function* function() const { return function_; }
+  BasicBlock* insertion_block() const { return block_; }
+  void set_insertion_block(BasicBlock* bb) { block_ = bb; }
+
+  // --- Constants ---
+  ConstReal* real(double v) { return function_->const_real(v); }
+  ConstInt* integer(std::int64_t v) { return function_->const_int(v); }
+
+  // --- Real arithmetic ---
+  Instruction* add(Value* a, Value* b) { return binary(Opcode::Add, a, b); }
+  Instruction* sub(Value* a, Value* b) { return binary(Opcode::Sub, a, b); }
+  Instruction* mul(Value* a, Value* b) { return binary(Opcode::Mul, a, b); }
+  Instruction* div(Value* a, Value* b) { return binary(Opcode::Div, a, b); }
+  Instruction* rem(Value* a, Value* b) { return binary(Opcode::Rem, a, b); }
+  Instruction* pow(Value* a, Value* b) { return binary(Opcode::Pow, a, b); }
+  Instruction* fmin(Value* a, Value* b) { return binary(Opcode::Min, a, b); }
+  Instruction* fmax(Value* a, Value* b) { return binary(Opcode::Max, a, b); }
+  Instruction* neg(Value* a) { return unary(Opcode::Neg, a); }
+  Instruction* abs(Value* a) { return unary(Opcode::Abs, a); }
+  Instruction* sqrt(Value* a) { return unary(Opcode::Sqrt, a); }
+  Instruction* exp(Value* a) { return unary(Opcode::Exp, a); }
+  Instruction* cast(Value* a) { return unary(Opcode::Cast, a); }
+  Instruction* int_to_real(Value* a);
+
+  // --- Int arithmetic ---
+  Instruction* iadd(Value* a, Value* b) { return ibinary(Opcode::IAdd, a, b); }
+  Instruction* isub(Value* a, Value* b) { return ibinary(Opcode::ISub, a, b); }
+  Instruction* imul(Value* a, Value* b) { return ibinary(Opcode::IMul, a, b); }
+  Instruction* idiv(Value* a, Value* b) { return ibinary(Opcode::IDiv, a, b); }
+  Instruction* irem(Value* a, Value* b) { return ibinary(Opcode::IRem, a, b); }
+  Instruction* imin(Value* a, Value* b) { return ibinary(Opcode::IMin, a, b); }
+  Instruction* imax(Value* a, Value* b) { return ibinary(Opcode::IMax, a, b); }
+
+  // --- Comparisons & select ---
+  Instruction* icmp(CmpPred pred, Value* a, Value* b);
+  Instruction* fcmp(CmpPred pred, Value* a, Value* b);
+  Instruction* select(Value* cond, Value* if_true, Value* if_false);
+
+  // --- Memory ---
+  Instruction* load(Array* array, std::vector<Value*> indices);
+  Instruction* store(Value* value, Array* array, std::vector<Value*> indices);
+
+  // --- Phi & terminators ---
+  Instruction* phi(ScalarType type);
+  Instruction* br(BasicBlock* target);
+  Instruction* cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false);
+  Instruction* ret();
+
+private:
+  Instruction* emit(std::unique_ptr<Instruction> inst);
+  Instruction* binary(Opcode op, Value* a, Value* b);
+  Instruction* unary(Opcode op, Value* a);
+  Instruction* ibinary(Opcode op, Value* a, Value* b);
+
+  Function* function_;
+  BasicBlock* block_ = nullptr;
+};
+
+} // namespace luis::ir

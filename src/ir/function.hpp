@@ -1,0 +1,129 @@
+// Basic blocks, functions, and modules of the LUIS IR.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace luis::ir {
+
+class Function;
+
+class BasicBlock {
+public:
+  BasicBlock(std::string name, Function* parent)
+      : name_(std::move(name)), parent_(parent) {}
+
+  const std::string& name() const { return name_; }
+  Function* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return instructions_;
+  }
+
+  Instruction* append(std::unique_ptr<Instruction> inst) {
+    inst->set_parent(this);
+    instructions_.push_back(std::move(inst));
+    return instructions_.back().get();
+  }
+
+  /// Inserts `inst` immediately before `position` (which must be in this
+  /// block). Used by cast materialization.
+  Instruction* insert_before(const Instruction* position,
+                             std::unique_ptr<Instruction> inst);
+
+  /// Removes and destroys `inst` (which must be in this block and must no
+  /// longer have uses). Used by the optimization passes.
+  void erase(const Instruction* inst);
+
+  /// Moves every instruction out of this block (for block merging).
+  std::vector<std::unique_ptr<Instruction>> take_instructions();
+
+  Instruction* terminator() const {
+    if (instructions_.empty()) return nullptr;
+    Instruction* last = instructions_.back().get();
+    return last->is_terminator() ? last : nullptr;
+  }
+
+  /// Successor blocks, read off the terminator.
+  std::vector<BasicBlock*> successors() const {
+    Instruction* term = terminator();
+    if (!term) return {};
+    return term->targets();
+  }
+
+private:
+  std::string name_;
+  Function* parent_;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+};
+
+class Function {
+public:
+  explicit Function(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  BasicBlock* add_block(std::string name) {
+    blocks_.push_back(std::make_unique<BasicBlock>(std::move(name), this));
+    return blocks_.back().get();
+  }
+
+  /// Removes and destroys an (empty or fully-detached) block. The entry
+  /// block cannot be removed.
+  void remove_block(const BasicBlock* bb);
+
+  Array* add_array(std::string name, std::vector<std::int64_t> dims) {
+    arrays_.push_back(std::make_unique<Array>(std::move(name), std::move(dims)));
+    return arrays_.back().get();
+  }
+
+  /// Interned literal constants (pointer-identical for equal values).
+  ConstReal* const_real(double value);
+  ConstInt* const_int(std::int64_t value);
+
+  BasicBlock* entry() const { return blocks_.empty() ? nullptr : blocks_.front().get(); }
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const { return blocks_; }
+  const std::vector<std::unique_ptr<Array>>& arrays() const { return arrays_; }
+
+  Array* array_by_name(const std::string& name) const;
+  BasicBlock* block_by_name(const std::string& name) const;
+
+  /// Predecessor map (recomputed on demand; blocks are append-only).
+  std::vector<BasicBlock*> predecessors(const BasicBlock* bb) const;
+
+  /// Total instruction count across all blocks.
+  std::size_t instruction_count() const;
+
+private:
+  std::string name_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  std::vector<std::unique_ptr<Array>> arrays_;
+  std::vector<std::unique_ptr<ConstReal>> real_constants_;
+  std::vector<std::unique_ptr<ConstInt>> int_constants_;
+};
+
+class Module {
+public:
+  explicit Module(std::string name = "module") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Function* add_function(std::string name) {
+    functions_.push_back(std::make_unique<Function>(std::move(name)));
+    return functions_.back().get();
+  }
+
+  const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+  Function* function_by_name(const std::string& name) const;
+
+private:
+  std::string name_;
+  std::vector<std::unique_ptr<Function>> functions_;
+};
+
+} // namespace luis::ir

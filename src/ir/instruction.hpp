@@ -1,0 +1,112 @@
+// Instructions of the LUIS IR.
+//
+// A deliberately small SSA instruction set: Real arithmetic (the tunable
+// operations of the paper's Table II, plus the math intrinsics PolyBench
+// kernels need), Int index arithmetic, comparisons, selects, phi nodes,
+// memory access on arrays, casts, and terminators.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ir/value.hpp"
+
+namespace luis::ir {
+
+class BasicBlock;
+
+enum class Opcode {
+  // Real arithmetic (tunable; costed via op-time(o, t)).
+  Add, Sub, Mul, Div, Rem, Neg,
+  // Real math intrinsics (library calls in the characterization).
+  Abs, Sqrt, Exp, Pow, Min, Max,
+  // Representation change point (created by cast materialization).
+  Cast,
+  // Int -> Real conversion (e.g. float(i) in correlation).
+  IntToReal,
+  // Memory: Load(array, idx...) -> Real; Store(value, array, idx...).
+  Load, Store,
+  // Int index arithmetic.
+  IAdd, ISub, IMul, IDiv, IRem, IMin, IMax,
+  // Comparisons -> Bool.
+  ICmp, FCmp,
+  // cond ? a : b, Real or Int flavour by operand type.
+  Select,
+  // SSA merge.
+  Phi,
+  // Terminators.
+  Br, CondBr, Ret,
+};
+
+const char* to_string(Opcode op);
+
+/// Comparison predicates (shared by ICmp and FCmp).
+enum class CmpPred { EQ, NE, LT, LE, GT, GE };
+
+const char* to_string(CmpPred pred);
+
+class Instruction final : public Value {
+public:
+  Instruction(Opcode op, ScalarType type, std::vector<Value*> operands)
+      : Value(Kind::Instruction, type, {}), op_(op),
+        operands_(std::move(operands)) {}
+
+  Opcode opcode() const { return op_; }
+
+  std::span<Value* const> operands() const { return operands_; }
+  Value* operand(std::size_t i) const { return operands_[i]; }
+  std::size_t num_operands() const { return operands_.size(); }
+  void set_operand(std::size_t i, Value* v) { operands_[i] = v; }
+
+  BasicBlock* parent() const { return parent_; }
+  void set_parent(BasicBlock* bb) { parent_ = bb; }
+
+  // --- Comparison payload ---
+  CmpPred predicate() const { return pred_; }
+  void set_predicate(CmpPred p) { pred_ = p; }
+
+  // --- Phi payload: incoming blocks, parallel to operands. ---
+  const std::vector<BasicBlock*>& incoming_blocks() const { return incoming_; }
+  void add_incoming(Value* value, BasicBlock* from) {
+    operands_.push_back(value);
+    incoming_.push_back(from);
+  }
+  /// Rewrites incoming edges `from` -> `to` (CFG simplification).
+  void replace_incoming_block(const BasicBlock* from, BasicBlock* to) {
+    for (BasicBlock*& b : incoming_)
+      if (b == from) b = to;
+  }
+
+  // --- Terminator payload ---
+  BasicBlock* target(std::size_t i) const { return targets_[i]; }
+  const std::vector<BasicBlock*>& targets() const { return targets_; }
+  void set_targets(std::vector<BasicBlock*> targets) { targets_ = std::move(targets); }
+
+  bool is_terminator() const {
+    return op_ == Opcode::Br || op_ == Opcode::CondBr || op_ == Opcode::Ret;
+  }
+  bool is_phi() const { return op_ == Opcode::Phi; }
+
+  /// True for Real-valued arithmetic whose execution cost depends on the
+  /// chosen representation (the op-time rows of Table II).
+  bool is_tunable_arithmetic() const {
+    switch (op_) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+    case Opcode::Rem: case Opcode::Neg: case Opcode::Abs: case Opcode::Sqrt:
+    case Opcode::Exp: case Opcode::Pow: case Opcode::Min: case Opcode::Max:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+private:
+  Opcode op_;
+  std::vector<Value*> operands_;
+  BasicBlock* parent_ = nullptr;
+  CmpPred pred_ = CmpPred::EQ;
+  std::vector<BasicBlock*> incoming_;
+  std::vector<BasicBlock*> targets_;
+};
+
+} // namespace luis::ir

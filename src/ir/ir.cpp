@@ -1,0 +1,140 @@
+#include "ir/function.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace luis::ir {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+  case Opcode::Add: return "add";
+  case Opcode::Sub: return "sub";
+  case Opcode::Mul: return "mul";
+  case Opcode::Div: return "div";
+  case Opcode::Rem: return "rem";
+  case Opcode::Neg: return "neg";
+  case Opcode::Abs: return "abs";
+  case Opcode::Sqrt: return "sqrt";
+  case Opcode::Exp: return "exp";
+  case Opcode::Pow: return "pow";
+  case Opcode::Min: return "min";
+  case Opcode::Max: return "max";
+  case Opcode::Cast: return "cast";
+  case Opcode::IntToReal: return "inttoreal";
+  case Opcode::Load: return "load";
+  case Opcode::Store: return "store";
+  case Opcode::IAdd: return "iadd";
+  case Opcode::ISub: return "isub";
+  case Opcode::IMul: return "imul";
+  case Opcode::IDiv: return "idiv";
+  case Opcode::IRem: return "irem";
+  case Opcode::IMin: return "imin";
+  case Opcode::IMax: return "imax";
+  case Opcode::ICmp: return "icmp";
+  case Opcode::FCmp: return "fcmp";
+  case Opcode::Select: return "select";
+  case Opcode::Phi: return "phi";
+  case Opcode::Br: return "br";
+  case Opcode::CondBr: return "condbr";
+  case Opcode::Ret: return "ret";
+  }
+  return "<invalid>";
+}
+
+const char* to_string(CmpPred pred) {
+  switch (pred) {
+  case CmpPred::EQ: return "eq";
+  case CmpPred::NE: return "ne";
+  case CmpPred::LT: return "lt";
+  case CmpPred::LE: return "le";
+  case CmpPred::GT: return "gt";
+  case CmpPred::GE: return "ge";
+  }
+  return "<invalid>";
+}
+
+Instruction* BasicBlock::insert_before(const Instruction* position,
+                                       std::unique_ptr<Instruction> inst) {
+  const auto it = std::find_if(
+      instructions_.begin(), instructions_.end(),
+      [&](const std::unique_ptr<Instruction>& p) { return p.get() == position; });
+  LUIS_ASSERT(it != instructions_.end(), "insert_before: position not in block");
+  inst->set_parent(this);
+  return instructions_.insert(it, std::move(inst))->get();
+}
+
+void BasicBlock::erase(const Instruction* inst) {
+  const auto it = std::find_if(
+      instructions_.begin(), instructions_.end(),
+      [&](const std::unique_ptr<Instruction>& p) { return p.get() == inst; });
+  LUIS_ASSERT(it != instructions_.end(), "erase: instruction not in block");
+  instructions_.erase(it);
+}
+
+std::vector<std::unique_ptr<Instruction>> BasicBlock::take_instructions() {
+  std::vector<std::unique_ptr<Instruction>> out = std::move(instructions_);
+  instructions_.clear();
+  return out;
+}
+
+void Function::remove_block(const BasicBlock* bb) {
+  LUIS_ASSERT(entry() != bb, "cannot remove the entry block");
+  const auto it = std::find_if(
+      blocks_.begin(), blocks_.end(),
+      [&](const std::unique_ptr<BasicBlock>& p) { return p.get() == bb; });
+  LUIS_ASSERT(it != blocks_.end(), "remove_block: block not in function");
+  blocks_.erase(it);
+}
+
+ConstReal* Function::const_real(double value) {
+  for (const auto& c : real_constants_)
+    if (c->value() == value) return c.get();
+  real_constants_.push_back(std::make_unique<ConstReal>(value));
+  return real_constants_.back().get();
+}
+
+ConstInt* Function::const_int(std::int64_t value) {
+  for (const auto& c : int_constants_)
+    if (c->value() == value) return c.get();
+  int_constants_.push_back(std::make_unique<ConstInt>(value));
+  return int_constants_.back().get();
+}
+
+Array* Function::array_by_name(const std::string& name) const {
+  for (const auto& a : arrays_)
+    if (a->name() == name) return a.get();
+  return nullptr;
+}
+
+BasicBlock* Function::block_by_name(const std::string& name) const {
+  for (const auto& b : blocks_)
+    if (b->name() == name) return b.get();
+  return nullptr;
+}
+
+std::vector<BasicBlock*> Function::predecessors(const BasicBlock* bb) const {
+  std::vector<BasicBlock*> preds;
+  for (const auto& candidate : blocks_) {
+    for (BasicBlock* succ : candidate->successors())
+      if (succ == bb) {
+        preds.push_back(candidate.get());
+        break;
+      }
+  }
+  return preds;
+}
+
+std::size_t Function::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& bb : blocks_) n += bb->instructions().size();
+  return n;
+}
+
+Function* Module::function_by_name(const std::string& name) const {
+  for (const auto& f : functions_)
+    if (f->name() == name) return f.get();
+  return nullptr;
+}
+
+} // namespace luis::ir

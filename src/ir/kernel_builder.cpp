@@ -1,0 +1,212 @@
+#include "ir/kernel_builder.hpp"
+
+#include "support/diag.hpp"
+
+namespace luis::ir {
+
+KernelBuilder::KernelBuilder(Module& module, const std::string& kernel_name)
+    : builder_(module.add_function(kernel_name)) {
+  BasicBlock* entry = builder_.function()->add_block("entry");
+  builder_.set_insertion_block(entry);
+}
+
+Function* KernelBuilder::finish() {
+  builder_.ret();
+  return builder_.function();
+}
+
+std::string KernelBuilder::fresh(const std::string& base) {
+  return base + "." + std::to_string(next_block_id_++);
+}
+
+Array* KernelBuilder::array(const std::string& name,
+                            std::vector<std::int64_t> dims, double range_lo,
+                            double range_hi) {
+  Array* a = builder_.function()->add_array(name, std::move(dims));
+  a->annotate_range(range_lo, range_hi);
+  return a;
+}
+
+ScalarCell KernelBuilder::scalar(const std::string& name, double range_lo,
+                                 double range_hi) {
+  return ScalarCell{array(name, {1}, range_lo, range_hi), this};
+}
+
+RVal KernelBuilder::real(double constant) { return {builder_.real(constant), this}; }
+IVal KernelBuilder::idx(std::int64_t constant) {
+  return {builder_.integer(constant), this};
+}
+
+void KernelBuilder::for_loop(const std::string& name, IVal begin, IVal end,
+                             const std::function<void(IVal)>& body) {
+  Function* f = builder_.function();
+  BasicBlock* header = f->add_block(fresh(name + ".header"));
+  BasicBlock* body_bb = f->add_block(fresh(name + ".body"));
+  BasicBlock* latch = f->add_block(fresh(name + ".latch"));
+  BasicBlock* exit = f->add_block(fresh(name + ".exit"));
+
+  BasicBlock* preheader = builder_.insertion_block();
+  builder_.br(header);
+
+  builder_.set_insertion_block(header);
+  Instruction* iv = builder_.phi(ScalarType::Int);
+  iv->set_name(name);
+  iv->add_incoming(begin.value, preheader);
+  Instruction* cond = builder_.icmp(CmpPred::LT, iv, end.value);
+  builder_.cond_br(cond, body_bb, exit);
+
+  builder_.set_insertion_block(body_bb);
+  body(IVal{iv, this});
+  builder_.br(latch); // from wherever the body left the insertion point
+
+  builder_.set_insertion_block(latch);
+  Instruction* next = builder_.iadd(iv, builder_.integer(1));
+  iv->add_incoming(next, latch);
+  builder_.br(header);
+
+  builder_.set_insertion_block(exit);
+}
+
+void KernelBuilder::for_down(const std::string& name, IVal begin, IVal last,
+                             const std::function<void(IVal)>& body) {
+  Function* f = builder_.function();
+  BasicBlock* header = f->add_block(fresh(name + ".header"));
+  BasicBlock* body_bb = f->add_block(fresh(name + ".body"));
+  BasicBlock* latch = f->add_block(fresh(name + ".latch"));
+  BasicBlock* exit = f->add_block(fresh(name + ".exit"));
+
+  BasicBlock* preheader = builder_.insertion_block();
+  builder_.br(header);
+
+  builder_.set_insertion_block(header);
+  Instruction* iv = builder_.phi(ScalarType::Int);
+  iv->set_name(name);
+  iv->add_incoming(begin.value, preheader);
+  Instruction* cond = builder_.icmp(CmpPred::GE, iv, last.value);
+  builder_.cond_br(cond, body_bb, exit);
+
+  builder_.set_insertion_block(body_bb);
+  body(IVal{iv, this});
+  builder_.br(latch);
+
+  builder_.set_insertion_block(latch);
+  Instruction* next = builder_.isub(iv, builder_.integer(1));
+  iv->add_incoming(next, latch);
+  builder_.br(header);
+
+  builder_.set_insertion_block(exit);
+}
+
+void KernelBuilder::if_then(BVal cond, const std::function<void()>& then_body) {
+  Function* f = builder_.function();
+  BasicBlock* then_bb = f->add_block(fresh("if.then"));
+  BasicBlock* end_bb = f->add_block(fresh("if.end"));
+  builder_.cond_br(cond.value, then_bb, end_bb);
+  builder_.set_insertion_block(then_bb);
+  then_body();
+  builder_.br(end_bb);
+  builder_.set_insertion_block(end_bb);
+}
+
+void KernelBuilder::if_then_else(BVal cond,
+                                 const std::function<void()>& then_body,
+                                 const std::function<void()>& else_body) {
+  Function* f = builder_.function();
+  BasicBlock* then_bb = f->add_block(fresh("if.then"));
+  BasicBlock* else_bb = f->add_block(fresh("if.else"));
+  BasicBlock* end_bb = f->add_block(fresh("if.end"));
+  builder_.cond_br(cond.value, then_bb, else_bb);
+  builder_.set_insertion_block(then_bb);
+  then_body();
+  builder_.br(end_bb);
+  builder_.set_insertion_block(else_bb);
+  else_body();
+  builder_.br(end_bb);
+  builder_.set_insertion_block(end_bb);
+}
+
+RVal KernelBuilder::load(Array* array, std::initializer_list<IVal> indices) {
+  std::vector<Value*> idxs;
+  for (const IVal& i : indices) idxs.push_back(i.value);
+  return {builder_.load(array, std::move(idxs)), this};
+}
+
+void KernelBuilder::store(RVal value, Array* array,
+                          std::initializer_list<IVal> indices) {
+  std::vector<Value*> idxs;
+  for (const IVal& i : indices) idxs.push_back(i.value);
+  builder_.store(value.value, array, std::move(idxs));
+}
+
+RVal KernelBuilder::get(const ScalarCell& s) {
+  return {builder_.load(s.cell, {builder_.integer(0)}), this};
+}
+
+void KernelBuilder::set(const ScalarCell& s, RVal value) {
+  builder_.store(value.value, s.cell, {builder_.integer(0)});
+}
+
+RVal KernelBuilder::add(RVal a, RVal b) { return {builder_.add(a.value, b.value), this}; }
+RVal KernelBuilder::sub(RVal a, RVal b) { return {builder_.sub(a.value, b.value), this}; }
+RVal KernelBuilder::mul(RVal a, RVal b) { return {builder_.mul(a.value, b.value), this}; }
+RVal KernelBuilder::div(RVal a, RVal b) { return {builder_.div(a.value, b.value), this}; }
+RVal KernelBuilder::rem(RVal a, RVal b) { return {builder_.rem(a.value, b.value), this}; }
+RVal KernelBuilder::neg(RVal a) { return {builder_.neg(a.value), this}; }
+RVal KernelBuilder::abs(RVal a) { return {builder_.abs(a.value), this}; }
+RVal KernelBuilder::sqrt(RVal a) { return {builder_.sqrt(a.value), this}; }
+RVal KernelBuilder::exp(RVal a) { return {builder_.exp(a.value), this}; }
+RVal KernelBuilder::pow(RVal a, RVal b) { return {builder_.pow(a.value, b.value), this}; }
+RVal KernelBuilder::fmin(RVal a, RVal b) { return {builder_.fmin(a.value, b.value), this}; }
+RVal KernelBuilder::fmax(RVal a, RVal b) { return {builder_.fmax(a.value, b.value), this}; }
+RVal KernelBuilder::select(BVal cond, RVal a, RVal b) {
+  return {builder_.select(cond.value, a.value, b.value), this};
+}
+RVal KernelBuilder::to_real(IVal a) { return {builder_.int_to_real(a.value), this}; }
+
+IVal KernelBuilder::iadd(IVal a, IVal b) { return {builder_.iadd(a.value, b.value), this}; }
+IVal KernelBuilder::isub(IVal a, IVal b) { return {builder_.isub(a.value, b.value), this}; }
+IVal KernelBuilder::imul(IVal a, IVal b) { return {builder_.imul(a.value, b.value), this}; }
+IVal KernelBuilder::idiv(IVal a, IVal b) { return {builder_.idiv(a.value, b.value), this}; }
+IVal KernelBuilder::imin(IVal a, IVal b) { return {builder_.imin(a.value, b.value), this}; }
+IVal KernelBuilder::imax(IVal a, IVal b) { return {builder_.imax(a.value, b.value), this}; }
+
+BVal KernelBuilder::icmp(CmpPred pred, IVal a, IVal b) {
+  return {builder_.icmp(pred, a.value, b.value), this};
+}
+BVal KernelBuilder::fcmp(CmpPred pred, RVal a, RVal b) {
+  return {builder_.fcmp(pred, a.value, b.value), this};
+}
+
+namespace {
+KernelBuilder* kb_of(const RVal& a, const RVal& b) {
+  LUIS_ASSERT(a.kb && a.kb == b.kb, "RVal operands from different builders");
+  return a.kb;
+}
+KernelBuilder* kb_of(const IVal& a, const IVal& b) {
+  LUIS_ASSERT(a.kb && a.kb == b.kb, "IVal operands from different builders");
+  return a.kb;
+}
+} // namespace
+
+RVal operator+(RVal a, RVal b) { return kb_of(a, b)->add(a, b); }
+RVal operator-(RVal a, RVal b) { return kb_of(a, b)->sub(a, b); }
+RVal operator*(RVal a, RVal b) { return kb_of(a, b)->mul(a, b); }
+RVal operator/(RVal a, RVal b) { return kb_of(a, b)->div(a, b); }
+RVal operator-(RVal a) { return a.kb->neg(a); }
+
+IVal operator+(IVal a, IVal b) { return kb_of(a, b)->iadd(a, b); }
+IVal operator-(IVal a, IVal b) { return kb_of(a, b)->isub(a, b); }
+IVal operator*(IVal a, IVal b) { return kb_of(a, b)->imul(a, b); }
+IVal operator+(IVal a, std::int64_t b) { return a.kb->iadd(a, a.kb->idx(b)); }
+IVal operator-(IVal a, std::int64_t b) { return a.kb->isub(a, a.kb->idx(b)); }
+IVal operator*(IVal a, std::int64_t b) { return a.kb->imul(a, a.kb->idx(b)); }
+
+BVal operator<(IVal a, IVal b) { return kb_of(a, b)->icmp(CmpPred::LT, a, b); }
+BVal operator<=(IVal a, IVal b) { return kb_of(a, b)->icmp(CmpPred::LE, a, b); }
+BVal operator>(IVal a, IVal b) { return kb_of(a, b)->icmp(CmpPred::GT, a, b); }
+BVal operator>=(IVal a, IVal b) { return kb_of(a, b)->icmp(CmpPred::GE, a, b); }
+BVal operator==(IVal a, IVal b) { return kb_of(a, b)->icmp(CmpPred::EQ, a, b); }
+BVal operator<(RVal a, RVal b) { return kb_of(a, b)->fcmp(CmpPred::LT, a, b); }
+BVal operator>(RVal a, RVal b) { return kb_of(a, b)->fcmp(CmpPred::GT, a, b); }
+
+} // namespace luis::ir

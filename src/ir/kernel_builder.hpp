@@ -1,0 +1,145 @@
+// Structured kernel construction on top of IRBuilder.
+//
+// PolyBench-style kernels are counted loop nests over arrays. KernelBuilder
+// provides exactly that vocabulary — for_loop / for_down / if_then /
+// arrays / scalar cells — and lowers it to SSA blocks with phi induction
+// variables, so each kernel definition reads like the original C source.
+//
+// Real-valued accumulation goes through memory (arrays or 1-element scalar
+// cells), matching how PolyBench kernels are written and how TAFFO sees
+// them after Clang's lowering at -O0..-O1.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ir/builder.hpp"
+
+namespace luis::ir {
+
+class KernelBuilder;
+
+/// Real-valued SSA handle with arithmetic sugar.
+struct RVal {
+  Value* value = nullptr;
+  KernelBuilder* kb = nullptr;
+};
+
+/// Int-valued SSA handle (loop indices, address arithmetic).
+struct IVal {
+  Value* value = nullptr;
+  KernelBuilder* kb = nullptr;
+};
+
+/// Bool-valued SSA handle (comparison results).
+struct BVal {
+  Value* value = nullptr;
+  KernelBuilder* kb = nullptr;
+};
+
+/// A one-element array used as a mutable scalar (sum accumulators etc.).
+struct ScalarCell {
+  Array* cell = nullptr;
+  KernelBuilder* kb = nullptr;
+};
+
+class KernelBuilder {
+public:
+  KernelBuilder(Module& module, const std::string& kernel_name);
+
+  /// Emits the final `ret` and returns the finished function.
+  Function* finish();
+
+  Function* function() const { return builder_.function(); }
+  IRBuilder& ir() { return builder_; }
+
+  // --- Data ---
+  Array* array(const std::string& name, std::vector<std::int64_t> dims,
+               double range_lo, double range_hi);
+  ScalarCell scalar(const std::string& name, double range_lo, double range_hi);
+
+  RVal real(double constant);
+  IVal idx(std::int64_t constant);
+
+  // --- Structured control flow ---
+  /// for (name = begin; name < end; ++name) body(name)
+  void for_loop(const std::string& name, IVal begin, IVal end,
+                const std::function<void(IVal)>& body);
+  void for_loop(const std::string& name, std::int64_t begin, std::int64_t end,
+                const std::function<void(IVal)>& body) {
+    for_loop(name, idx(begin), idx(end), body);
+  }
+  /// for (name = begin; name >= last; --name) body(name)
+  void for_down(const std::string& name, IVal begin, IVal last,
+                const std::function<void(IVal)>& body);
+  void for_down(const std::string& name, std::int64_t begin, std::int64_t last,
+                const std::function<void(IVal)>& body) {
+    for_down(name, idx(begin), idx(last), body);
+  }
+
+  void if_then(BVal cond, const std::function<void()>& then_body);
+  void if_then_else(BVal cond, const std::function<void()>& then_body,
+                    const std::function<void()>& else_body);
+
+  // --- Memory ---
+  RVal load(Array* array, std::initializer_list<IVal> indices);
+  void store(RVal value, Array* array, std::initializer_list<IVal> indices);
+  RVal get(const ScalarCell& s);
+  void set(const ScalarCell& s, RVal value);
+
+  // --- Real ops (also available via RVal operators) ---
+  RVal add(RVal a, RVal b);
+  RVal sub(RVal a, RVal b);
+  RVal mul(RVal a, RVal b);
+  RVal div(RVal a, RVal b);
+  RVal rem(RVal a, RVal b);
+  RVal neg(RVal a);
+  RVal abs(RVal a);
+  RVal sqrt(RVal a);
+  RVal exp(RVal a);
+  RVal pow(RVal a, RVal b);
+  RVal fmin(RVal a, RVal b);
+  RVal fmax(RVal a, RVal b);
+  RVal select(BVal cond, RVal a, RVal b);
+  RVal to_real(IVal a);
+
+  // --- Int ops (also available via IVal operators) ---
+  IVal iadd(IVal a, IVal b);
+  IVal isub(IVal a, IVal b);
+  IVal imul(IVal a, IVal b);
+  IVal idiv(IVal a, IVal b);
+  IVal imin(IVal a, IVal b);
+  IVal imax(IVal a, IVal b);
+
+  // --- Comparisons ---
+  BVal icmp(CmpPred pred, IVal a, IVal b);
+  BVal fcmp(CmpPred pred, RVal a, RVal b);
+
+private:
+  IRBuilder builder_;
+  int next_block_id_ = 0;
+
+  std::string fresh(const std::string& base);
+};
+
+// Operator sugar so kernels read like the PolyBench C sources.
+RVal operator+(RVal a, RVal b);
+RVal operator-(RVal a, RVal b);
+RVal operator*(RVal a, RVal b);
+RVal operator/(RVal a, RVal b);
+RVal operator-(RVal a);
+IVal operator+(IVal a, IVal b);
+IVal operator-(IVal a, IVal b);
+IVal operator*(IVal a, IVal b);
+IVal operator+(IVal a, std::int64_t b);
+IVal operator-(IVal a, std::int64_t b);
+IVal operator*(IVal a, std::int64_t b);
+BVal operator<(IVal a, IVal b);
+BVal operator<=(IVal a, IVal b);
+BVal operator>(IVal a, IVal b);
+BVal operator>=(IVal a, IVal b);
+BVal operator==(IVal a, IVal b);
+BVal operator<(RVal a, RVal b);
+BVal operator>(RVal a, RVal b);
+
+} // namespace luis::ir

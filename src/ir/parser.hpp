@@ -1,0 +1,20 @@
+// Textual IR parser — the inverse of print_function.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/function.hpp"
+
+namespace luis::ir {
+
+struct ParseResult {
+  Function* function = nullptr; ///< owned by the module passed in
+  std::string error;            ///< empty on success
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses one `func @name { ... }` definition into `module`.
+ParseResult parse_function(Module& module, std::string_view text);
+
+} // namespace luis::ir

@@ -1,0 +1,292 @@
+#include "ir/passes.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "support/diag.hpp"
+
+namespace luis::ir {
+
+int replace_all_uses(Function& f, const Value* from, Value* to) {
+  int rewritten = 0;
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        if (inst->operand(i) == from) {
+          inst->set_operand(i, to);
+          ++rewritten;
+        }
+      }
+    }
+  }
+  return rewritten;
+}
+
+bool has_uses(const Function& f, const Instruction* inst) {
+  for (const auto& bb : f.blocks())
+    for (const auto& user : bb->instructions())
+      for (const Value* op : user->operands())
+        if (op == inst) return true;
+  return false;
+}
+
+namespace {
+
+bool all_real_constants(const Instruction* inst) {
+  for (const Value* op : inst->operands())
+    if (op->kind() != Value::Kind::ConstReal) return false;
+  return inst->num_operands() > 0;
+}
+
+bool all_int_constants(const Instruction* inst) {
+  for (const Value* op : inst->operands())
+    if (op->kind() != Value::Kind::ConstInt) return false;
+  return inst->num_operands() > 0;
+}
+
+double real_const(const Instruction* inst, std::size_t i) {
+  return static_cast<const ConstReal*>(inst->operand(i))->value();
+}
+
+std::int64_t int_const(const Instruction* inst, std::size_t i) {
+  return static_cast<const ConstInt*>(inst->operand(i))->value();
+}
+
+} // namespace
+
+int fold_constants(Function& f) {
+  int folded = 0;
+  for (const auto& bb : f.blocks()) {
+    // Collect first: replacing uses while iterating the same list is fine
+    // (operand pointers, not list structure), but erasing is not; dead
+    // folded instructions are left for DCE.
+    for (const auto& inst_ptr : bb->instructions()) {
+      Instruction* inst = inst_ptr.get();
+      Value* replacement = nullptr;
+      switch (inst->opcode()) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+      case Opcode::Rem: case Opcode::Pow: case Opcode::Min: case Opcode::Max: {
+        if (!all_real_constants(inst)) break;
+        const double a = real_const(inst, 0), b = real_const(inst, 1);
+        double v = 0.0;
+        switch (inst->opcode()) {
+        case Opcode::Add: v = a + b; break;
+        case Opcode::Sub: v = a - b; break;
+        case Opcode::Mul: v = a * b; break;
+        case Opcode::Div: v = a / b; break;
+        case Opcode::Rem: v = std::fmod(a, b); break;
+        case Opcode::Pow: v = std::pow(a, b); break;
+        case Opcode::Min: v = std::fmin(a, b); break;
+        case Opcode::Max: v = std::fmax(a, b); break;
+        default: break;
+        }
+        replacement = f.const_real(v);
+        break;
+      }
+      case Opcode::Neg: case Opcode::Abs: case Opcode::Sqrt: case Opcode::Exp: {
+        if (!all_real_constants(inst)) break;
+        const double a = real_const(inst, 0);
+        double v = 0.0;
+        switch (inst->opcode()) {
+        case Opcode::Neg: v = -a; break;
+        case Opcode::Abs: v = std::abs(a); break;
+        case Opcode::Sqrt: v = std::sqrt(a); break;
+        case Opcode::Exp: v = std::exp(a); break;
+        default: break;
+        }
+        replacement = f.const_real(v);
+        break;
+      }
+      case Opcode::IntToReal:
+        if (all_int_constants(inst))
+          replacement = f.const_real(static_cast<double>(int_const(inst, 0)));
+        break;
+      case Opcode::IAdd: case Opcode::ISub: case Opcode::IMul:
+      case Opcode::IDiv: case Opcode::IRem: case Opcode::IMin:
+      case Opcode::IMax: {
+        if (!all_int_constants(inst)) break;
+        const std::int64_t a = int_const(inst, 0), b = int_const(inst, 1);
+        if ((inst->opcode() == Opcode::IDiv || inst->opcode() == Opcode::IRem) &&
+            b == 0)
+          break; // leave the trap semantics to the interpreter
+        std::int64_t v = 0;
+        switch (inst->opcode()) {
+        case Opcode::IAdd: v = a + b; break;
+        case Opcode::ISub: v = a - b; break;
+        case Opcode::IMul: v = a * b; break;
+        case Opcode::IDiv: v = a / b; break;
+        case Opcode::IRem: v = a % b; break;
+        case Opcode::IMin: v = std::min(a, b); break;
+        case Opcode::IMax: v = std::max(a, b); break;
+        default: break;
+        }
+        replacement = f.const_int(v);
+        break;
+      }
+      case Opcode::Phi: {
+        // A phi whose incoming values are all the same is that value.
+        if (inst->num_operands() == 0) break;
+        Value* first = inst->operand(0);
+        bool uniform = true;
+        for (const Value* op : inst->operands()) uniform &= op == first;
+        if (uniform && first != inst) replacement = first;
+        break;
+      }
+      default:
+        break;
+      }
+      if (replacement && replacement != inst) {
+        folded += replace_all_uses(f, inst, replacement) > 0 ? 1 : 0;
+      }
+    }
+  }
+  return folded;
+}
+
+int eliminate_dead_code(Function& f) {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& bb : f.blocks()) {
+      // Walk a snapshot of candidates: erase invalidates iteration.
+      std::vector<const Instruction*> dead;
+      for (const auto& inst : bb->instructions()) {
+        if (inst->type() == ScalarType::Void) continue; // stores, terminators
+        if (has_uses(f, inst.get())) continue;
+        dead.push_back(inst.get());
+      }
+      for (const Instruction* inst : dead) {
+        bb->erase(inst);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+namespace {
+
+/// Rewrites branch targets of every terminator: old_target -> new_target.
+void retarget(Function& f, BasicBlock* old_target, BasicBlock* new_target) {
+  for (const auto& bb : f.blocks()) {
+    Instruction* term = bb->terminator();
+    if (!term) continue;
+    std::vector<BasicBlock*> targets = term->targets();
+    bool hit = false;
+    for (BasicBlock*& t : targets) {
+      if (t == old_target) {
+        t = new_target;
+        hit = true;
+      }
+    }
+    if (hit) term->set_targets(std::move(targets));
+  }
+}
+
+/// Replaces `from` in every phi's incoming-block list of `bb` with `with`.
+void replace_phi_incoming(BasicBlock* bb, const BasicBlock* from,
+                          BasicBlock* with) {
+  for (const auto& inst : bb->instructions()) {
+    if (!inst->is_phi()) break;
+    inst->replace_incoming_block(from, with);
+  }
+}
+
+bool block_is_empty_forwarder(const BasicBlock* bb) {
+  return bb->instructions().size() == 1 &&
+         bb->instructions().front()->opcode() == Opcode::Br;
+}
+
+} // namespace
+
+int simplify_cfg(Function& f) {
+  int changes = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // 1. Remove empty forwarding blocks (B: "br T").
+    for (const auto& bb_ptr : f.blocks()) {
+      BasicBlock* bb = bb_ptr.get();
+      if (bb == f.entry() || !block_is_empty_forwarder(bb)) continue;
+      BasicBlock* target = bb->terminator()->target(0);
+      if (target == bb) continue; // degenerate self loop
+      const std::vector<BasicBlock*> preds = f.predecessors(bb);
+      if (preds.empty()) continue; // unreachable; leave for the verifier
+      // Phis in the target must not already see any of B's predecessors,
+      // and must have B as an incoming block exactly once.
+      bool safe = true;
+      for (const auto& inst : target->instructions()) {
+        if (!inst->is_phi()) break;
+        for (BasicBlock* pred : preds)
+          for (const BasicBlock* in : inst->incoming_blocks())
+            if (in == pred) safe = false;
+      }
+      if (!safe || preds.size() != 1) continue; // keep it simple & correct
+      BasicBlock* pred = preds.front();
+      retarget(f, bb, target);
+      replace_phi_incoming(target, bb, pred);
+      f.remove_block(bb);
+      ++changes;
+      changed = true;
+      break; // block list mutated; restart the scan
+    }
+    if (changed) continue;
+
+    // 2. Merge a straight-line pair B -> S (S's only predecessor is B).
+    for (const auto& bb_ptr : f.blocks()) {
+      BasicBlock* bb = bb_ptr.get();
+      Instruction* term = bb->terminator();
+      if (!term || term->opcode() != Opcode::Br) continue;
+      BasicBlock* succ = term->target(0);
+      if (succ == bb || succ == f.entry()) continue;
+      const std::vector<BasicBlock*> preds = f.predecessors(succ);
+      if (preds.size() != 1 || preds.front() != bb) continue;
+      // Single-predecessor phis are trivial: replace with their value.
+      bool ok = true;
+      std::vector<const Instruction*> trivial_phis;
+      for (const auto& inst : succ->instructions()) {
+        if (!inst->is_phi()) break;
+        if (inst->num_operands() != 1) {
+          ok = false;
+          break;
+        }
+        trivial_phis.push_back(inst.get());
+      }
+      if (!ok) continue;
+      for (const Instruction* phi : trivial_phis) {
+        replace_all_uses(f, phi, phi->operand(0));
+        succ->erase(phi);
+      }
+      // Splice: drop B's br, move S's instructions into B.
+      bb->erase(term);
+      for (auto& inst : succ->take_instructions()) {
+        inst->set_parent(bb);
+        bb->append(std::move(inst));
+      }
+      // S's successors' phis now come from B.
+      for (BasicBlock* after : bb->successors())
+        replace_phi_incoming(after, succ, bb);
+      f.remove_block(succ);
+      ++changes;
+      changed = true;
+      break; // restart
+    }
+  }
+  return changes;
+}
+
+int run_default_pipeline(Function& f) {
+  int total = 0;
+  for (int round = 0; round < 8; ++round) {
+    const int delta =
+        fold_constants(f) + eliminate_dead_code(f) + simplify_cfg(f);
+    total += delta;
+    if (delta == 0) break;
+  }
+  return total;
+}
+
+} // namespace luis::ir

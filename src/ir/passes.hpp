@@ -1,0 +1,41 @@
+// IR optimization passes.
+//
+// The paper positions LUIS after Clang's lowering, i.e. on IR that the
+// standard pipeline has already cleaned up. These passes provide that
+// cleanup for IR built through KernelBuilder or parsed from text:
+//
+//   fold_constants    evaluates Real/Int operations over literal operands
+//                     and rewrites uses to the folded literal;
+//   eliminate_dead_code
+//                     removes instructions whose results are never used
+//                     and which have no side effects;
+//   simplify_cfg      merges straight-line block chains and removes empty
+//                     forwarding blocks (KernelBuilder's latch/exit
+//                     scaffolding collapses to the natural loop shape);
+//   run_default_pipeline
+//                     the three above to a fixpoint.
+//
+// All passes preserve verifier invariants; each returns the number of
+// changes it made.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace luis::ir {
+
+/// Rewrites every use of `from` to `to` across the function (operands of
+/// all instructions). Returns the number of operand slots rewritten.
+int replace_all_uses(Function& f, const Value* from, Value* to);
+
+/// True if the instruction's result is used by any instruction in `f`.
+bool has_uses(const Function& f, const Instruction* inst);
+
+int fold_constants(Function& f);
+int eliminate_dead_code(Function& f);
+int simplify_cfg(Function& f);
+
+/// Runs fold / DCE / CFG-simplify to a fixpoint (bounded). Returns the
+/// total number of changes.
+int run_default_pipeline(Function& f);
+
+} // namespace luis::ir

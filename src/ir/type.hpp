@@ -1,0 +1,25 @@
+// Scalar type system of the LUIS IR.
+//
+// The IR deliberately distinguishes only what precision tuning needs:
+//   Real — numeric values whose representation the tuner may change
+//          (the "virtual registers" of the paper's ILP model);
+//   Int  — loop indices and address arithmetic, never retyped;
+//   Bool — comparison results feeding control flow and selects;
+//   Void — instructions executed for effect (stores, branches).
+#pragma once
+
+namespace luis::ir {
+
+enum class ScalarType { Real, Int, Bool, Void };
+
+inline const char* to_string(ScalarType t) {
+  switch (t) {
+  case ScalarType::Real: return "real";
+  case ScalarType::Int: return "int";
+  case ScalarType::Bool: return "bool";
+  case ScalarType::Void: return "void";
+  }
+  return "<invalid>";
+}
+
+} // namespace luis::ir

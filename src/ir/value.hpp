@@ -1,0 +1,95 @@
+// Values of the LUIS IR: the common base of everything an instruction can
+// reference as an operand — instructions themselves, literal constants, and
+// arrays (memory objects with a tunable element representation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace luis::ir {
+
+class Value {
+public:
+  enum class Kind { Instruction, ConstReal, ConstInt, Array };
+
+  virtual ~Value() = default;
+
+  Kind kind() const { return kind_; }
+  ScalarType type() const { return type_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  bool is_instruction() const { return kind_ == Kind::Instruction; }
+  bool is_constant() const {
+    return kind_ == Kind::ConstReal || kind_ == Kind::ConstInt;
+  }
+  bool is_array() const { return kind_ == Kind::Array; }
+
+protected:
+  Value(Kind kind, ScalarType type, std::string name)
+      : kind_(kind), type_(type), name_(std::move(name)) {}
+
+private:
+  Kind kind_;
+  ScalarType type_;
+  std::string name_;
+};
+
+/// A literal Real constant.
+class ConstReal final : public Value {
+public:
+  explicit ConstReal(double value)
+      : Value(Kind::ConstReal, ScalarType::Real, {}), value_(value) {}
+  double value() const { return value_; }
+
+private:
+  double value_;
+};
+
+/// A literal Int constant.
+class ConstInt final : public Value {
+public:
+  explicit ConstInt(std::int64_t value)
+      : Value(Kind::ConstInt, ScalarType::Int, {}), value_(value) {}
+  std::int64_t value() const { return value_; }
+
+private:
+  std::int64_t value_;
+};
+
+/// A dense row-major array of Real elements with static dimensions — the
+/// memory substrate of PolyBench-style kernels. The tuner assigns one
+/// representation to the whole array, as TAFFO does for buffers.
+class Array final : public Value {
+public:
+  Array(std::string name, std::vector<std::int64_t> dims)
+      : Value(Kind::Array, ScalarType::Real, std::move(name)),
+        dims_(std::move(dims)) {}
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t element_count() const {
+    std::int64_t n = 1;
+    for (const std::int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  /// User annotation of the dynamic value range of the array's contents —
+  /// the range metadata TAFFO reads from source annotations. This is the
+  /// seed information for Value Range Analysis.
+  void annotate_range(double lo, double hi) { annotation_ = {lo, hi}; }
+  const std::optional<std::pair<double, double>>& range_annotation() const {
+    return annotation_;
+  }
+
+private:
+  std::vector<std::int64_t> dims_;
+  std::optional<std::pair<double, double>> annotation_;
+};
+
+} // namespace luis::ir

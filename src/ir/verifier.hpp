@@ -1,0 +1,34 @@
+// IR structural verifier.
+//
+// Checks the SSA well-formedness invariants the rest of the stack relies
+// on: block termination, phi/predecessor agreement, operand typing, and
+// def-dominates-use (via an iterative dominator computation). Returns all
+// violations found rather than stopping at the first one.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace luis::ir {
+
+struct VerifyResult {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+  std::string message() const;
+};
+
+VerifyResult verify(const Function& function);
+
+/// Immediate dominator computation (Cooper-Harvey-Kennedy iterative scheme).
+/// Returns block -> immediate dominator (entry maps to itself). Unreachable
+/// blocks are absent from the map.
+std::map<const BasicBlock*, const BasicBlock*> compute_dominators(const Function& f);
+
+/// True if `a` dominates `b` under the given dominator tree.
+bool dominates(const std::map<const BasicBlock*, const BasicBlock*>& idom,
+               const BasicBlock* a, const BasicBlock* b);
+
+} // namespace luis::ir

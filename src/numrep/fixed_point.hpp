@@ -1,0 +1,92 @@
+// Run-time parameterized fixed point arithmetic.
+//
+// A FixedSpec is a concrete fixed point layout: total width w (2..64 bits),
+// signedness, and fractional bit count f. Values are stored as raw two's
+// complement integers scaled by 2^-f. Arithmetic saturates on overflow
+// (matching the behaviour of TAFFO's generated code) and rounds to nearest
+// with ties away from zero on precision loss, which is what LLVM emits for
+// float-to-fixed conversion sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "numrep/formats.hpp"
+
+namespace luis::numrep {
+
+struct FixedSpec {
+  int width = 32;
+  int frac = 16;
+  bool is_signed = true;
+
+  static FixedSpec from(const ConcreteType& type) {
+    return FixedSpec{type.format.width(), type.frac_bits, type.format.is_signed()};
+  }
+
+  /// Largest representable value.
+  double max_value() const;
+  /// Smallest representable value (negative for signed, 0 for unsigned).
+  double min_value() const;
+  /// Value of one unit in the last place: 2^-frac.
+  double resolution() const;
+
+  std::string name() const;
+  friend bool operator==(const FixedSpec&, const FixedSpec&) = default;
+};
+
+/// A fixed point value: raw integer plus its layout.
+class FixedValue {
+public:
+  FixedValue() = default;
+  FixedValue(FixedSpec spec, std::int64_t raw) : spec_(spec), raw_(raw) {}
+
+  /// Quantizes `x` into `spec` (round to nearest, saturating).
+  static FixedValue from_double(FixedSpec spec, double x);
+
+  const FixedSpec& spec() const { return spec_; }
+  std::int64_t raw() const { return raw_; }
+  double to_double() const;
+
+  /// Reinterprets this value in a different layout (the "shift cast" of the
+  /// paper's C_fix term when widths match, a full cast otherwise).
+  FixedValue cast_to(FixedSpec target) const;
+
+  friend FixedValue operator+(const FixedValue& a, const FixedValue& b);
+  friend FixedValue operator-(const FixedValue& a, const FixedValue& b);
+  friend FixedValue operator*(const FixedValue& a, const FixedValue& b);
+  friend FixedValue operator/(const FixedValue& a, const FixedValue& b);
+  /// Remainder with the sign of the dividend, like LLVM frem.
+  friend FixedValue fixed_rem(const FixedValue& a, const FixedValue& b);
+  FixedValue negate() const;
+
+private:
+  FixedSpec spec_{};
+  std::int64_t raw_ = 0;
+};
+
+/// Round-to-nearest quantization of `x` onto the grid of `spec`, saturating
+/// at the representable range. This is the single entry point the IR
+/// interpreter uses to model fixed point rounding.
+double quantize_fixed(const FixedSpec& spec, double x);
+
+// --- Mixed-format arithmetic ---
+//
+// What TAFFO-generated fixed point code actually computes: operands keep
+// their own Q formats and the operation produces `out` directly. Additive
+// operations realign both operands to `out` first (shift casts); the
+// multiplicative ones fold the realignment into the product/quotient
+// rescale. All results round to nearest and saturate at `out`'s range.
+
+FixedValue fixed_add_mixed(const FixedValue& a, const FixedValue& b,
+                           const FixedSpec& out);
+FixedValue fixed_sub_mixed(const FixedValue& a, const FixedValue& b,
+                           const FixedSpec& out);
+/// (a_raw * b_raw) >> (fa + fb - f_out), rounded and saturated.
+FixedValue fixed_mul_mixed(const FixedValue& a, const FixedValue& b,
+                           const FixedSpec& out);
+/// (a_raw << (f_out + fb - fa)) / b_raw, rounded and saturated.
+FixedValue fixed_div_mixed(const FixedValue& a, const FixedValue& b,
+                           const FixedSpec& out);
+
+} // namespace luis::numrep

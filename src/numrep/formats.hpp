@@ -1,0 +1,122 @@
+// Number representation descriptors.
+//
+// A NumericFormat describes one representation system the tuner can assign
+// to a virtual register: a fixed point type of a given width (the amount of
+// fractional bits is a per-variable decision, made by the ILP model through
+// the z variables), a binary floating point format parameterized by
+// precision p and maximum exponent E (Table I of the paper), or a Posit
+// configuration (width, es).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace luis::numrep {
+
+enum class FormatClass : std::uint8_t { FixedPoint, FloatingPoint, Posit };
+
+class NumericFormat {
+public:
+  /// Signed fixed point type of `width` total bits. The fractional bit count
+  /// is not part of the format: it is chosen per variable.
+  static constexpr NumericFormat fixed(int width, bool is_signed = true) {
+    NumericFormat f;
+    f.class_ = FormatClass::FixedPoint;
+    f.width_ = width;
+    f.signed_ = is_signed;
+    return f;
+  }
+
+  /// Binary floating point with precision `p` (significand bits including
+  /// the hidden bit) and maximum exponent `E`, as in Table I.
+  static constexpr NumericFormat floating(int p, int max_exponent, int width) {
+    NumericFormat f;
+    f.class_ = FormatClass::FloatingPoint;
+    f.width_ = width;
+    f.precision_ = p;
+    f.max_exponent_ = max_exponent;
+    return f;
+  }
+
+  /// Posit configuration posit(w, es).
+  static constexpr NumericFormat posit(int width, int es) {
+    NumericFormat f;
+    f.class_ = FormatClass::Posit;
+    f.width_ = width;
+    f.es_ = es;
+    return f;
+  }
+
+  constexpr FormatClass format_class() const { return class_; }
+  constexpr bool is_fixed() const { return class_ == FormatClass::FixedPoint; }
+  constexpr bool is_float() const { return class_ == FormatClass::FloatingPoint; }
+  constexpr bool is_posit() const { return class_ == FormatClass::Posit; }
+
+  /// Total storage width in bits.
+  constexpr int width() const { return width_; }
+
+  /// Fixed point: signedness.
+  constexpr bool is_signed() const { return signed_; }
+
+  /// Floating point: precision p (includes the hidden bit).
+  constexpr int precision() const { return precision_; }
+  /// Floating point: maximum exponent E.
+  constexpr int max_exponent() const { return max_exponent_; }
+  /// Floating point: minimum normal exponent (1 - E for IEEE-style bias).
+  constexpr int min_exponent() const { return 1 - max_exponent_; }
+
+  /// Posit: maximum exponent field size es.
+  constexpr int es() const { return es_; }
+
+  /// Canonical name, e.g. "fix32", "binary64", "bfloat16", "posit32_2".
+  std::string name() const;
+
+  friend constexpr bool operator==(const NumericFormat&, const NumericFormat&) = default;
+
+private:
+  FormatClass class_ = FormatClass::FloatingPoint;
+  int width_ = 64;
+  bool signed_ = true;    // fixed point only
+  int precision_ = 53;    // floating point only
+  int max_exponent_ = 1023; // floating point only
+  int es_ = 2;            // posit only
+};
+
+// --- Standard formats (Table I plus the fixed point widths we support). ---
+
+inline constexpr NumericFormat kBinary16 = NumericFormat::floating(11, 15, 16);
+inline constexpr NumericFormat kBinary32 = NumericFormat::floating(24, 127, 32);
+inline constexpr NumericFormat kBinary64 = NumericFormat::floating(53, 1023, 64);
+inline constexpr NumericFormat kBinary128 = NumericFormat::floating(113, 16383, 128);
+inline constexpr NumericFormat kBinary256 = NumericFormat::floating(237, 262143, 256);
+inline constexpr NumericFormat kBfloat16 = NumericFormat::floating(8, 127, 16);
+
+inline constexpr NumericFormat kFixed16 = NumericFormat::fixed(16);
+inline constexpr NumericFormat kFixed32 = NumericFormat::fixed(32);
+inline constexpr NumericFormat kFixed64 = NumericFormat::fixed(64);
+
+inline constexpr NumericFormat kPosit8 = NumericFormat::posit(8, 0);
+inline constexpr NumericFormat kPosit16 = NumericFormat::posit(16, 1);
+inline constexpr NumericFormat kPosit32 = NumericFormat::posit(32, 2);
+
+/// All formats known by name (used by CLIs and the format parser).
+std::span<const NumericFormat> standard_formats();
+
+/// Parses a canonical format name; returns nullopt if unknown.
+/// Accepts the registry names plus "fixN", "positW_ES" for custom parameters.
+std::optional<NumericFormat> parse_format(std::string_view name);
+
+/// A fully concrete run-time type: a format plus, for fixed point, the
+/// number of fractional bits selected by the tuner.
+struct ConcreteType {
+  NumericFormat format = kBinary64;
+  int frac_bits = 0; ///< meaningful only when format.is_fixed()
+
+  std::string name() const;
+  friend bool operator==(const ConcreteType&, const ConcreteType&) = default;
+};
+
+} // namespace luis::numrep

@@ -1,0 +1,103 @@
+#include "numrep/iebw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numrep/posit.hpp"
+#include "numrep/soft_float.hpp"
+#include "support/diag.hpp"
+
+namespace luis::numrep {
+
+int iebw_float(const NumericFormat& format, double x) {
+  LUIS_ASSERT(format.is_float(), "iebw_float requires a float format");
+  LUIS_ASSERT(x != 0.0 && std::isfinite(x), "IEBW is undefined for 0/inf/NaN");
+  const int E = format.max_exponent();
+  const int p = format.precision();
+  const double mag = std::abs(x);
+  const int e_v = std::min(std::ilogb(mag), E);
+  // p_hat marks the subnormal range, where the hidden bit is lost.
+  const int p_hat = mag <= std::ldexp(1.0, -E + 1) ? 1 : 0;
+  return p - p_hat - e_v;
+}
+
+int iebw_fixed(int frac_bits) { return frac_bits; }
+
+int iebw_posit(const NumericFormat& format, double x) {
+  LUIS_ASSERT(format.is_posit(), "iebw_posit requires a posit format");
+  LUIS_ASSERT(x != 0.0 && std::isfinite(x), "IEBW is undefined for 0/inf/NaN");
+  const PositFields f = Posit::from_double(format, x).fields();
+  LUIS_ASSERT(!f.is_zero && !f.is_nar, "posit rounding produced zero/NaR");
+  return f.fraction_bits - ((f.regime << format.es()) + f.exponent);
+}
+
+int iebw_of_value(const NumericFormat& format, double x, int frac_bits) {
+  switch (format.format_class()) {
+  case FormatClass::FixedPoint:
+    return iebw_fixed(frac_bits);
+  case FormatClass::FloatingPoint:
+    return iebw_float(format, x);
+  case FormatClass::Posit:
+    return iebw_posit(format, x);
+  }
+  LUIS_UNREACHABLE("unknown format class");
+}
+
+namespace {
+
+/// Smallest positive value the format can represent, used to evaluate the
+/// metric when a range endpoint collapses onto zero.
+double smallest_positive(const NumericFormat& format) {
+  switch (format.format_class()) {
+  case FormatClass::FloatingPoint:
+    return float_min_subnormal(format);
+  case FormatClass::Posit:
+    return posit_min_value(format);
+  case FormatClass::FixedPoint:
+    LUIS_UNREACHABLE("fixed point is range-independent");
+  }
+  LUIS_UNREACHABLE("unknown format class");
+}
+
+} // namespace
+
+int iebw_of_range(const NumericFormat& format, double lo, double hi,
+                  int frac_bits) {
+  LUIS_ASSERT(lo <= hi, "invalid range");
+  if (format.is_fixed()) return iebw_fixed(frac_bits);
+  const double extreme = std::max(std::abs(lo), std::abs(hi));
+  const double x = extreme == 0.0 ? smallest_positive(format) : extreme;
+  return iebw_of_value(format, x, frac_bits);
+}
+
+int iebw_of_range_best_case(const NumericFormat& format, double lo, double hi,
+                            int frac_bits, double zero_floor) {
+  LUIS_ASSERT(lo <= hi, "invalid range");
+  if (format.is_fixed()) return iebw_fixed(frac_bits);
+  double x;
+  if (lo <= 0.0 && hi >= 0.0) {
+    x = std::max(smallest_positive(format), zero_floor);
+    // Degenerate case: the floor exceeds the range extreme; stay inside.
+    const double extreme = std::max(std::abs(lo), std::abs(hi));
+    if (extreme > 0.0 && x > extreme) x = extreme;
+  } else {
+    x = std::min(std::abs(lo), std::abs(hi));
+  }
+  return iebw_of_value(format, x, frac_bits);
+}
+
+int fixed_point_max_frac(int width, bool is_signed, double lo, double hi) {
+  LUIS_ASSERT(lo <= hi, "invalid range");
+  LUIS_ASSERT(width >= 2 && width <= 64, "fixed width must be in [2, 64]");
+  const int magnitude_bits = is_signed ? width - 1 : width;
+  const double max_mag = std::max(std::abs(lo), std::abs(hi));
+  if (max_mag == 0.0) return width - 1; // everything can be fractional
+  const double raw_limit =
+      magnitude_bits >= 63 ? std::ldexp(1.0, magnitude_bits)
+                           : static_cast<double>((std::int64_t{1} << magnitude_bits) - 1);
+  // Largest f with max_mag <= raw_limit * 2^-f.
+  const int f = static_cast<int>(std::floor(std::log2(raw_limit / max_mag)));
+  return std::min(f, width - 1);
+}
+
+} // namespace luis::numrep

@@ -1,0 +1,68 @@
+// The Integer Equivalent Bit Width (IEBW) metric — Section III of the paper.
+//
+// IEBW makes the precision of heterogeneous number representations
+// comparable by expressing each one as "the number of fractional bits a
+// fixed point representation would need to match it":
+//
+//   Definition 1:  IEBW_R(x) = -floor(log2 eps), where eps is the smallest
+//                  perturbation that changes the representation of x.
+//   Definition 2:  IEBW_R(v) for a variable with range [l, u] lifts the
+//                  pointwise metric to the interval.
+//   Definition 3:  floating point (p, E): IEBW = p - p_hat - e_v with
+//                  e_v = min(floor(log2 |x|), E) and p_hat = 1 in the
+//                  subnormal range.
+//   Definition 4:  fixed point with f fractional bits: IEBW = f.
+//   Definition 5:  posit(w, es): IEBW = n_f - (2^es * k + e).
+//
+// For Definition 2 the paper writes max over the interval. The literal max
+// is unbounded for float formats on ranges containing zero (resolution
+// improves without bound as |x| -> 0), which would degenerate the ILP
+// objective, so the allocator uses the *guaranteed* precision over the
+// range: the IEBW evaluated at the magnitude extreme (the worst case).
+// This matches how fix-max is derived for fixed point and is exposed here
+// as iebw_of_range; the literal best-case value is also available for
+// reporting. The deviation is documented in DESIGN.md.
+#pragma once
+
+#include "numrep/formats.hpp"
+
+namespace luis::numrep {
+
+/// Definition 3. `x` must be nonzero and finite.
+int iebw_float(const NumericFormat& format, double x);
+
+/// Definition 4: a fixed point value's IEBW is its fractional bit count.
+int iebw_fixed(int frac_bits);
+
+/// Definition 5. `x` must be nonzero; it is first rounded into the posit.
+int iebw_posit(const NumericFormat& format, double x);
+
+/// Pointwise IEBW for any representation. For fixed point formats the
+/// fractional bit count must be supplied via `frac_bits`.
+int iebw_of_value(const NumericFormat& format, double x, int frac_bits = 0);
+
+/// Definition 2 (guaranteed-precision reading): IEBW of a variable with
+/// range [lo, hi], evaluated at the magnitude extreme. For ranges that
+/// are identically zero, returns the IEBW at the smallest positive value
+/// of the format (any representation stores 0 exactly).
+int iebw_of_range(const NumericFormat& format, double lo, double hi,
+                  int frac_bits = 0);
+
+/// The literal Definition 2 (max over the interval): the IEBW at the
+/// smallest-magnitude nonzero point of the range, clamped at the format's
+/// smallest positive value when the range straddles zero.
+///
+/// `zero_floor` bounds how far below zero-straddling ranges the evaluation
+/// point may go: magnitudes smaller than the floor are treated as noise
+/// below the data's own resolution (0 keeps the format's full subnormal
+/// reach). The tuner exposes this as TuningConfig::err_zero_floor.
+int iebw_of_range_best_case(const NumericFormat& format, double lo, double hi,
+                            int frac_bits = 0, double zero_floor = 0.0);
+
+/// fix-max(v, f) from Section IV-A: the maximum number of fractional bits a
+/// fixed point format of width `width` can assign to a variable with range
+/// [lo, hi] without overflow. Returns a negative number when even zero
+/// fractional bits overflow (the type is infeasible for this variable).
+int fixed_point_max_frac(int width, bool is_signed, double lo, double hi);
+
+} // namespace luis::numrep

@@ -1,0 +1,13 @@
+// Single quantization entry point over all representation systems.
+#pragma once
+
+#include "numrep/formats.hpp"
+
+namespace luis::numrep {
+
+/// Rounds `x` into the given concrete type: soft-float rounding for
+/// floating point formats, grid quantization with saturation for fixed
+/// point, posit rounding for posits. binary64 is the identity.
+double quantize(const ConcreteType& type, double x);
+
+} // namespace luis::numrep

@@ -1,0 +1,20 @@
+#include "platform/cost_model.hpp"
+
+#include "support/diag.hpp"
+
+namespace luis::platform {
+
+double simulated_time(const interp::CostCounters& counters,
+                      const OpTimeTable& table, const CostModelOptions& opt) {
+  double total = static_cast<double>(counters.non_real_ops) * opt.non_real_op_cost;
+  for (const auto& [key, count] : counters.ops)
+    total += static_cast<double>(count) * table.op_time(key.first, key.second);
+  return total;
+}
+
+double speedup_percent(double baseline_time, double tuned_time) {
+  LUIS_ASSERT(tuned_time > 0.0, "tuned time must be positive");
+  return 100.0 * (baseline_time / tuned_time - 1.0);
+}
+
+} // namespace luis::platform

@@ -1,0 +1,29 @@
+// Simulated execution time: dynamic operation counts priced by a platform
+// op-time table. This is the t / t' pair behind the paper's Speedup metric
+// in our hardware-free reproduction.
+#pragma once
+
+#include "interp/interpreter.hpp"
+#include "platform/optime.hpp"
+
+namespace luis::platform {
+
+struct CostModelOptions {
+  /// Cost of every non-real operation (index arithmetic, loads/stores,
+  /// branches) in normalized op-time units. These execute identically in
+  /// the baseline and the tuned program, so they only dampen speedup
+  /// ratios. Real loop nests amortize most of this overhead through
+  /// addressing modes and pipelining, so the default prices a non-real
+  /// step well below one arithmetic op; the interpreter also counts
+  /// several bookkeeping steps per source-level operation.
+  double non_real_op_cost = 0.25;
+};
+
+/// Total simulated time of an execution profile on a platform.
+double simulated_time(const interp::CostCounters& counters,
+                      const OpTimeTable& table, const CostModelOptions& = {});
+
+/// The paper's Speedup metric: S = 100 * (t / t' - 1).
+double speedup_percent(double baseline_time, double tuned_time);
+
+} // namespace luis::platform

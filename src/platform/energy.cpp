@@ -1,0 +1,42 @@
+#include "platform/energy.hpp"
+
+#include "support/diag.hpp"
+#include "support/string_utils.hpp"
+
+namespace luis::platform {
+
+double power_factor(const std::string& cost_class, const PowerModel& model) {
+  if (cost_class == "fix") return model.fix;
+  if (cost_class == "double") return model.dbl;
+  // float and the narrow/exotic float classes share the float datapath
+  // power envelope (posits run in software on the integer datapath, but
+  // for many more cycles — the op-time side carries that factor).
+  if (cost_class == "float" || cost_class == "half" ||
+      cost_class == "bfloat16" || cost_class == "posit")
+    return model.flt;
+  LUIS_FATAL("unknown cost class for power model: " + cost_class);
+}
+
+double op_energy(const OpTimeTable& table, const std::string& op,
+                 const std::string& type, const PowerModel& model) {
+  const double time = table.op_time(op, type);
+  if (starts_with(op, "cast_")) return time * model.cast * power_factor(type, model);
+  return time * power_factor(type, model);
+}
+
+double simulated_energy(const interp::CostCounters& counters,
+                        const OpTimeTable& table, const PowerModel& model,
+                        const CostModelOptions& options) {
+  double total = static_cast<double>(counters.non_real_ops) *
+                 options.non_real_op_cost * model.non_real;
+  for (const auto& [key, count] : counters.ops)
+    total += static_cast<double>(count) * op_energy(table, key.first, key.second, model);
+  return total;
+}
+
+double energy_saving_percent(double baseline_energy, double tuned_energy) {
+  LUIS_ASSERT(tuned_energy > 0.0, "tuned energy must be positive");
+  return 100.0 * (baseline_energy / tuned_energy - 1.0);
+}
+
+} // namespace luis::platform

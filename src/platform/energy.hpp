@@ -1,0 +1,45 @@
+// Energy cost model — the paper's future-work direction of "different cost
+// functions to maximise alternative non-functional metrics, such as ...
+// power saving" (Section VI).
+//
+// Energy per operation is modeled as op-time x a per-datapath power
+// factor: integer/fixed point datapaths draw less power per cycle than the
+// FPU, wide floats more than narrow ones, and memory/control overhead sits
+// below the ALUs. The factors are synthetic (no power rails were measured
+// for this reproduction) but their *ordering* follows every published
+// embedded-core datasheet; they are configurable for calibrated targets.
+#pragma once
+
+#include "interp/interpreter.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/optime.hpp"
+
+namespace luis::platform {
+
+struct PowerModel {
+  double fix = 1.0;      ///< integer datapath (baseline)
+  double flt = 1.4;      ///< single precision FPU
+  double dbl = 1.9;      ///< double precision FPU
+  double cast = 1.1;     ///< inter-datapath transfer
+  double non_real = 0.6; ///< address arithmetic, memory, control
+};
+
+/// Power factor for a cost class ("fix", "float", "double", extensions).
+double power_factor(const std::string& cost_class, const PowerModel& model);
+
+/// Energy of one operation: op-time(o, t) x power(t). Casts are priced at
+/// the destination class with the transfer surcharge.
+double op_energy(const OpTimeTable& table, const std::string& op,
+                 const std::string& type, const PowerModel& model = {});
+
+/// Total simulated energy of an execution profile (the Ex-like integral
+/// the Speedup metric's denominator uses, in energy units).
+double simulated_energy(const interp::CostCounters& counters,
+                        const OpTimeTable& table, const PowerModel& model = {},
+                        const CostModelOptions& options = {});
+
+/// Energy saving percentage, mirroring the paper's speedup formula:
+/// 100 * (E_base / E_tuned - 1).
+double energy_saving_percent(double baseline_energy, double tuned_energy);
+
+} // namespace luis::platform

@@ -1,0 +1,96 @@
+// Internal declarations of the per-kernel builders and shared init
+// helpers. Users go through polybench.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ir/kernel_builder.hpp"
+#include "polybench/polybench.hpp"
+
+namespace luis::polybench::detail {
+
+// --- PolyBench-style host-side initialization helpers. ---
+
+inline std::vector<double>& init1(interp::ArrayStore& store,
+                                  const std::string& name, std::int64_t n,
+                                  const std::function<double(std::int64_t)>& f) {
+  auto& buf = store[name];
+  buf.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    buf[static_cast<std::size_t>(i)] = f(i);
+  return buf;
+}
+
+inline std::vector<double>& init2(interp::ArrayStore& store,
+                                  const std::string& name, std::int64_t n0,
+                                  std::int64_t n1,
+                                  const std::function<double(std::int64_t, std::int64_t)>& f) {
+  auto& buf = store[name];
+  buf.resize(static_cast<std::size_t>(n0 * n1));
+  for (std::int64_t i = 0; i < n0; ++i)
+    for (std::int64_t j = 0; j < n1; ++j)
+      buf[static_cast<std::size_t>(i * n1 + j)] = f(i, j);
+  return buf;
+}
+
+inline std::vector<double>& init3(
+    interp::ArrayStore& store, const std::string& name, std::int64_t n0,
+    std::int64_t n1, std::int64_t n2,
+    const std::function<double(std::int64_t, std::int64_t, std::int64_t)>& f) {
+  auto& buf = store[name];
+  buf.resize(static_cast<std::size_t>(n0 * n1 * n2));
+  for (std::int64_t i = 0; i < n0; ++i)
+    for (std::int64_t j = 0; j < n1; ++j)
+      for (std::int64_t k = 0; k < n2; ++k)
+        buf[static_cast<std::size_t>((i * n1 + j) * n2 + k)] = f(i, j, k);
+  return buf;
+}
+
+/// Makes a matrix symmetric positive definite in-place (the PolyBench
+/// recipe for cholesky/lu/ludcmp): B = A * A^T scaled, unit-dominant.
+void make_spd(std::vector<double>& a, std::int64_t n);
+
+/// Scales a Mini-preset dimension to the requested dataset size.
+inline std::int64_t scaled(std::int64_t mini, DatasetSize size) {
+  switch (size) {
+  case DatasetSize::Mini: return mini;
+  case DatasetSize::Small: return mini * 2;
+  case DatasetSize::Medium: return mini * 4;
+  }
+  return mini;
+}
+
+// --- The 30 kernel builders. ---
+BuiltKernel build_2mm(ir::Module&, DatasetSize);
+BuiltKernel build_3mm(ir::Module&, DatasetSize);
+BuiltKernel build_adi(ir::Module&, DatasetSize);
+BuiltKernel build_atax(ir::Module&, DatasetSize);
+BuiltKernel build_bicg(ir::Module&, DatasetSize);
+BuiltKernel build_cholesky(ir::Module&, DatasetSize);
+BuiltKernel build_correlation(ir::Module&, DatasetSize);
+BuiltKernel build_covariance(ir::Module&, DatasetSize);
+BuiltKernel build_deriche(ir::Module&, DatasetSize);
+BuiltKernel build_doitgen(ir::Module&, DatasetSize);
+BuiltKernel build_durbin(ir::Module&, DatasetSize);
+BuiltKernel build_fdtd_2d(ir::Module&, DatasetSize);
+BuiltKernel build_floyd_warshall(ir::Module&, DatasetSize);
+BuiltKernel build_gemm(ir::Module&, DatasetSize);
+BuiltKernel build_gemver(ir::Module&, DatasetSize);
+BuiltKernel build_gesummv(ir::Module&, DatasetSize);
+BuiltKernel build_gramschmidt(ir::Module&, DatasetSize);
+BuiltKernel build_heat_3d(ir::Module&, DatasetSize);
+BuiltKernel build_jacobi_1d(ir::Module&, DatasetSize);
+BuiltKernel build_jacobi_2d(ir::Module&, DatasetSize);
+BuiltKernel build_lu(ir::Module&, DatasetSize);
+BuiltKernel build_ludcmp(ir::Module&, DatasetSize);
+BuiltKernel build_mvt(ir::Module&, DatasetSize);
+BuiltKernel build_nussinov(ir::Module&, DatasetSize);
+BuiltKernel build_seidel_2d(ir::Module&, DatasetSize);
+BuiltKernel build_symm(ir::Module&, DatasetSize);
+BuiltKernel build_syr2k(ir::Module&, DatasetSize);
+BuiltKernel build_syrk(ir::Module&, DatasetSize);
+BuiltKernel build_trisolv(ir::Module&, DatasetSize);
+BuiltKernel build_trmm(ir::Module&, DatasetSize);
+
+} // namespace luis::polybench::detail

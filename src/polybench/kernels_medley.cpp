@@ -1,0 +1,315 @@
+// Data mining and medley PolyBench kernels.
+#include <cmath>
+
+#include "polybench/kernels.hpp"
+
+namespace luis::polybench::detail {
+
+using ir::Array;
+using ir::BVal;
+using ir::CmpPred;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::RVal;
+using ir::ScalarCell;
+
+namespace {
+constexpr double kPlaceholder = 1000.0; // replaced by profiling
+}
+
+BuiltKernel build_correlation(ir::Module& m, DatasetSize size) {
+  const std::int64_t M = scaled(14, size), N = scaled(18, size); // M attributes, N data points
+  BuiltKernel k;
+  k.name = "correlation";
+  KernelBuilder kb(m, k.name);
+  Array* data = kb.array("data", {N, M}, -kPlaceholder, kPlaceholder);
+  Array* corr = kb.array("corr", {M, M}, -kPlaceholder, kPlaceholder);
+  Array* mean = kb.array("mean", {M}, -kPlaceholder, kPlaceholder);
+  Array* stddev = kb.array("stddev", {M}, -kPlaceholder, kPlaceholder);
+  const double float_n = static_cast<double>(N);
+  const double eps = 0.1;
+
+  kb.for_loop("j", 0, M, [&](IVal j) {
+    kb.store(kb.real(0.0), mean, {j});
+    kb.for_loop("i", 0, N, [&](IVal i) {
+      kb.store(kb.load(mean, {j}) + kb.load(data, {i, j}), mean, {j});
+    });
+    kb.store(kb.load(mean, {j}) / kb.real(float_n), mean, {j});
+  });
+  kb.for_loop("j", 0, M, [&](IVal j) {
+    kb.store(kb.real(0.0), stddev, {j});
+    kb.for_loop("i", 0, N, [&](IVal i) {
+      RVal d = kb.load(data, {i, j}) - kb.load(mean, {j});
+      kb.store(kb.load(stddev, {j}) + d * d, stddev, {j});
+    });
+    kb.store(kb.load(stddev, {j}) / kb.real(float_n), stddev, {j});
+    kb.store(kb.sqrt(kb.load(stddev, {j})), stddev, {j});
+    // Guard against near-zero variance columns (the PolyBench ternary).
+    RVal sd = kb.load(stddev, {j});
+    BVal tiny = kb.fcmp(CmpPred::LE, sd, kb.real(eps));
+    kb.store(kb.select(tiny, kb.real(1.0), sd), stddev, {j});
+  });
+  kb.for_loop("i", 0, N, [&](IVal i) {
+    kb.for_loop("j", 0, M, [&](IVal j) {
+      RVal centered = kb.load(data, {i, j}) - kb.load(mean, {j});
+      kb.store(centered / (kb.real(std::sqrt(float_n)) * kb.load(stddev, {j})),
+               data, {i, j});
+    });
+  });
+  kb.for_loop("i", 0, M - 1, [&](IVal i) {
+    kb.store(kb.real(1.0), corr, {i, i});
+    kb.for_loop("j", i + 1, kb.idx(M), [&](IVal j) {
+      kb.store(kb.real(0.0), corr, {i, j});
+      kb.for_loop("kk", 0, N, [&](IVal kk) {
+        kb.store(kb.load(corr, {i, j}) + kb.load(data, {kk, i}) * kb.load(data, {kk, j}),
+                 corr, {i, j});
+      });
+      kb.store(kb.load(corr, {i, j}), corr, {j, i});
+    });
+  });
+  kb.store(kb.real(1.0), corr, {kb.idx(M - 1), kb.idx(M - 1)});
+  k.function = kb.finish();
+  init2(k.inputs, "data", N, M, [&](auto i, auto j) {
+    return static_cast<double>(i * j) / M + static_cast<double>(i);
+  });
+  k.inputs["corr"].assign(static_cast<std::size_t>(M * M), 0.0);
+  k.inputs["mean"].assign(static_cast<std::size_t>(M), 0.0);
+  k.inputs["stddev"].assign(static_cast<std::size_t>(M), 0.0);
+  k.outputs = {"corr"};
+  return k;
+}
+
+BuiltKernel build_covariance(ir::Module& m, DatasetSize size) {
+  const std::int64_t M = scaled(14, size), N = scaled(18, size);
+  BuiltKernel k;
+  k.name = "covariance";
+  KernelBuilder kb(m, k.name);
+  Array* data = kb.array("data", {N, M}, -kPlaceholder, kPlaceholder);
+  Array* cov = kb.array("cov", {M, M}, -kPlaceholder, kPlaceholder);
+  Array* mean = kb.array("mean", {M}, -kPlaceholder, kPlaceholder);
+  const double float_n = static_cast<double>(N);
+
+  kb.for_loop("j", 0, M, [&](IVal j) {
+    kb.store(kb.real(0.0), mean, {j});
+    kb.for_loop("i", 0, N, [&](IVal i) {
+      kb.store(kb.load(mean, {j}) + kb.load(data, {i, j}), mean, {j});
+    });
+    kb.store(kb.load(mean, {j}) / kb.real(float_n), mean, {j});
+  });
+  kb.for_loop("i", 0, N, [&](IVal i) {
+    kb.for_loop("j", 0, M, [&](IVal j) {
+      kb.store(kb.load(data, {i, j}) - kb.load(mean, {j}), data, {i, j});
+    });
+  });
+  kb.for_loop("i", 0, M, [&](IVal i) {
+    kb.for_loop("j", i, kb.idx(M), [&](IVal j) {
+      kb.store(kb.real(0.0), cov, {i, j});
+      kb.for_loop("kk", 0, N, [&](IVal kk) {
+        kb.store(kb.load(cov, {i, j}) + kb.load(data, {kk, i}) * kb.load(data, {kk, j}),
+                 cov, {i, j});
+      });
+      kb.store(kb.load(cov, {i, j}) / kb.real(float_n - 1.0), cov, {i, j});
+      kb.store(kb.load(cov, {i, j}), cov, {j, i});
+    });
+  });
+  k.function = kb.finish();
+  init2(k.inputs, "data", N, M, [&](auto i, auto j) {
+    return static_cast<double>(i * j) / M;
+  });
+  k.inputs["cov"].assign(static_cast<std::size_t>(M * M), 0.0);
+  k.inputs["mean"].assign(static_cast<std::size_t>(M), 0.0);
+  k.outputs = {"cov"};
+  return k;
+}
+
+BuiltKernel build_deriche(ir::Module& m, DatasetSize size) {
+  const std::int64_t W = scaled(16, size), H = scaled(12, size);
+  BuiltKernel k;
+  k.name = "deriche";
+  KernelBuilder kb(m, k.name);
+  Array* imgIn = kb.array("imgIn", {W, H}, -kPlaceholder, kPlaceholder);
+  Array* imgOut = kb.array("imgOut", {W, H}, -kPlaceholder, kPlaceholder);
+  Array* y1 = kb.array("y1", {W, H}, -kPlaceholder, kPlaceholder);
+  Array* y2 = kb.array("y2", {W, H}, -kPlaceholder, kPlaceholder);
+  ScalarCell xm1 = kb.scalar("xm1", -kPlaceholder, kPlaceholder);
+  ScalarCell tm1 = kb.scalar("tm1", -kPlaceholder, kPlaceholder);
+  ScalarCell ym1 = kb.scalar("ym1", -kPlaceholder, kPlaceholder);
+  ScalarCell ym2 = kb.scalar("ym2", -kPlaceholder, kPlaceholder);
+  ScalarCell xp1 = kb.scalar("xp1", -kPlaceholder, kPlaceholder);
+  ScalarCell xp2 = kb.scalar("xp2", -kPlaceholder, kPlaceholder);
+  ScalarCell tp1 = kb.scalar("tp1", -kPlaceholder, kPlaceholder);
+  ScalarCell tp2 = kb.scalar("tp2", -kPlaceholder, kPlaceholder);
+  ScalarCell yp1 = kb.scalar("yp1", -kPlaceholder, kPlaceholder);
+  ScalarCell yp2 = kb.scalar("yp2", -kPlaceholder, kPlaceholder);
+
+  // Filter coefficients (compile-time constants from alpha = 0.25).
+  const double alpha = 0.25;
+  const double kcoef = (1.0 - std::exp(-alpha)) * (1.0 - std::exp(-alpha)) /
+                       (1.0 + 2.0 * alpha * std::exp(-alpha) - std::exp(2.0 * alpha));
+  const double a1 = kcoef, a5 = kcoef;
+  const double a2 = kcoef * std::exp(-alpha) * (alpha - 1.0);
+  const double a6 = a2;
+  const double a3 = kcoef * std::exp(-alpha) * (alpha + 1.0);
+  const double a7 = a3;
+  const double a4 = -kcoef * std::exp(-2.0 * alpha), a8 = a4;
+  const double b1 = std::pow(2.0, -alpha);
+  const double b2 = -std::exp(-2.0 * alpha);
+  const double c1 = 1.0, c2 = 1.0;
+
+  // Horizontal forward pass.
+  kb.for_loop("i", 0, W, [&](IVal i) {
+    kb.set(ym1, kb.real(0.0));
+    kb.set(ym2, kb.real(0.0));
+    kb.set(xm1, kb.real(0.0));
+    kb.for_loop("j", 0, H, [&](IVal j) {
+      kb.store(kb.real(a1) * kb.load(imgIn, {i, j}) + kb.real(a2) * kb.get(xm1) +
+                   kb.real(b1) * kb.get(ym1) + kb.real(b2) * kb.get(ym2),
+               y1, {i, j});
+      kb.set(xm1, kb.load(imgIn, {i, j}));
+      kb.set(ym2, kb.get(ym1));
+      kb.set(ym1, kb.load(y1, {i, j}));
+    });
+  });
+  // Horizontal backward pass.
+  kb.for_loop("i", 0, W, [&](IVal i) {
+    kb.set(yp1, kb.real(0.0));
+    kb.set(yp2, kb.real(0.0));
+    kb.set(xp1, kb.real(0.0));
+    kb.set(xp2, kb.real(0.0));
+    kb.for_down("j", H - 1, 0, [&](IVal j) {
+      kb.store(kb.real(a3) * kb.get(xp1) + kb.real(a4) * kb.get(xp2) +
+                   kb.real(b1) * kb.get(yp1) + kb.real(b2) * kb.get(yp2),
+               y2, {i, j});
+      kb.set(xp2, kb.get(xp1));
+      kb.set(xp1, kb.load(imgIn, {i, j}));
+      kb.set(yp2, kb.get(yp1));
+      kb.set(yp1, kb.load(y2, {i, j}));
+    });
+  });
+  kb.for_loop("i", 0, W, [&](IVal i) {
+    kb.for_loop("j", 0, H, [&](IVal j) {
+      kb.store(kb.real(c1) * (kb.load(y1, {i, j}) + kb.load(y2, {i, j})),
+               imgOut, {i, j});
+    });
+  });
+  // Vertical forward pass.
+  kb.for_loop("j", 0, H, [&](IVal j) {
+    kb.set(tm1, kb.real(0.0));
+    kb.set(ym1, kb.real(0.0));
+    kb.set(ym2, kb.real(0.0));
+    kb.for_loop("i", 0, W, [&](IVal i) {
+      kb.store(kb.real(a5) * kb.load(imgOut, {i, j}) + kb.real(a6) * kb.get(tm1) +
+                   kb.real(b1) * kb.get(ym1) + kb.real(b2) * kb.get(ym2),
+               y1, {i, j});
+      kb.set(tm1, kb.load(imgOut, {i, j}));
+      kb.set(ym2, kb.get(ym1));
+      kb.set(ym1, kb.load(y1, {i, j}));
+    });
+  });
+  // Vertical backward pass.
+  kb.for_loop("j", 0, H, [&](IVal j) {
+    kb.set(tp1, kb.real(0.0));
+    kb.set(tp2, kb.real(0.0));
+    kb.set(yp1, kb.real(0.0));
+    kb.set(yp2, kb.real(0.0));
+    kb.for_down("i", W - 1, 0, [&](IVal i) {
+      kb.store(kb.real(a7) * kb.get(tp1) + kb.real(a8) * kb.get(tp2) +
+                   kb.real(b1) * kb.get(yp1) + kb.real(b2) * kb.get(yp2),
+               y2, {i, j});
+      kb.set(tp2, kb.get(tp1));
+      kb.set(tp1, kb.load(imgOut, {i, j}));
+      kb.set(yp2, kb.get(yp1));
+      kb.set(yp1, kb.load(y2, {i, j}));
+    });
+  });
+  kb.for_loop("i", 0, W, [&](IVal i) {
+    kb.for_loop("j", 0, H, [&](IVal j) {
+      kb.store(kb.real(c2) * (kb.load(y1, {i, j}) + kb.load(y2, {i, j})),
+               imgOut, {i, j});
+    });
+  });
+  k.function = kb.finish();
+  init2(k.inputs, "imgIn", W, H, [&](auto i, auto j) {
+    return static_cast<double>((313 * i + 991 * j) % 65536) / 65535.0;
+  });
+  for (const char* name : {"imgOut", "y1", "y2"})
+    k.inputs[name].assign(static_cast<std::size_t>(W * H), 0.0);
+  for (const char* name :
+       {"xm1", "tm1", "ym1", "ym2", "xp1", "xp2", "tp1", "tp2", "yp1", "yp2"})
+    k.inputs[name].assign(1, 0.0);
+  k.outputs = {"imgOut"};
+  return k;
+}
+
+BuiltKernel build_floyd_warshall(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(16, size);
+  BuiltKernel k;
+  k.name = "floyd-warshall";
+  KernelBuilder kb(m, k.name);
+  Array* paths = kb.array("paths", {N, N}, -kPlaceholder, kPlaceholder);
+  kb.for_loop("kk", 0, N, [&](IVal kk) {
+    kb.for_loop("i", 0, N, [&](IVal i) {
+      kb.for_loop("j", 0, N, [&](IVal j) {
+        RVal through = kb.load(paths, {i, kk}) + kb.load(paths, {kk, j});
+        RVal direct = kb.load(paths, {i, j});
+        kb.store(kb.select(direct < through, direct, through), paths, {i, j});
+      });
+    });
+  });
+  k.function = kb.finish();
+  init2(k.inputs, "paths", N, N, [&](auto i, auto j) {
+    double w = static_cast<double>(i * j % 7 + 1);
+    if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0) w = 999.0;
+    return w;
+  });
+  k.outputs = {"paths"};
+  return k;
+}
+
+BuiltKernel build_nussinov(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(16, size);
+  BuiltKernel k;
+  k.name = "nussinov";
+  KernelBuilder kb(m, k.name);
+  Array* seq = kb.array("seq", {N}, -kPlaceholder, kPlaceholder);
+  Array* table = kb.array("table", {N, N}, -kPlaceholder, kPlaceholder);
+  kb.for_down("i", N - 1, 0, [&](IVal i) {
+    kb.for_loop("j", i + 1, kb.idx(N), [&](IVal j) {
+      // j >= i+1 >= 1, so table[i][j-1] is always in range.
+      kb.store(kb.fmax(kb.load(table, {i, j}), kb.load(table, {i, j - 1})),
+               table, {i, j});
+      // i+1 <= j <= N-1, so table[i+1][j] is always in range.
+      kb.store(kb.fmax(kb.load(table, {i, j}), kb.load(table, {i + 1, j})),
+               table, {i, j});
+      // Pairing term: match(seq[i], seq[j]) only when i < j-1.
+      kb.if_then_else(
+          i < j - 1,
+          [&] {
+            BVal complementary = kb.fcmp(
+                CmpPred::EQ, kb.load(seq, {i}) + kb.load(seq, {j}), kb.real(3.0));
+            RVal match = kb.select(complementary, kb.real(1.0), kb.real(0.0));
+            kb.store(kb.fmax(kb.load(table, {i, j}),
+                             kb.load(table, {i + 1, j - 1}) + match),
+                     table, {i, j});
+          },
+          [&] {
+            kb.store(kb.fmax(kb.load(table, {i, j}), kb.load(table, {i + 1, j - 1})),
+                     table, {i, j});
+          });
+      kb.for_loop("kk", i + 1, j, [&](IVal kk) {
+        kb.store(kb.fmax(kb.load(table, {i, j}),
+                         kb.load(table, {i, kk}) + kb.load(table, {kk + 1, j})),
+                 table, {i, j});
+      });
+    });
+  });
+  k.function = kb.finish();
+  init1(k.inputs, "seq", N, [](auto i) {
+    return static_cast<double>((i + 1) % 4);
+  });
+  k.inputs["table"].assign(static_cast<std::size_t>(N * N), 0.0);
+  k.outputs = {"table"};
+  return k;
+}
+
+} // namespace luis::polybench::detail

@@ -1,0 +1,257 @@
+// Linear system solver / factorization PolyBench kernels.
+#include <cmath>
+
+#include "polybench/kernels.hpp"
+
+namespace luis::polybench::detail {
+
+using ir::Array;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::RVal;
+using ir::ScalarCell;
+
+namespace {
+constexpr double kPlaceholder = 1000.0; // replaced by profiling
+}
+
+void make_spd(std::vector<double>& a, std::int64_t n) {
+  // PolyBench recipe: lower-triangular seed, then A <- A * A^T.
+  std::vector<double> seed(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j)
+      seed[static_cast<std::size_t>(i * n + j)] =
+          static_cast<double>(-j % n) / n + 1.0;
+    seed[static_cast<std::size_t>(i * n + i)] = 1.0;
+  }
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t s = 0; s < n; ++s) {
+      double acc = 0.0;
+      for (std::int64_t t = 0; t < n; ++t)
+        acc += seed[static_cast<std::size_t>(r * n + t)] *
+               seed[static_cast<std::size_t>(s * n + t)];
+      a[static_cast<std::size_t>(r * n + s)] = acc;
+    }
+  }
+}
+
+BuiltKernel build_cholesky(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(18, size);
+  BuiltKernel k;
+  k.name = "cholesky";
+  KernelBuilder kb(m, k.name);
+  Array* A = kb.array("A", {N, N}, -kPlaceholder, kPlaceholder);
+  kb.for_loop("i", 0, N, [&](IVal i) {
+    kb.for_loop("j", kb.idx(0), i, [&](IVal j) {
+      kb.for_loop("kk", kb.idx(0), j, [&](IVal kk) {
+        kb.store(kb.load(A, {i, j}) - kb.load(A, {i, kk}) * kb.load(A, {j, kk}),
+                 A, {i, j});
+      });
+      kb.store(kb.load(A, {i, j}) / kb.load(A, {j, j}), A, {i, j});
+    });
+    kb.for_loop("kk", kb.idx(0), i, [&](IVal kk) {
+      kb.store(kb.load(A, {i, i}) - kb.load(A, {i, kk}) * kb.load(A, {i, kk}),
+               A, {i, i});
+    });
+    kb.store(kb.sqrt(kb.load(A, {i, i})), A, {i, i});
+  });
+  k.function = kb.finish();
+  auto& a = k.inputs["A"];
+  a.resize(static_cast<std::size_t>(N * N));
+  make_spd(a, N);
+  k.outputs = {"A"};
+  return k;
+}
+
+BuiltKernel build_lu(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(18, size);
+  BuiltKernel k;
+  k.name = "lu";
+  KernelBuilder kb(m, k.name);
+  Array* A = kb.array("A", {N, N}, -kPlaceholder, kPlaceholder);
+  kb.for_loop("i", 0, N, [&](IVal i) {
+    kb.for_loop("j", kb.idx(0), i, [&](IVal j) {
+      kb.for_loop("kk", kb.idx(0), j, [&](IVal kk) {
+        kb.store(kb.load(A, {i, j}) - kb.load(A, {i, kk}) * kb.load(A, {kk, j}),
+                 A, {i, j});
+      });
+      kb.store(kb.load(A, {i, j}) / kb.load(A, {j, j}), A, {i, j});
+    });
+    kb.for_loop("j", i, kb.idx(N), [&](IVal j) {
+      kb.for_loop("kk", kb.idx(0), i, [&](IVal kk) {
+        kb.store(kb.load(A, {i, j}) - kb.load(A, {i, kk}) * kb.load(A, {kk, j}),
+                 A, {i, j});
+      });
+    });
+  });
+  k.function = kb.finish();
+  auto& a = k.inputs["A"];
+  a.resize(static_cast<std::size_t>(N * N));
+  make_spd(a, N);
+  k.outputs = {"A"};
+  return k;
+}
+
+BuiltKernel build_ludcmp(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(18, size);
+  BuiltKernel k;
+  k.name = "ludcmp";
+  KernelBuilder kb(m, k.name);
+  Array* A = kb.array("A", {N, N}, -kPlaceholder, kPlaceholder);
+  Array* b = kb.array("b", {N}, -kPlaceholder, kPlaceholder);
+  Array* x = kb.array("x", {N}, -kPlaceholder, kPlaceholder);
+  Array* y = kb.array("y", {N}, -kPlaceholder, kPlaceholder);
+  ScalarCell w = kb.scalar("w", -kPlaceholder, kPlaceholder);
+  kb.for_loop("i", 0, N, [&](IVal i) {
+    kb.for_loop("j", kb.idx(0), i, [&](IVal j) {
+      kb.set(w, kb.load(A, {i, j}));
+      kb.for_loop("kk", kb.idx(0), j, [&](IVal kk) {
+        kb.set(w, kb.get(w) - kb.load(A, {i, kk}) * kb.load(A, {kk, j}));
+      });
+      kb.store(kb.get(w) / kb.load(A, {j, j}), A, {i, j});
+    });
+    kb.for_loop("j", i, kb.idx(N), [&](IVal j) {
+      kb.set(w, kb.load(A, {i, j}));
+      kb.for_loop("kk", kb.idx(0), i, [&](IVal kk) {
+        kb.set(w, kb.get(w) - kb.load(A, {i, kk}) * kb.load(A, {kk, j}));
+      });
+      kb.store(kb.get(w), A, {i, j});
+    });
+  });
+  kb.for_loop("i", 0, N, [&](IVal i) {
+    kb.set(w, kb.load(b, {i}));
+    kb.for_loop("j", kb.idx(0), i, [&](IVal j) {
+      kb.set(w, kb.get(w) - kb.load(A, {i, j}) * kb.load(y, {j}));
+    });
+    kb.store(kb.get(w), y, {i});
+  });
+  kb.for_down("i", N - 1, 0, [&](IVal i) {
+    kb.set(w, kb.load(y, {i}));
+    kb.for_loop("j", i + 1, kb.idx(N), [&](IVal j) {
+      kb.set(w, kb.get(w) - kb.load(A, {i, j}) * kb.load(x, {j}));
+    });
+    kb.store(kb.get(w) / kb.load(A, {i, i}), x, {i});
+  });
+  k.function = kb.finish();
+  auto& a = k.inputs["A"];
+  a.resize(static_cast<std::size_t>(N * N));
+  make_spd(a, N);
+  const double fn = static_cast<double>(N);
+  init1(k.inputs, "b", N, [&](auto i) { return (i + 1) / fn / 2.0 + 4.0; });
+  init1(k.inputs, "x", N, [](auto) { return 0.0; });
+  init1(k.inputs, "y", N, [](auto) { return 0.0; });
+  k.inputs["w"].assign(1, 0.0);
+  k.outputs = {"x"};
+  return k;
+}
+
+BuiltKernel build_durbin(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(22, size);
+  BuiltKernel k;
+  k.name = "durbin";
+  KernelBuilder kb(m, k.name);
+  Array* r = kb.array("r", {N}, -kPlaceholder, kPlaceholder);
+  Array* y = kb.array("y", {N}, -kPlaceholder, kPlaceholder);
+  Array* z = kb.array("z", {N}, -kPlaceholder, kPlaceholder);
+  ScalarCell alpha = kb.scalar("alpha", -kPlaceholder, kPlaceholder);
+  ScalarCell beta = kb.scalar("beta", -kPlaceholder, kPlaceholder);
+  ScalarCell sum = kb.scalar("sum", -kPlaceholder, kPlaceholder);
+
+  kb.store(kb.neg(kb.load(r, {kb.idx(0)})), y, {kb.idx(0)});
+  kb.set(beta, kb.real(1.0));
+  kb.set(alpha, kb.neg(kb.load(r, {kb.idx(0)})));
+  kb.for_loop("kk", 1, N, [&](IVal kk) {
+    kb.set(beta, (kb.real(1.0) - kb.get(alpha) * kb.get(alpha)) * kb.get(beta));
+    kb.set(sum, kb.real(0.0));
+    kb.for_loop("i", kb.idx(0), kk, [&](IVal i) {
+      kb.set(sum, kb.get(sum) + kb.load(r, {kk - 1 - i}) * kb.load(y, {i}));
+    });
+    kb.set(alpha, kb.neg((kb.load(r, {kk}) + kb.get(sum)) / kb.get(beta)));
+    kb.for_loop("i", kb.idx(0), kk, [&](IVal i) {
+      kb.store(kb.load(y, {i}) + kb.get(alpha) * kb.load(y, {kk - 1 - i}),
+               z, {i});
+    });
+    kb.for_loop("i", kb.idx(0), kk, [&](IVal i) {
+      kb.store(kb.load(z, {i}), y, {i});
+    });
+    kb.store(kb.get(alpha), y, {kk});
+  });
+  k.function = kb.finish();
+  init1(k.inputs, "r", N, [&](auto i) { return static_cast<double>(N + 1 - i); });
+  init1(k.inputs, "y", N, [](auto) { return 0.0; });
+  init1(k.inputs, "z", N, [](auto) { return 0.0; });
+  k.inputs["alpha"].assign(1, 0.0);
+  k.inputs["beta"].assign(1, 0.0);
+  k.inputs["sum"].assign(1, 0.0);
+  k.outputs = {"y"};
+  return k;
+}
+
+BuiltKernel build_gramschmidt(ir::Module& m, DatasetSize size) {
+  const std::int64_t M = scaled(14, size), N = scaled(12, size);
+  BuiltKernel k;
+  k.name = "gramschmidt";
+  KernelBuilder kb(m, k.name);
+  Array* A = kb.array("A", {M, N}, -kPlaceholder, kPlaceholder);
+  Array* R = kb.array("R", {N, N}, -kPlaceholder, kPlaceholder);
+  Array* Q = kb.array("Q", {M, N}, -kPlaceholder, kPlaceholder);
+  ScalarCell nrm = kb.scalar("nrm", -kPlaceholder, kPlaceholder);
+  kb.for_loop("kk", 0, N, [&](IVal kk) {
+    kb.set(nrm, kb.real(0.0));
+    kb.for_loop("i", 0, M, [&](IVal i) {
+      kb.set(nrm, kb.get(nrm) + kb.load(A, {i, kk}) * kb.load(A, {i, kk}));
+    });
+    kb.store(kb.sqrt(kb.get(nrm)), R, {kk, kk});
+    kb.for_loop("i", 0, M, [&](IVal i) {
+      kb.store(kb.load(A, {i, kk}) / kb.load(R, {kk, kk}), Q, {i, kk});
+    });
+    kb.for_loop("j", kk + 1, kb.idx(N), [&](IVal j) {
+      kb.store(kb.real(0.0), R, {kk, j});
+      kb.for_loop("i", 0, M, [&](IVal i) {
+        kb.store(kb.load(R, {kk, j}) + kb.load(Q, {i, kk}) * kb.load(A, {i, j}),
+                 R, {kk, j});
+      });
+      kb.for_loop("i", 0, M, [&](IVal i) {
+        kb.store(kb.load(A, {i, j}) - kb.load(Q, {i, kk}) * kb.load(R, {kk, j}),
+                 A, {i, j});
+      });
+    });
+  });
+  k.function = kb.finish();
+  init2(k.inputs, "A", M, N, [&](auto i, auto j) {
+    return (static_cast<double>((i * j) % M) / M) * 100.0 + 10.0;
+  });
+  init2(k.inputs, "R", N, N, [](auto, auto) { return 0.0; });
+  init2(k.inputs, "Q", M, N, [](auto, auto) { return 0.0; });
+  k.inputs["nrm"].assign(1, 0.0);
+  k.outputs = {"R", "Q"};
+  return k;
+}
+
+BuiltKernel build_trisolv(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(24, size);
+  BuiltKernel k;
+  k.name = "trisolv";
+  KernelBuilder kb(m, k.name);
+  Array* L = kb.array("L", {N, N}, -kPlaceholder, kPlaceholder);
+  Array* x = kb.array("x", {N}, -kPlaceholder, kPlaceholder);
+  Array* b = kb.array("b", {N}, -kPlaceholder, kPlaceholder);
+  kb.for_loop("i", 0, N, [&](IVal i) {
+    kb.store(kb.load(b, {i}), x, {i});
+    kb.for_loop("j", kb.idx(0), i, [&](IVal j) {
+      kb.store(kb.load(x, {i}) - kb.load(L, {i, j}) * kb.load(x, {j}), x, {i});
+    });
+    kb.store(kb.load(x, {i}) / kb.load(L, {i, i}), x, {i});
+  });
+  k.function = kb.finish();
+  init1(k.inputs, "b", N, [](auto i) { return static_cast<double>(i); });
+  init1(k.inputs, "x", N, [](auto) { return 0.0; });
+  init2(k.inputs, "L", N, N, [&](auto i, auto j) {
+    if (j > i) return 0.0; // upper triangle unused
+    return static_cast<double>(i + N - j + 1) * 2.0 / N;
+  });
+  k.outputs = {"x"};
+  return k;
+}
+
+} // namespace luis::polybench::detail

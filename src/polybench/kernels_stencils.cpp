@@ -1,0 +1,257 @@
+// Stencil PolyBench kernels.
+#include "polybench/kernels.hpp"
+
+namespace luis::polybench::detail {
+
+using ir::Array;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::RVal;
+
+namespace {
+constexpr double kPlaceholder = 1000.0; // replaced by profiling
+}
+
+BuiltKernel build_jacobi_1d(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(30, size), TSTEPS = scaled(8, size);
+  BuiltKernel k;
+  k.name = "jacobi-1d";
+  KernelBuilder kb(m, k.name);
+  Array* A = kb.array("A", {N}, -kPlaceholder, kPlaceholder);
+  Array* B = kb.array("B", {N}, -kPlaceholder, kPlaceholder);
+  RVal third = kb.real(0.33333);
+  kb.for_loop("t", 0, TSTEPS, [&](IVal) {
+    kb.for_loop("i", 1, N - 1, [&](IVal i) {
+      kb.store(third * (kb.load(A, {i - 1}) + kb.load(A, {i}) + kb.load(A, {i + 1})),
+               B, {i});
+    });
+    kb.for_loop("i", 1, N - 1, [&](IVal i) {
+      kb.store(third * (kb.load(B, {i - 1}) + kb.load(B, {i}) + kb.load(B, {i + 1})),
+               A, {i});
+    });
+  });
+  k.function = kb.finish();
+  init1(k.inputs, "A", N, [&](auto i) { return (i + 2.0) / N; });
+  init1(k.inputs, "B", N, [&](auto i) { return (i + 3.0) / N; });
+  k.outputs = {"A"};
+  return k;
+}
+
+BuiltKernel build_jacobi_2d(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(14, size), TSTEPS = scaled(6, size);
+  BuiltKernel k;
+  k.name = "jacobi-2d";
+  KernelBuilder kb(m, k.name);
+  Array* A = kb.array("A", {N, N}, -kPlaceholder, kPlaceholder);
+  Array* B = kb.array("B", {N, N}, -kPlaceholder, kPlaceholder);
+  RVal fifth = kb.real(0.2);
+  auto relax = [&](Array* src, Array* dst) {
+    kb.for_loop("i", 1, N - 1, [&](IVal i) {
+      kb.for_loop("j", 1, N - 1, [&](IVal j) {
+        kb.store(fifth * (kb.load(src, {i, j}) + kb.load(src, {i, j - 1}) +
+                          kb.load(src, {i, j + 1}) + kb.load(src, {i + 1, j}) +
+                          kb.load(src, {i - 1, j})),
+                 dst, {i, j});
+      });
+    });
+  };
+  kb.for_loop("t", 0, TSTEPS, [&](IVal) {
+    relax(A, B);
+    relax(B, A);
+  });
+  k.function = kb.finish();
+  init2(k.inputs, "A", N, N, [&](auto i, auto j) { return i * (j + 2.0) / N; });
+  init2(k.inputs, "B", N, N, [&](auto i, auto j) { return i * (j + 3.0) / N; });
+  k.outputs = {"A"};
+  return k;
+}
+
+BuiltKernel build_seidel_2d(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(14, size), TSTEPS = scaled(5, size);
+  BuiltKernel k;
+  k.name = "seidel-2d";
+  KernelBuilder kb(m, k.name);
+  Array* A = kb.array("A", {N, N}, -kPlaceholder, kPlaceholder);
+  RVal ninth = kb.real(1.0 / 9.0);
+  kb.for_loop("t", 0, TSTEPS, [&](IVal) {
+    kb.for_loop("i", 1, N - 1, [&](IVal i) {
+      kb.for_loop("j", 1, N - 1, [&](IVal j) {
+        RVal acc = kb.load(A, {i - 1, j - 1}) + kb.load(A, {i - 1, j}) +
+                   kb.load(A, {i - 1, j + 1}) + kb.load(A, {i, j - 1}) +
+                   kb.load(A, {i, j}) + kb.load(A, {i, j + 1}) +
+                   kb.load(A, {i + 1, j - 1}) + kb.load(A, {i + 1, j}) +
+                   kb.load(A, {i + 1, j + 1});
+        kb.store(acc * ninth, A, {i, j});
+      });
+    });
+  });
+  k.function = kb.finish();
+  init2(k.inputs, "A", N, N, [&](auto i, auto j) {
+    return (i * (j + 2.0) + 2.0) / N;
+  });
+  k.outputs = {"A"};
+  return k;
+}
+
+BuiltKernel build_fdtd_2d(ir::Module& m, DatasetSize size) {
+  const std::int64_t NX = scaled(14, size), NY = scaled(16, size), TMAX = scaled(6, size);
+  BuiltKernel k;
+  k.name = "fdtd-2d";
+  KernelBuilder kb(m, k.name);
+  Array* ex = kb.array("ex", {NX, NY}, -kPlaceholder, kPlaceholder);
+  Array* ey = kb.array("ey", {NX, NY}, -kPlaceholder, kPlaceholder);
+  Array* hz = kb.array("hz", {NX, NY}, -kPlaceholder, kPlaceholder);
+  Array* fict = kb.array("fict", {TMAX}, -kPlaceholder, kPlaceholder);
+  kb.for_loop("t", 0, TMAX, [&](IVal t) {
+    kb.for_loop("j", 0, NY, [&](IVal j) {
+      kb.store(kb.load(fict, {t}), ey, {kb.idx(0), j});
+    });
+    kb.for_loop("i", 1, NX, [&](IVal i) {
+      kb.for_loop("j", 0, NY, [&](IVal j) {
+        kb.store(kb.load(ey, {i, j}) -
+                     kb.real(0.5) * (kb.load(hz, {i, j}) - kb.load(hz, {i - 1, j})),
+                 ey, {i, j});
+      });
+    });
+    kb.for_loop("i", 0, NX, [&](IVal i) {
+      kb.for_loop("j", 1, NY, [&](IVal j) {
+        kb.store(kb.load(ex, {i, j}) -
+                     kb.real(0.5) * (kb.load(hz, {i, j}) - kb.load(hz, {i, j - 1})),
+                 ex, {i, j});
+      });
+    });
+    kb.for_loop("i", 0, NX - 1, [&](IVal i) {
+      kb.for_loop("j", 0, NY - 1, [&](IVal j) {
+        kb.store(kb.load(hz, {i, j}) -
+                     kb.real(0.7) * (kb.load(ex, {i, j + 1}) - kb.load(ex, {i, j}) +
+                                     kb.load(ey, {i + 1, j}) - kb.load(ey, {i, j})),
+                 hz, {i, j});
+      });
+    });
+  });
+  k.function = kb.finish();
+  init2(k.inputs, "ex", NX, NY, [&](auto i, auto j) { return i * (j + 1.0) / NX; });
+  init2(k.inputs, "ey", NX, NY, [&](auto i, auto j) { return i * (j + 2.0) / NY; });
+  init2(k.inputs, "hz", NX, NY, [&](auto i, auto j) { return i * (j + 3.0) / NX; });
+  init1(k.inputs, "fict", TMAX, [](auto i) { return static_cast<double>(i); });
+  k.outputs = {"ex", "ey", "hz"};
+  return k;
+}
+
+BuiltKernel build_heat_3d(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(10, size), TSTEPS = scaled(5, size);
+  BuiltKernel k;
+  k.name = "heat-3d";
+  KernelBuilder kb(m, k.name);
+  Array* A = kb.array("A", {N, N, N}, -kPlaceholder, kPlaceholder);
+  Array* B = kb.array("B", {N, N, N}, -kPlaceholder, kPlaceholder);
+  RVal c = kb.real(0.125);
+  auto relax = [&](Array* src, Array* dst) {
+    kb.for_loop("i", 1, N - 1, [&](IVal i) {
+      kb.for_loop("j", 1, N - 1, [&](IVal j) {
+        kb.for_loop("kk", 1, N - 1, [&](IVal kk) {
+          RVal di = kb.load(src, {i + 1, j, kk}) -
+                    kb.real(2.0) * kb.load(src, {i, j, kk}) +
+                    kb.load(src, {i - 1, j, kk});
+          RVal dj = kb.load(src, {i, j + 1, kk}) -
+                    kb.real(2.0) * kb.load(src, {i, j, kk}) +
+                    kb.load(src, {i, j - 1, kk});
+          RVal dk = kb.load(src, {i, j, kk + 1}) -
+                    kb.real(2.0) * kb.load(src, {i, j, kk}) +
+                    kb.load(src, {i, j, kk - 1});
+          kb.store(c * di + c * dj + c * dk + kb.load(src, {i, j, kk}), dst,
+                   {i, j, kk});
+        });
+      });
+    });
+  };
+  kb.for_loop("t", 0, TSTEPS, [&](IVal) {
+    relax(A, B);
+    relax(B, A);
+  });
+  k.function = kb.finish();
+  init3(k.inputs, "A", N, N, N, [&](auto i, auto j, auto kk) {
+    return (i + j + (N - kk)) * 10.0 / N;
+  });
+  k.inputs["B"] = k.inputs["A"];
+  k.outputs = {"A"};
+  return k;
+}
+
+BuiltKernel build_adi(ir::Module& m, DatasetSize size) {
+  const std::int64_t N = scaled(12, size), TSTEPS = scaled(4, size);
+  BuiltKernel k;
+  k.name = "adi";
+  KernelBuilder kb(m, k.name);
+  Array* u = kb.array("u", {N, N}, -kPlaceholder, kPlaceholder);
+  Array* v = kb.array("v", {N, N}, -kPlaceholder, kPlaceholder);
+  Array* p = kb.array("p", {N, N}, -kPlaceholder, kPlaceholder);
+  Array* q = kb.array("q", {N, N}, -kPlaceholder, kPlaceholder);
+
+  // Scalar coefficients: compile-time constants in PolyBench (computed
+  // from N and TSTEPS literals), folded here the way Clang -O1 would.
+  const double DX = 1.0 / static_cast<double>(N);
+  const double DY = 1.0 / static_cast<double>(N);
+  const double DT = 1.0 / static_cast<double>(TSTEPS);
+  const double B1 = 2.0, B2 = 1.0;
+  const double mul1 = B1 * DT / (DX * DX);
+  const double mul2 = B2 * DT / (DY * DY);
+  const double a = -mul1 / 2.0, b = 1.0 + mul1, c = a;
+  const double d = -mul2 / 2.0, e = 1.0 + mul2, ff = d;
+
+  kb.for_loop("t", 0, TSTEPS, [&](IVal) {
+    // Column sweep.
+    kb.for_loop("i", 1, N - 1, [&](IVal i) {
+      kb.store(kb.real(1.0), v, {kb.idx(0), i});
+      kb.store(kb.real(0.0), p, {i, kb.idx(0)});
+      kb.store(kb.load(v, {kb.idx(0), i}), q, {i, kb.idx(0)});
+      kb.for_loop("j", 1, N - 1, [&](IVal j) {
+        RVal denom = kb.real(a) * kb.load(p, {i, j - 1}) + kb.real(b);
+        kb.store(kb.neg(kb.real(c)) / denom, p, {i, j});
+        kb.store((kb.neg(kb.real(d)) * kb.load(u, {j, i - 1}) +
+                  kb.real(1.0 + 2.0 * d) * kb.load(u, {j, i}) -
+                  kb.real(ff) * kb.load(u, {j, i + 1}) -
+                  kb.real(a) * kb.load(q, {i, j - 1})) /
+                     denom,
+                 q, {i, j});
+      });
+      kb.store(kb.real(1.0), v, {kb.idx(N - 1), i});
+      kb.for_down("j", N - 2, 1, [&](IVal j) {
+        kb.store(kb.load(p, {i, j}) * kb.load(v, {j + 1, i}) + kb.load(q, {i, j}),
+                 v, {j, i});
+      });
+    });
+    // Row sweep.
+    kb.for_loop("i", 1, N - 1, [&](IVal i) {
+      kb.store(kb.real(1.0), u, {i, kb.idx(0)});
+      kb.store(kb.real(0.0), p, {i, kb.idx(0)});
+      kb.store(kb.load(u, {i, kb.idx(0)}), q, {i, kb.idx(0)});
+      kb.for_loop("j", 1, N - 1, [&](IVal j) {
+        RVal denom = kb.real(d) * kb.load(p, {i, j - 1}) + kb.real(e);
+        kb.store(kb.neg(kb.real(ff)) / denom, p, {i, j});
+        kb.store((kb.neg(kb.real(a)) * kb.load(v, {i - 1, j}) +
+                  kb.real(1.0 + 2.0 * a) * kb.load(v, {i, j}) -
+                  kb.real(c) * kb.load(v, {i + 1, j}) -
+                  kb.real(d) * kb.load(q, {i, j - 1})) /
+                     denom,
+                 q, {i, j});
+      });
+      kb.store(kb.real(1.0), u, {i, kb.idx(N - 1)});
+      kb.for_down("j", N - 2, 1, [&](IVal j) {
+        kb.store(kb.load(p, {i, j}) * kb.load(u, {i, j + 1}) + kb.load(q, {i, j}),
+                 u, {i, j});
+      });
+    });
+  });
+  k.function = kb.finish();
+  init2(k.inputs, "u", N, N, [&](auto i, auto j) {
+    return (i + N - j) / static_cast<double>(N);
+  });
+  init2(k.inputs, "v", N, N, [](auto, auto) { return 0.0; });
+  init2(k.inputs, "p", N, N, [](auto, auto) { return 0.0; });
+  init2(k.inputs, "q", N, N, [](auto, auto) { return 0.0; });
+  k.outputs = {"u"};
+  return k;
+}
+
+} // namespace luis::polybench::detail

@@ -1,0 +1,22 @@
+#include "support/diag.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace luis {
+
+[[noreturn]] void fatal_error(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "luis fatal error at %s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void assert_fail(const char* file, int line, const char* expr,
+                              const std::string& msg) {
+  std::fprintf(stderr, "luis assertion failed at %s:%d: (%s) %s\n", file, line,
+               expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace luis

@@ -1,0 +1,28 @@
+// Diagnostics: assertion and fatal-error helpers used throughout LUIS.
+//
+// LUIS_ASSERT is an always-on invariant check (it is not compiled out in
+// release builds): this is a compiler-style tool where silently corrupt IR
+// or ILP models are far more expensive than the cost of a branch.
+#pragma once
+
+#include <string>
+
+namespace luis {
+
+/// Prints `msg` with source location context and aborts.
+[[noreturn]] void fatal_error(const char* file, int line, const std::string& msg);
+
+/// Formats the failing expression and aborts. Used by LUIS_ASSERT.
+[[noreturn]] void assert_fail(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+} // namespace luis
+
+#define LUIS_ASSERT(cond, msg)                                                 \
+  do {                                                                         \
+    if (!(cond)) ::luis::assert_fail(__FILE__, __LINE__, #cond, (msg));        \
+  } while (0)
+
+#define LUIS_FATAL(msg) ::luis::fatal_error(__FILE__, __LINE__, (msg))
+
+#define LUIS_UNREACHABLE(msg) ::luis::fatal_error(__FILE__, __LINE__, (msg))

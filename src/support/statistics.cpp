@@ -1,0 +1,81 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/diag.hpp"
+
+namespace luis {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) {
+    LUIS_ASSERT(x > 0.0, "geomean requires positive inputs");
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double percentile_of(std::vector<double> xs, double p) {
+  LUIS_ASSERT(!xs.empty(), "percentile of empty sample");
+  LUIS_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double mean_percentage_error(std::span<const double> reference,
+                             std::span<const double> tuned) {
+  LUIS_ASSERT(reference.size() == tuned.size(),
+              "MPE requires equally sized output vectors");
+  if (reference.empty()) return 0.0;
+  double acc = 0.0;
+  std::size_t counted = 0;
+  bool diverged_at_zero = false;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i] == 0.0) {
+      if (tuned[i] != 0.0) diverged_at_zero = true;
+      continue;
+    }
+    acc += std::abs((reference[i] - tuned[i]) / reference[i]);
+    ++counted;
+  }
+  if (counted == 0)
+    return diverged_at_zero ? std::numeric_limits<double>::infinity() : 0.0;
+  return 100.0 * acc / static_cast<double>(counted);
+}
+
+} // namespace luis

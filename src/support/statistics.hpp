@@ -1,0 +1,50 @@
+// Small statistics helpers shared by the evaluation harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace luis {
+
+/// Accumulates streaming summary statistics (Welford's algorithm).
+class RunningStats {
+public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const; ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean of a sequence (0 for empty input).
+double mean_of(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be positive.
+double geomean_of(std::span<const double> xs);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation.
+double percentile_of(std::vector<double> xs, double p);
+
+/// Mean Percentage Error between a reference and a tuned output vector,
+/// exactly as defined in the paper (section V-A.4):
+///   MPE = 100/n * sum_i |(o_i - o'_i) / o_i|
+/// Elements where the reference is zero are skipped to keep the metric
+/// finite (the paper's MPE is undefined there); if every reference element
+/// is zero the MPE is 0 when the outputs agree and infinity otherwise.
+double mean_percentage_error(std::span<const double> reference,
+                             std::span<const double> tuned);
+
+} // namespace luis

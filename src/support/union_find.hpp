@@ -1,0 +1,67 @@
+// Disjoint-set forest with union by rank and path compression.
+//
+// Used by the LUIS ILP model builder to merge virtual registers that are
+// forced to share a data type (operands of the same arithmetic operation,
+// phi webs, loads tied to their backing array) into type equivalence
+// classes, which keeps the ILP model compact.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace luis {
+
+class UnionFind {
+public:
+  explicit UnionFind(std::size_t n = 0) { reset(n); }
+
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    rank_.assign(n, 0);
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    components_ = n;
+  }
+
+  /// Adds one element and returns its index.
+  std::size_t add() {
+    parent_.push_back(parent_.size());
+    rank_.push_back(0);
+    ++components_;
+    return parent_.size() - 1;
+  }
+
+  std::size_t size() const { return parent_.size(); }
+  std::size_t component_count() const { return components_; }
+
+  std::size_t find(std::size_t x) {
+    std::size_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const std::size_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merges the sets containing a and b. Returns the surviving root.
+  std::size_t unite(std::size_t a, std::size_t b) {
+    std::size_t ra = find(a), rb = find(b);
+    if (ra == rb) return ra;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --components_;
+    return ra;
+  }
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+private:
+  std::vector<std::size_t> parent_;
+  std::vector<unsigned> rank_;
+  std::size_t components_ = 0;
+};
+
+} // namespace luis

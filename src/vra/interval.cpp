@@ -1,0 +1,105 @@
+#include "vra/interval.hpp"
+
+#include <cmath>
+
+#include "support/string_utils.hpp"
+
+namespace luis::vra {
+
+Interval Interval::top(double bound) { return {-bound, bound}; }
+
+std::string Interval::to_string() const {
+  return format_string("[%g, %g]", lo, hi);
+}
+
+Interval iv_add(const Interval& a, const Interval& b) {
+  return {a.lo + b.lo, a.hi + b.hi};
+}
+
+Interval iv_sub(const Interval& a, const Interval& b) {
+  return {a.lo - b.hi, a.hi - b.lo};
+}
+
+Interval iv_mul(const Interval& a, const Interval& b) {
+  const double c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  return {std::min({c[0], c[1], c[2], c[3]}), std::max({c[0], c[1], c[2], c[3]})};
+}
+
+Interval iv_div(const Interval& a, const Interval& b, double huge) {
+  if (b.contains_zero()) return Interval::top(huge);
+  const double c[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+  return {std::min({c[0], c[1], c[2], c[3]}), std::max({c[0], c[1], c[2], c[3]})};
+}
+
+Interval iv_rem(const Interval& a, const Interval& b) {
+  // |fmod(a, b)| <= min(|a|, |b|), sign follows the dividend.
+  const double bound = std::min(a.max_magnitude(), b.max_magnitude());
+  const double lo = a.lo < 0.0 ? -bound : 0.0;
+  const double hi = a.hi > 0.0 ? bound : 0.0;
+  return {lo, hi};
+}
+
+Interval iv_neg(const Interval& a) { return {-a.hi, -a.lo}; }
+
+Interval iv_abs(const Interval& a) {
+  if (a.lo >= 0.0) return a;
+  if (a.hi <= 0.0) return {-a.hi, -a.lo};
+  return {0.0, a.max_magnitude()};
+}
+
+Interval iv_sqrt(const Interval& a) {
+  return {std::sqrt(std::max(a.lo, 0.0)), std::sqrt(std::max(a.hi, 0.0))};
+}
+
+Interval iv_exp(const Interval& a, double huge) {
+  return {std::exp(a.lo), std::min(std::exp(a.hi), huge)};
+}
+
+Interval iv_pow(const Interval& base, const Interval& exponent, double huge) {
+  if (exponent.lo != exponent.hi) return Interval::top(huge);
+  const double e = exponent.lo;
+  if (e == std::floor(e) && e >= 0.0) {
+    const auto n = static_cast<long>(e);
+    if (n % 2 == 0) {
+      // Even power: minimum at the smallest magnitude.
+      const double m = base.contains_zero() ? 0.0
+                                            : std::min(std::abs(base.lo),
+                                                       std::abs(base.hi));
+      return {std::pow(m, e), std::pow(base.max_magnitude(), e)};
+    }
+    // Odd power: monotone.
+    return {std::pow(base.lo, e), std::pow(base.hi, e)};
+  }
+  if (base.lo >= 0.0) {
+    // Monotone in base for positive bases.
+    const double c[4] = {std::pow(base.lo, exponent.lo), std::pow(base.lo, exponent.hi),
+                         std::pow(base.hi, exponent.lo), std::pow(base.hi, exponent.hi)};
+    return {std::min({c[0], c[1], c[2], c[3]}), std::max({c[0], c[1], c[2], c[3]})};
+  }
+  return Interval::top(huge);
+}
+
+Interval iv_min(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval iv_max(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval iv_join(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval iv_widen(const Interval& old_iv, const Interval& new_iv, double bound) {
+  return {new_iv.lo < old_iv.lo ? -bound : old_iv.lo,
+          new_iv.hi > old_iv.hi ? bound : old_iv.hi};
+}
+
+Interval iv_clamp(const Interval& a, double bound) {
+  const double lo = std::isnan(a.lo) ? -bound : std::clamp(a.lo, -bound, bound);
+  const double hi = std::isnan(a.hi) ? bound : std::clamp(a.hi, -bound, bound);
+  return {lo, hi};
+}
+
+} // namespace luis::vra

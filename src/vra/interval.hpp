@@ -1,0 +1,58 @@
+// Interval arithmetic domain for Value Range Analysis.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+namespace luis::vra {
+
+/// A closed interval [lo, hi] over the extended reals. The default
+/// constructed interval is the single point 0.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  Interval() = default;
+  Interval(double l, double h) : lo(l), hi(h) {}
+  static Interval point(double x) { return {x, x}; }
+  /// The "don't know" element (clamped to +-bound by the analysis).
+  static Interval top(double bound);
+
+  bool contains(double x) const { return lo <= x && x <= hi; }
+  bool contains_zero() const { return contains(0.0); }
+  double width() const { return hi - lo; }
+  double max_magnitude() const { return std::max(std::abs(lo), std::abs(hi)); }
+  bool valid() const { return lo <= hi; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+// Exact interval transfer functions for every Real operation of the IR.
+Interval iv_add(const Interval& a, const Interval& b);
+Interval iv_sub(const Interval& a, const Interval& b);
+Interval iv_mul(const Interval& a, const Interval& b);
+/// Division widens to `huge` when the divisor straddles zero.
+Interval iv_div(const Interval& a, const Interval& b, double huge);
+/// fmod: bounded by the divisor magnitude and the dividend.
+Interval iv_rem(const Interval& a, const Interval& b);
+Interval iv_neg(const Interval& a);
+Interval iv_abs(const Interval& a);
+/// sqrt clamps the negative part (NaN region) at 0.
+Interval iv_sqrt(const Interval& a);
+Interval iv_exp(const Interval& a, double huge);
+/// pow with a constant exponent handles the monotone and even cases
+/// exactly; anything else falls back to [-huge, huge].
+Interval iv_pow(const Interval& base, const Interval& exponent, double huge);
+Interval iv_min(const Interval& a, const Interval& b);
+Interval iv_max(const Interval& a, const Interval& b);
+
+/// Least upper bound (interval hull).
+Interval iv_join(const Interval& a, const Interval& b);
+/// Standard widening: bounds that grew since `old` jump to +-bound.
+Interval iv_widen(const Interval& old_iv, const Interval& new_iv, double bound);
+/// Clamps both bounds into [-bound, bound].
+Interval iv_clamp(const Interval& a, double bound);
+
+} // namespace luis::vra

@@ -1,0 +1,220 @@
+#include "vra/range_analysis.hpp"
+
+#include <optional>
+
+#include "support/diag.hpp"
+
+namespace luis::vra {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::ScalarType;
+
+Interval RangeMap::of(const ir::Value* value) const {
+  const auto it = ranges_.find(value);
+  if (it != ranges_.end()) return it->second;
+  switch (value->kind()) {
+  case ir::Value::Kind::ConstReal:
+    return Interval::point(static_cast<const ir::ConstReal*>(value)->value());
+  case ir::Value::Kind::ConstInt:
+    return Interval::point(
+        static_cast<double>(static_cast<const ir::ConstInt*>(value)->value()));
+  default:
+    return Interval::top(top_);
+  }
+}
+
+namespace {
+
+class Analyzer {
+public:
+  Analyzer(const ir::Function& f, const VraOptions& opt) : f_(f), opt_(opt) {
+    map_.set_top_magnitude(opt.clamp);
+  }
+
+  RangeMap run() {
+    // Seed arrays from annotations.
+    for (const auto& arr : f_.arrays()) {
+      if (arr->range_annotation()) {
+        map_.set(arr.get(), iv_clamp({arr->range_annotation()->first,
+                                      arr->range_annotation()->second},
+                                     opt_.clamp));
+      } else {
+        map_.set(arr.get(), Interval::top(opt_.clamp));
+      }
+    }
+
+    for (int pass = 0; pass < opt_.max_passes; ++pass) {
+      changed_ = false;
+      widen_ = pass >= opt_.widen_after;
+      for (const auto& bb : f_.blocks())
+        for (const auto& inst : bb->instructions()) transfer(inst.get());
+      if (!changed_) break;
+    }
+    return std::move(map_);
+  }
+
+private:
+  /// Operand range during the fixpoint: constants are points, seeded and
+  /// already-computed values read the map, and not-yet-visited registers
+  /// are bottom (nullopt) so the optimistic iteration can start tight.
+  std::optional<Interval> in_opt(const ir::Value* v) const {
+    if (v->is_constant() || map_.has(v)) return map_.of(v);
+    return std::nullopt;
+  }
+
+  /// Strict operand read: bottom operands poison the transfer (sets the
+  /// poisoned_ flag and returns a dummy).
+  Interval in(const ir::Value* v) {
+    const auto iv = in_opt(v);
+    if (!iv) {
+      poisoned_ = true;
+      return Interval{};
+    }
+    return *iv;
+  }
+
+  void update(const ir::Value* v, Interval next) {
+    if (poisoned_) return; // a bottom operand: try again next pass
+    next = iv_clamp(next, opt_.clamp);
+    if (!map_.has(v)) {
+      map_.set(v, next);
+      changed_ = true;
+      return;
+    }
+    const Interval old = map_.of(v);
+    Interval merged = iv_join(old, next);
+    if (merged == old) return;
+    if (widen_) merged = iv_widen(old, merged, opt_.clamp);
+    map_.set(v, merged);
+    changed_ = true;
+  }
+
+  /// Replaces (rather than joins) the range of a register: real data flow
+  /// through registers is a pure function of the operand ranges, so the
+  /// transfer result is exact and re-evaluation must be able to shrink it.
+  void assign(const ir::Value* v, Interval next) {
+    if (poisoned_) return; // a bottom operand: try again next pass
+    next = iv_clamp(next, opt_.clamp);
+    if (map_.has(v) && map_.of(v) == next) return;
+    map_.set(v, next);
+    changed_ = true;
+  }
+
+  void transfer(const Instruction* inst) {
+    const double huge = opt_.clamp;
+    poisoned_ = false;
+    switch (inst->opcode()) {
+    case Opcode::Add:
+      assign(inst, iv_add(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::Sub:
+      assign(inst, iv_sub(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::Mul:
+      assign(inst, iv_mul(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::Div:
+      assign(inst, iv_div(in(inst->operand(0)), in(inst->operand(1)), huge));
+      break;
+    case Opcode::Rem:
+      assign(inst, iv_rem(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::Neg:
+      assign(inst, iv_neg(in(inst->operand(0))));
+      break;
+    case Opcode::Abs:
+      assign(inst, iv_abs(in(inst->operand(0))));
+      break;
+    case Opcode::Sqrt:
+      assign(inst, iv_sqrt(in(inst->operand(0))));
+      break;
+    case Opcode::Exp:
+      assign(inst, iv_exp(in(inst->operand(0)), huge));
+      break;
+    case Opcode::Pow:
+      assign(inst, iv_pow(in(inst->operand(0)), in(inst->operand(1)), huge));
+      break;
+    case Opcode::Min:
+      assign(inst, iv_min(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::Max:
+      assign(inst, iv_max(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::Cast:
+    case Opcode::IntToReal:
+      assign(inst, in(inst->operand(0)));
+      break;
+    case Opcode::Load:
+      // The array annotation is authoritative for loaded values.
+      assign(inst, in(inst->operand(0)));
+      break;
+    case Opcode::Store:
+      if (opt_.join_stores)
+        update(inst->operand(1), in(inst->operand(0)));
+      break;
+    case Opcode::Select: {
+      if (inst->type() == ScalarType::Real)
+        assign(inst, iv_join(in(inst->operand(1)), in(inst->operand(2))));
+      else if (inst->type() == ScalarType::Int)
+        update(inst, iv_join(in(inst->operand(1)), in(inst->operand(2))));
+      break;
+    }
+    case Opcode::Phi: {
+      // Joins across loop back edges grow monotonically; widening bounds
+      // the iteration count. Not-yet-visited incoming values (the back
+      // edge on the first pass) are bottom and do not contribute.
+      std::optional<Interval> acc;
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        const auto iv = in_opt(inst->operand(i));
+        if (!iv) continue;
+        acc = acc ? iv_join(*acc, *iv) : *iv;
+      }
+      if (acc) update(inst, *acc);
+      return;
+    }
+    case Opcode::IAdd:
+      update(inst, iv_add(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::ISub:
+      update(inst, iv_sub(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::IMul:
+      update(inst, iv_mul(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::IDiv:
+      update(inst, iv_div(in(inst->operand(0)), in(inst->operand(1)), huge));
+      break;
+    case Opcode::IRem:
+      update(inst, iv_rem(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::IMin:
+      update(inst, iv_min(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::IMax:
+      update(inst, iv_max(in(inst->operand(0)), in(inst->operand(1))));
+      break;
+    case Opcode::ICmp:
+    case Opcode::FCmp:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+      break;
+    }
+  }
+
+  const ir::Function& f_;
+  const VraOptions& opt_;
+  RangeMap map_;
+  bool changed_ = false;
+  bool widen_ = false;
+  bool poisoned_ = false;
+};
+
+} // namespace
+
+RangeMap analyze_ranges(const ir::Function& f, const VraOptions& options) {
+  return Analyzer(f, options).run();
+}
+
+} // namespace luis::vra

@@ -1,0 +1,54 @@
+// Value Range Analysis (VRA) — the first stage of the LUIS pipeline
+// (Figure 1 of the paper).
+//
+// Propagates the user's range annotations on arrays to every virtual
+// register of the kernel. Arrays are annotated with the dynamic range of
+// the values they hold over the whole execution (the TAFFO annotation
+// discipline), so array ranges are authoritative: loads read the
+// annotation, and real-valued data flow through registers is acyclic
+// (accumulation goes through memory). Integer registers (loop induction
+// variables feeding IntToReal) are analyzed to a fixpoint with widening.
+//
+// The optional join_stores mode additionally flows stored-value ranges
+// back into arrays (with widening); it exists to *check* annotations
+// rather than to replace them.
+#pragma once
+
+#include <map>
+
+#include "ir/function.hpp"
+#include "vra/interval.hpp"
+
+namespace luis::vra {
+
+struct VraOptions {
+  int max_passes = 50;
+  int widen_after = 10;
+  /// Hard clamp on every bound; also the "don't know" magnitude.
+  double clamp = 1e30;
+  /// Flow store ranges back into array ranges (annotation checking mode).
+  bool join_stores = false;
+};
+
+class RangeMap {
+public:
+  /// Range of a value; constants are their point interval, unannotated
+  /// arrays and unknown values return the clamped top element.
+  Interval of(const ir::Value* value) const;
+
+  void set(const ir::Value* value, Interval iv) { ranges_[value] = iv; }
+  bool has(const ir::Value* value) const { return ranges_.count(value) > 0; }
+  std::size_t size() const { return ranges_.size(); }
+  double top_magnitude() const { return top_; }
+  void set_top_magnitude(double m) { top_ = m; }
+
+private:
+  std::map<const ir::Value*, Interval> ranges_;
+  double top_ = 1e30;
+};
+
+/// Runs the analysis over `f`. Every Real instruction and every array has
+/// an entry in the result.
+RangeMap analyze_ranges(const ir::Function& f, const VraOptions& options = {});
+
+} // namespace luis::vra

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/assignment_io.hpp"
+#include "core/pipeline.hpp"
+#include "polybench/polybench.hpp"
+
+namespace luis::core {
+namespace {
+
+TEST(AssignmentIo, RoundTripsAnIlpAllocation) {
+  ir::Module m;
+  polybench::BuiltKernel kernel = polybench::build_kernel("gemm", m);
+  const vra::RangeMap ranges = vra::analyze_ranges(*kernel.function);
+  const AllocationResult alloc = allocate_ilp(
+      *kernel.function, ranges, platform::stm32_table(), TuningConfig::fast());
+
+  const std::string text =
+      assignment_to_text(*kernel.function, alloc.assignment);
+  const AssignmentParseResult parsed =
+      assignment_from_text(*kernel.function, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+
+  // Every array and Real instruction resolves to the same type.
+  for (const auto& arr : kernel.function->arrays())
+    EXPECT_EQ(parsed.assignment.of(arr.get()), alloc.assignment.of(arr.get()))
+        << arr->name();
+  for (const auto& bb : kernel.function->blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->type() == ir::ScalarType::Real) {
+        EXPECT_EQ(parsed.assignment.of(inst.get()),
+                  alloc.assignment.of(inst.get()));
+      }
+
+  // Executing under the reloaded assignment is bit-identical.
+  interp::ArrayStore s1 = kernel.inputs, s2 = kernel.inputs;
+  const interp::RunResult r1 =
+      run_function(*kernel.function, alloc.assignment, s1);
+  const interp::RunResult r2 =
+      run_function(*kernel.function, parsed.assignment, s2);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_EQ(s1.at("C"), s2.at("C"));
+  EXPECT_EQ(r1.counters.ops, r2.counters.ops);
+}
+
+TEST(AssignmentIo, ParsesDefaultAndComments) {
+  ir::Module m;
+  polybench::BuiltKernel kernel = polybench::build_kernel("trisolv", m);
+  const AssignmentParseResult parsed = assignment_from_text(*kernel.function,
+                                                            R"(# hand-written
+@L fix32.20
+default binary32
+@x fix32.18
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.assignment.of(kernel.function->array_by_name("L")).name(),
+            "fix32.20");
+  EXPECT_EQ(parsed.assignment.of(kernel.function->array_by_name("x")).name(),
+            "fix32.18");
+  // Unlisted values fall back to the default.
+  EXPECT_EQ(parsed.assignment.of(kernel.function->array_by_name("b")).format,
+            numrep::kBinary32);
+}
+
+TEST(AssignmentIo, RejectsBadInput) {
+  ir::Module m;
+  polybench::BuiltKernel kernel = polybench::build_kernel("trisolv", m);
+  EXPECT_FALSE(assignment_from_text(*kernel.function, "@nope fix32.4").ok());
+  EXPECT_FALSE(assignment_from_text(*kernel.function, "@L sometype").ok());
+  EXPECT_FALSE(assignment_from_text(*kernel.function, "@L fix32.99").ok());
+  EXPECT_FALSE(assignment_from_text(*kernel.function, "%9999 binary32").ok());
+  EXPECT_FALSE(assignment_from_text(*kernel.function, "L binary32").ok());
+}
+
+} // namespace
+} // namespace luis::core

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/lp_writer.hpp"
+#include "support/rng.hpp"
+
+namespace luis::ilp {
+namespace {
+
+TEST(BranchAndBound, SimpleIntegerRounding) {
+  // max x + y s.t. 2x + 2y <= 7, integer -> x + y = 3 (not 3.5).
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10);
+  const VarId y = m.add_integer("y", 0, 10);
+  m.add_le(LinearExpr().add(x, 2).add(y, 2), 7);
+  m.set_objective(Direction::Maximize, LinearExpr().add(x, 1).add(y, 1));
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+  EXPECT_TRUE(m.is_feasible(s.values));
+}
+
+TEST(BranchAndBound, KnapsackAgainstBruteForce) {
+  Rng rng(42);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 12;
+    std::vector<double> weight(n), value(n);
+    for (int i = 0; i < n; ++i) {
+      weight[static_cast<std::size_t>(i)] = static_cast<double>(rng.next_int(1, 20));
+      value[static_cast<std::size_t>(i)] = static_cast<double>(rng.next_int(1, 30));
+    }
+    const double cap = static_cast<double>(rng.next_int(20, 80));
+
+    Model m;
+    LinearExpr wsum, vsum;
+    std::vector<VarId> xs;
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(m.add_binary("x" + std::to_string(i)));
+      wsum.add(xs.back(), weight[static_cast<std::size_t>(i)]);
+      vsum.add(xs.back(), value[static_cast<std::size_t>(i)]);
+    }
+    m.add_le(std::move(wsum), cap);
+    m.set_objective(Direction::Maximize, std::move(vsum));
+
+    const Solution s = solve_milp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal) << "trial " << trial;
+    EXPECT_TRUE(m.is_feasible(s.values)) << "trial " << trial;
+
+    // Brute force over 2^12 subsets.
+    double best = 0.0;
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      double w = 0, v = 0;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          w += weight[static_cast<std::size_t>(i)];
+          v += value[static_cast<std::size_t>(i)];
+        }
+      }
+      if (w <= cap) best = std::max(best, v);
+    }
+    EXPECT_NEAR(s.objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(BranchAndBound, AssignmentProblemIsIntegralAtRoot) {
+  // 4x4 assignment: LP relaxation is integral (totally unimodular), so the
+  // solver should find the optimum with very few nodes.
+  const double cost[4][4] = {
+      {9, 2, 7, 8}, {6, 4, 3, 7}, {5, 8, 1, 8}, {7, 6, 9, 4}};
+  Model m;
+  VarId x[4][4];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      x[i][j] = m.add_binary("x" + std::to_string(i) + std::to_string(j));
+  for (int i = 0; i < 4; ++i) {
+    LinearExpr row, col;
+    for (int j = 0; j < 4; ++j) {
+      row.add(x[i][j], 1);
+      col.add(x[j][i], 1);
+    }
+    m.add_eq(std::move(row), 1);
+    m.add_eq(std::move(col), 1);
+  }
+  LinearExpr obj;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) obj.add(x[i][j], cost[i][j]);
+  m.set_objective(Direction::Minimize, std::move(obj));
+
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.objective, 13.0, 1e-6); // 2 + 3 + 5 + 4 (hand-checked best)
+  EXPECT_LE(s.nodes, 10);
+}
+
+TEST(BranchAndBound, MixedIntegerContinuous) {
+  // max 3x + 2y, x integer, y continuous; x + y <= 4.5, x <= 2.3.
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10);
+  const VarId y = m.add_continuous("y", 0.0, kInfinity);
+  m.add_le(LinearExpr().add(x, 1).add(y, 1), 4.5);
+  m.add_le(LinearExpr().add(x, 1), 2.3);
+  m.set_objective(Direction::Maximize, LinearExpr().add(x, 3).add(y, 2));
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.value(x), 2.0, 1e-6);
+  EXPECT_NEAR(s.value(y), 2.5, 1e-6);
+  EXPECT_NEAR(s.objective, 11.0, 1e-6);
+}
+
+TEST(BranchAndBound, InfeasibleIntegerProblem) {
+  // 2x = 3 has no integer solution.
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10);
+  m.add_eq(LinearExpr().add(x, 2), 3);
+  m.set_objective(Direction::Minimize, LinearExpr().add(x, 1));
+  EXPECT_EQ(solve_milp(m).status, SolveStatus::Infeasible);
+}
+
+TEST(BranchAndBound, BigMIndicatorConstraints) {
+  // The exact constraint shape the LUIS model uses: y >= x_a + x_b - 1.
+  // Choosing types t for a and t' for b must force the cast indicator.
+  Model m;
+  const VarId xa = m.add_binary("xa_t");
+  const VarId xb = m.add_binary("xb_u");
+  const VarId cast = m.add_binary("y_cast");
+  // xa + xb <= y + 1
+  m.add_le(LinearExpr().add(xa, 1).add(xb, 1).add(cast, -1), 1);
+  m.add_eq(LinearExpr().add(xa, 1), 1);
+  m.add_eq(LinearExpr().add(xb, 1), 1);
+  m.set_objective(Direction::Minimize, LinearExpr().add(cast, 5));
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.value(cast), 1.0, 1e-6);
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);
+}
+
+TEST(BranchAndBound, NodeLimitReportsIncumbent) {
+  // A problem needing branching, with max_nodes = 1: after the root LP the
+  // search stops; either no incumbent (Infeasible->NodeLimit) or a found
+  // one is reported with NodeLimit status.
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10);
+  const VarId y = m.add_integer("y", 0, 10);
+  m.add_le(LinearExpr().add(x, 2).add(y, 2), 7);
+  m.set_objective(Direction::Maximize, LinearExpr().add(x, 1).add(y, 1));
+  BranchAndBoundOptions opt;
+  opt.max_nodes = 1;
+  const Solution s = solve_milp(m, opt);
+  EXPECT_EQ(s.status, SolveStatus::NodeLimit);
+}
+
+TEST(BranchAndBound, RandomMilpsMatchBruteForce) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 8;
+    Model m;
+    std::vector<VarId> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(m.add_binary("b" + std::to_string(i)));
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    for (int r = 0; r < 5; ++r) {
+      LinearExpr e;
+      std::vector<double> coef(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        coef[static_cast<std::size_t>(i)] = static_cast<double>(rng.next_int(-5, 5));
+        e.add(xs[static_cast<std::size_t>(i)], coef[static_cast<std::size_t>(i)]);
+      }
+      const double b = static_cast<double>(rng.next_int(0, 10));
+      m.add_le(std::move(e), b);
+      rows.push_back(std::move(coef));
+      rhs.push_back(b);
+    }
+    LinearExpr obj;
+    std::vector<double> c(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      c[static_cast<std::size_t>(i)] = static_cast<double>(rng.next_int(-10, 10));
+      obj.add(xs[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(i)]);
+    }
+    m.set_objective(Direction::Maximize, std::move(obj));
+
+    const Solution s = solve_milp(m);
+
+    double best = -1e300;
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      bool ok = true;
+      for (std::size_t r = 0; r < rows.size() && ok; ++r) {
+        double lhs = 0;
+        for (int i = 0; i < n; ++i)
+          if (mask & (1u << i)) lhs += rows[r][static_cast<std::size_t>(i)];
+        ok = lhs <= rhs[r] + 1e-9;
+      }
+      if (!ok) continue;
+      double v = 0;
+      for (int i = 0; i < n; ++i)
+        if (mask & (1u << i)) v += c[static_cast<std::size_t>(i)];
+      best = std::max(best, v);
+    }
+    if (best == -1e300) {
+      EXPECT_EQ(s.status, SolveStatus::Infeasible) << "trial " << trial;
+    } else {
+      ASSERT_EQ(s.status, SolveStatus::Optimal) << "trial " << trial;
+      EXPECT_NEAR(s.objective, best, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(m.is_feasible(s.values)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(LpWriter, ProducesParsableText) {
+  Model m;
+  const VarId x = m.add_integer("x", 0, 5);
+  const VarId y = m.add_continuous("y", -kInfinity, 2.0);
+  m.add_le(LinearExpr().add(x, 2).add(y, -1), 4, "cap");
+  m.set_objective(Direction::Minimize, LinearExpr().add(x, 1).add(y, 3));
+  const std::string text = to_lp_format(m);
+  EXPECT_NE(text.find("Minimize"), std::string::npos);
+  EXPECT_NE(text.find("cap:"), std::string::npos);
+  EXPECT_NE(text.find("General"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+}
+
+TEST(Model, FeasibilityChecker) {
+  Model m;
+  const VarId x = m.add_integer("x", 0, 5);
+  m.add_le(LinearExpr().add(x, 1), 3);
+  m.set_objective(Direction::Minimize, LinearExpr().add(x, 1));
+  EXPECT_TRUE(m.is_feasible({2.0}));
+  EXPECT_FALSE(m.is_feasible({2.5})); // fractional integer
+  EXPECT_FALSE(m.is_feasible({4.0})); // violates constraint
+  EXPECT_FALSE(m.is_feasible({-1.0})); // violates bound
+}
+
+TEST(Model, NormalizeCombinesDuplicateTerms) {
+  LinearExpr e;
+  e.add(0, 1.0).add(1, 2.0).add(0, 3.0).add(1, -2.0);
+  e.normalize();
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].first, 0);
+  EXPECT_DOUBLE_EQ(e.terms()[0].second, 4.0);
+}
+
+} // namespace
+} // namespace luis::ilp

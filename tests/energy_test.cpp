@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "platform/energy.hpp"
+#include "polybench/polybench.hpp"
+
+namespace luis::platform {
+namespace {
+
+TEST(PowerModel, FactorOrderingFollowsDatapaths) {
+  const PowerModel model;
+  EXPECT_LT(power_factor("fix", model), power_factor("float", model));
+  EXPECT_LT(power_factor("float", model), power_factor("double", model));
+  EXPECT_EQ(power_factor("half", model), power_factor("float", model));
+}
+
+TEST(OpEnergy, ScalesOpTimeByPower) {
+  const PowerModel model;
+  const OpTimeTable& t = stm32_table();
+  EXPECT_DOUBLE_EQ(op_energy(t, "add", "fix", model),
+                   t.op_time("add", "fix") * model.fix);
+  EXPECT_DOUBLE_EQ(op_energy(t, "mul", "double", model),
+                   t.op_time("mul", "double") * model.dbl);
+  // Casts carry the transfer surcharge.
+  EXPECT_DOUBLE_EQ(op_energy(t, "cast_fix", "double", model),
+                   t.op_time("cast_fix", "double") * model.cast * model.dbl);
+}
+
+TEST(SimulatedEnergy, SumsProfile) {
+  interp::CostCounters counters;
+  counters.count_op("add", "double");
+  counters.non_real_ops = 10;
+  const PowerModel model;
+  CostModelOptions copt;
+  copt.non_real_op_cost = 0.25;
+  const double e = simulated_energy(counters, intel_table(), model, copt);
+  EXPECT_DOUBLE_EQ(e, intel_table().op_time("add", "double") * model.dbl +
+                          10 * 0.25 * model.non_real);
+}
+
+TEST(EnergySaving, MirrorsSpeedupFormula) {
+  EXPECT_DOUBLE_EQ(energy_saving_percent(300.0, 100.0), 200.0);
+  EXPECT_DOUBLE_EQ(energy_saving_percent(100.0, 100.0), 0.0);
+}
+
+TEST(EnergyObjective, FastPresetSavesEnergyOnPolybench) {
+  // Tune for energy and verify the tuned kernel actually consumes less
+  // simulated energy than the binary64 baseline.
+  for (const char* name : {"gemm", "bicg"}) {
+    ir::Module m;
+    polybench::BuiltKernel kernel = polybench::build_kernel(name, m);
+
+    interp::ArrayStore ref = kernel.inputs;
+    interp::TypeAssignment binary64;
+    const interp::RunResult base =
+        run_function(*kernel.function, binary64, ref);
+    ASSERT_TRUE(base.ok);
+
+    core::TuningConfig config = core::TuningConfig::fast();
+    config.metric = core::CostMetric::Energy;
+    const core::PipelineResult tuned =
+        core::tune_kernel(*kernel.function, stm32_table(), config);
+
+    interp::ArrayStore out = kernel.inputs;
+    const interp::RunResult run =
+        run_function(*kernel.function, tuned.allocation.assignment, out);
+    ASSERT_TRUE(run.ok);
+
+    const double e_base = simulated_energy(base.counters, stm32_table());
+    const double e_tuned = simulated_energy(run.counters, stm32_table());
+    EXPECT_LT(e_tuned, e_base) << name;
+  }
+}
+
+TEST(EnergyObjective, EnergyTuningNeverWorseThanTimeTuningInEnergy) {
+  // The energy-optimized allocation must use at most as much energy as the
+  // time-optimized one (same W1/W2, same platform).
+  for (const char* name : {"gemm", "covariance", "trisolv"}) {
+    ir::Module m1, m2;
+    polybench::BuiltKernel k1 = polybench::build_kernel(name, m1);
+    polybench::BuiltKernel k2 = polybench::build_kernel(name, m2);
+
+    core::TuningConfig time_cfg = core::TuningConfig::fast();
+    core::TuningConfig energy_cfg = core::TuningConfig::fast();
+    energy_cfg.metric = core::CostMetric::Energy;
+
+    const core::PipelineResult by_time =
+        core::tune_kernel(*k1.function, intel_table(), time_cfg);
+    const core::PipelineResult by_energy =
+        core::tune_kernel(*k2.function, intel_table(), energy_cfg);
+
+    interp::ArrayStore s1 = k1.inputs, s2 = k2.inputs;
+    const interp::RunResult r1 =
+        run_function(*k1.function, by_time.allocation.assignment, s1);
+    const interp::RunResult r2 =
+        run_function(*k2.function, by_energy.allocation.assignment, s2);
+    ASSERT_TRUE(r1.ok && r2.ok);
+    const double e1 = simulated_energy(r1.counters, intel_table());
+    const double e2 = simulated_energy(r2.counters, intel_table());
+    EXPECT_LE(e2, e1 * 1.02) << name; // 2% slack: Err term ties differ
+  }
+}
+
+} // namespace
+} // namespace luis::platform

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error_model.hpp"
+#include "core/pipeline.hpp"
+#include "ir/kernel_builder.hpp"
+#include "polybench/polybench.hpp"
+#include "support/rng.hpp"
+
+namespace luis::core {
+namespace {
+
+using interp::ArrayStore;
+using interp::TypeAssignment;
+using ir::Array;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::RVal;
+using numrep::ConcreteType;
+
+TEST(QuantizationError, PerFormatValues) {
+  const vra::Interval unit{-1.0, 1.0};
+  // binary64 is the reference: no error.
+  EXPECT_EQ(quantization_error({numrep::kBinary64, 0}, unit), 0.0);
+  // fix32 with f fractional bits: half a grid step.
+  EXPECT_DOUBLE_EQ(quantization_error({numrep::kFixed32, 16}, unit),
+                   std::ldexp(1.0, -17));
+  // binary32 on [-1,1]: IEBW = 24 at |x|=1 -> 2^-24.
+  EXPECT_DOUBLE_EQ(quantization_error({numrep::kBinary32, 0}, unit),
+                   std::ldexp(1.0, -24));
+  // Larger magnitudes have coarser float quanta.
+  EXPECT_GT(quantization_error({numrep::kBinary32, 0}, {0.0, 1000.0}),
+            quantization_error({numrep::kBinary32, 0}, unit));
+}
+
+TEST(ErrorModel, ZeroForAllBinary64) {
+  ir::Module m;
+  polybench::BuiltKernel kernel = polybench::build_kernel("gemm", m);
+  const vra::RangeMap ranges = vra::analyze_ranges(*kernel.function);
+  TypeAssignment binary64;
+  const ErrorAnalysis ea =
+      analyze_errors(*kernel.function, binary64, ranges);
+  EXPECT_TRUE(ea.converged);
+  for (const auto& [name, bound] : ea.array_bound)
+    EXPECT_EQ(bound, 0.0) << name;
+}
+
+TEST(ErrorModel, SingleMulAccumulatesOperandErrors) {
+  ir::Module m;
+  KernelBuilder kb(m, "mul1");
+  Array* A = kb.array("A", {1}, 0.0, 2.0);
+  Array* B = kb.array("B", {1}, 0.0, 3.0);
+  Array* C = kb.array("C", {1}, 0.0, 6.0);
+  kb.store(kb.load(A, {kb.idx(0)}) * kb.load(B, {kb.idx(0)}), C, {kb.idx(0)});
+  ir::Function* f = kb.finish();
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+
+  TypeAssignment fixed = TypeAssignment::uniform(*f, ConcreteType{numrep::kFixed32, 20});
+  const ErrorAnalysis ea = analyze_errors(*f, fixed, ranges);
+  ASSERT_TRUE(ea.converged);
+  const double qa = std::ldexp(1.0, -21); // storage quanta of A and B
+  const double qm = std::ldexp(1.0, -21); // mul result quantum
+  // err(C) >= maxA*err(B) + maxB*err(A) + mul quantum + store quantum.
+  const double floor_bound = 2.0 * qa + 3.0 * qa + qm;
+  EXPECT_GE(ea.array_bound.at("C"), floor_bound);
+  EXPECT_LT(ea.array_bound.at("C"), floor_bound * 4); // and not wildly above
+}
+
+TEST(ErrorModel, DivisionByZeroStraddlingRangeIsUnbounded) {
+  ir::Module m;
+  KernelBuilder kb(m, "div0");
+  Array* A = kb.array("A", {1}, -1.0, 1.0);
+  Array* B = kb.array("B", {1}, 1.0, 2.0);
+  kb.store(kb.load(B, {kb.idx(0)}) / kb.load(A, {kb.idx(0)}), B, {kb.idx(0)});
+  ir::Function* f = kb.finish();
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment fixed = TypeAssignment::uniform(*f, ConcreteType{numrep::kFixed32, 16});
+  ErrorAnalysisOptions opt;
+  const ErrorAnalysis ea = analyze_errors(*f, fixed, ranges, opt);
+  EXPECT_GE(ea.array_bound.at("B"), opt.infinity_threshold);
+}
+
+TEST(ErrorModel, AccumulationGrowsWithPassBudget) {
+  // sum += A[i] over N: with a pass budget covering the N accumulation
+  // steps, the bound scales with N (one quantum per step).
+  auto bound_for = [](std::int64_t n) {
+    ir::Module m;
+    KernelBuilder kb(m, "acc");
+    Array* A = kb.array("A", {n}, 0.0, 1.0);
+    ir::ScalarCell sum = kb.scalar("sum", 0.0, static_cast<double>(n));
+    kb.set(sum, kb.real(0.0));
+    kb.for_loop("i", 0, n, [&](IVal i) {
+      kb.set(sum, kb.get(sum) + kb.load(A, {i}));
+    });
+    ir::Function* f = kb.finish();
+    const vra::RangeMap ranges = vra::analyze_ranges(*f);
+    TypeAssignment fixed =
+        TypeAssignment::uniform(*f, ConcreteType{numrep::kFixed32, 20});
+    ErrorAnalysisOptions opt;
+    opt.max_passes = static_cast<int>(n) + 8; // n accumulation steps
+    const ErrorAnalysis ea = analyze_errors(*f, fixed, ranges, opt);
+    // Accumulation never converges without trip counts: the budget is the
+    // unroll depth.
+    EXPECT_FALSE(ea.converged);
+    return ea.array_bound.at("sum");
+  };
+  const double b8 = bound_for(8);
+  const double b32 = bound_for(32);
+  EXPECT_GT(b32, b8 * 2.0);
+  EXPECT_LT(b32, b8 * 4.0);
+}
+
+// Soundness: the measured worst-case absolute output error of the tuned
+// kernel never exceeds the static bound.
+class ErrorSoundness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ErrorSoundness, PredictedBoundCoversMeasuredError) {
+  ir::Module m;
+  polybench::BuiltKernel kernel = polybench::build_kernel(GetParam(), m);
+  const vra::RangeMap ranges = vra::analyze_ranges(*kernel.function);
+  const AllocationResult alloc = allocate_ilp(
+      *kernel.function, ranges, platform::stm32_table(), TuningConfig::fast());
+
+  const ErrorAnalysis ea =
+      analyze_errors(*kernel.function, alloc.assignment, ranges);
+
+  ArrayStore ref = kernel.inputs;
+  TypeAssignment binary64;
+  ASSERT_TRUE(run_function(*kernel.function, binary64, ref).ok);
+  ArrayStore tuned = kernel.inputs;
+  ASSERT_TRUE(run_function(*kernel.function, alloc.assignment, tuned).ok);
+
+  for (const std::string& out : kernel.outputs) {
+    double measured = 0.0;
+    for (std::size_t i = 0; i < ref.at(out).size(); ++i)
+      measured = std::max(measured,
+                          std::abs(ref.at(out)[i] - tuned.at(out)[i]));
+    EXPECT_LE(measured, ea.array_bound.at(out) * (1.0 + 1e-9))
+        << GetParam() << "/" << out;
+  }
+}
+
+// Kernels with straightforward data flow (no divergent compares feeding
+// selects whose arms differ beyond rounding).
+INSTANTIATE_TEST_SUITE_P(Kernels, ErrorSoundness,
+                         ::testing::Values("gemm", "2mm", "atax", "bicg",
+                                           "mvt", "gesummv", "doitgen",
+                                           "jacobi-1d", "jacobi-2d",
+                                           "heat-3d", "syrk", "trmm"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+} // namespace
+} // namespace luis::core

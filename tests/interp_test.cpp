@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interp/interpreter.hpp"
+#include "ir/kernel_builder.hpp"
+#include "ir/verifier.hpp"
+#include "support/rng.hpp"
+
+namespace luis::interp {
+namespace {
+
+using ir::Array;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::RVal;
+using ir::ScalarCell;
+using numrep::ConcreteType;
+using numrep::kBinary32;
+using numrep::kBinary64;
+using numrep::kFixed32;
+using numrep::kPosit16;
+
+/// dot = sum_i A[i] * B[i] over 8 elements.
+ir::Function* build_dot(ir::Module& m) {
+  KernelBuilder kb(m, "dot");
+  Array* A = kb.array("A", {8}, -2.0, 2.0);
+  Array* B = kb.array("B", {8}, -2.0, 2.0);
+  ScalarCell dot = kb.scalar("dot", -32.0, 32.0);
+  kb.set(dot, kb.real(0.0));
+  kb.for_loop("i", 0, 8, [&](IVal i) {
+    kb.set(dot, kb.get(dot) + kb.load(A, {i}) * kb.load(B, {i}));
+  });
+  return kb.finish();
+}
+
+TEST(Interpreter, DotProductInBinary64MatchesReference) {
+  ir::Module m;
+  ir::Function* f = build_dot(m);
+  ASSERT_TRUE(ir::verify(*f).ok());
+
+  ArrayStore store;
+  Rng rng(1);
+  double expected = 0.0;
+  std::vector<double> a(8), b(8);
+  for (int i = 0; i < 8; ++i) {
+    a[static_cast<std::size_t>(i)] = rng.next_double(-2, 2);
+    b[static_cast<std::size_t>(i)] = rng.next_double(-2, 2);
+    expected += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  }
+  store["A"] = a;
+  store["B"] = b;
+
+  TypeAssignment types; // all binary64 by default
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(store["dot"][0], expected);
+}
+
+TEST(Interpreter, Binary32ExecutionMatchesNativeFloat) {
+  ir::Module m;
+  ir::Function* f = build_dot(m);
+
+  ArrayStore store;
+  Rng rng(2);
+  std::vector<float> fa(8), fb(8);
+  for (int i = 0; i < 8; ++i) {
+    fa[static_cast<std::size_t>(i)] = static_cast<float>(rng.next_double(-2, 2));
+    fb[static_cast<std::size_t>(i)] = static_cast<float>(rng.next_double(-2, 2));
+  }
+  store["A"].assign(fa.begin(), fa.end());
+  store["B"].assign(fb.begin(), fb.end());
+
+  const TypeAssignment types =
+      TypeAssignment::uniform(*f, ConcreteType{kBinary32, 0});
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  float expected = 0.0f;
+  for (int i = 0; i < 8; ++i)
+    expected += fa[static_cast<std::size_t>(i)] * fb[static_cast<std::size_t>(i)];
+  EXPECT_EQ(store["dot"][0], static_cast<double>(expected));
+}
+
+TEST(Interpreter, FixedPointExecutionQuantizes) {
+  ir::Module m;
+  ir::Function* f = build_dot(m);
+
+  ArrayStore store;
+  store["A"] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  store["B"] = {1, 1, 1, 1, 1, 1, 1, 1};
+
+  const TypeAssignment types =
+      TypeAssignment::uniform(*f, ConcreteType{kFixed32, 20});
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Result close to 3.6 but quantized on the 2^-20 grid.
+  EXPECT_NEAR(store["dot"][0], 3.6, 1e-4);
+  EXPECT_EQ(store["dot"][0], std::round(store["dot"][0] * 1048576.0) / 1048576.0);
+}
+
+TEST(Interpreter, PositExecutionRuns) {
+  ir::Module m;
+  ir::Function* f = build_dot(m);
+  ArrayStore store;
+  store["A"] = {1, 0.5, 0.25, 2, 1, 1, 1, 1};
+  store["B"] = {1, 1, 1, 1, 1, 1, 1, 1};
+  const TypeAssignment types =
+      TypeAssignment::uniform(*f, ConcreteType{kPosit16, 0});
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NEAR(store["dot"][0], 7.75, 1e-2);
+}
+
+TEST(Interpreter, CountsOpsByTypeClass) {
+  ir::Module m;
+  ir::Function* f = build_dot(m);
+  ArrayStore store;
+  const TypeAssignment types =
+      TypeAssignment::uniform(*f, ConcreteType{kBinary32, 0});
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  // 8 iterations x (1 add + 1 mul), all float; no casts.
+  EXPECT_EQ(r.counters.ops.at({"add", "float"}), 8);
+  EXPECT_EQ(r.counters.ops.at({"mul", "float"}), 8);
+  for (const auto& [key, count] : r.counters.ops)
+    EXPECT_TRUE(key.first.rfind("cast_", 0) != 0) << key.first;
+  EXPECT_GT(r.counters.non_real_ops, 0);
+}
+
+TEST(Interpreter, CountsCastsAtTypeBoundaries) {
+  // A in fix32, everything else double: each load of A converts fix->double.
+  ir::Module m;
+  ir::Function* f = build_dot(m);
+  TypeAssignment types; // default binary64
+  types.set(f->array_by_name("A"), ConcreteType{kFixed32, 16});
+  ArrayStore store;
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.counters.ops.at({"cast_fix", "double"}), 8);
+}
+
+TEST(Interpreter, MixedFixedFracCountsShiftCasts) {
+  ir::Module m;
+  KernelBuilder kb(m, "shift");
+  Array* A = kb.array("A", {4}, 0.0, 1.0);
+  Array* B = kb.array("B", {4}, 0.0, 1.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) { kb.store(kb.load(A, {i}), B, {i}); });
+  ir::Function* f = kb.finish();
+
+  TypeAssignment types;
+  types.set(f->array_by_name("A"), ConcreteType{kFixed32, 10});
+  types.set(f->array_by_name("B"), ConcreteType{kFixed32, 20});
+  // Loads/stores inherit default double -> set all instructions to fix.
+  for (const auto& bb : f->blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->type() == ir::ScalarType::Real)
+        types.set(inst.get(), ConcreteType{kFixed32, 10});
+  ArrayStore store;
+  store["A"] = {0.5, 0.25, 0.75, 1.0};
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Each store converts fix32.10 -> fix32.20: a fix->fix shift cast.
+  EXPECT_EQ(r.counters.ops.at({"cast_fix", "fix"}), 4);
+  EXPECT_EQ(store["B"], (std::vector<double>{0.5, 0.25, 0.75, 1.0}));
+}
+
+TEST(Interpreter, SelectAndCompare) {
+  ir::Module m;
+  KernelBuilder kb(m, "clamp");
+  Array* A = kb.array("A", {4}, -10.0, 10.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) {
+    RVal x = kb.load(A, {i});
+    RVal hi = kb.real(1.0);
+    RVal lo = kb.real(-1.0);
+    RVal clamped = kb.select(x > hi, hi, kb.select(x < lo, lo, x));
+    kb.store(clamped, A, {i});
+  });
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+  ArrayStore store;
+  store["A"] = {-5.0, -0.5, 0.5, 5.0};
+  TypeAssignment types;
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(store["A"], (std::vector<double>{-1.0, -0.5, 0.5, 1.0}));
+}
+
+TEST(Interpreter, TriangularLoopAndIfThen) {
+  // Upper-triangle fill: B[i][j] = 1 for j >= i, else untouched.
+  ir::Module m;
+  KernelBuilder kb(m, "tri");
+  Array* B = kb.array("B", {4, 4}, 0.0, 1.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) {
+    kb.for_loop("j", i, kb.idx(4), [&](IVal j) {
+      kb.store(kb.real(1.0), B, {i, j});
+    });
+  });
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+  ArrayStore store;
+  TypeAssignment types;
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_EQ(store["B"][static_cast<std::size_t>(i * 4 + j)],
+                j >= i ? 1.0 : 0.0);
+}
+
+TEST(Interpreter, DownwardLoop) {
+  ir::Module m;
+  KernelBuilder kb(m, "down");
+  Array* A = kb.array("A", {5}, 0.0, 10.0);
+  ScalarCell k = kb.scalar("k", 0.0, 10.0);
+  kb.set(k, kb.real(0.0));
+  kb.for_down("i", 4, 0, [&](IVal i) {
+    kb.set(k, kb.get(k) + kb.real(1.0));
+    kb.store(kb.get(k), A, {i});
+  });
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+  ArrayStore store;
+  TypeAssignment types;
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(store["A"], (std::vector<double>{5.0, 4.0, 3.0, 2.0, 1.0}));
+}
+
+TEST(Interpreter, StepLimitAborts) {
+  ir::Module m;
+  KernelBuilder kb(m, "long");
+  Array* A = kb.array("A", {1}, 0.0, 1.0);
+  kb.for_loop("i", 0, 1000000, [&](IVal) { kb.store(kb.real(1.0), A, {kb.idx(0)}); });
+  ir::Function* f = kb.finish();
+  ArrayStore store;
+  TypeAssignment types;
+  RunOptions opt;
+  opt.max_steps = 1000;
+  const RunResult r = run_function(*f, types, store, opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("step limit"), std::string::npos);
+}
+
+TEST(Interpreter, MathIntrinsics) {
+  ir::Module m;
+  KernelBuilder kb(m, "math");
+  Array* A = kb.array("A", {4}, 0.0, 16.0);
+  Array* B = kb.array("B", {4}, -100.0, 100.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) {
+    RVal x = kb.load(A, {i});
+    kb.store(kb.sqrt(x) + kb.exp(kb.neg(x)) + kb.pow(x, kb.real(2.0)) +
+                 kb.abs(kb.neg(x)) + kb.fmax(x, kb.real(1.0)),
+             B, {i});
+  });
+  ir::Function* f = kb.finish();
+  ArrayStore store;
+  store["A"] = {0.0, 1.0, 4.0, 9.0};
+  TypeAssignment types;
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  for (int i = 0; i < 4; ++i) {
+    const double x = store["A"][static_cast<std::size_t>(i)];
+    const double expect =
+        std::sqrt(x) + std::exp(-x) + x * x + x + std::max(x, 1.0);
+    EXPECT_DOUBLE_EQ(store["B"][static_cast<std::size_t>(i)], expect);
+  }
+  EXPECT_EQ(r.counters.ops.at({"sqrt", "double"}), 4);
+  EXPECT_EQ(r.counters.ops.at({"exp", "double"}), 4);
+  EXPECT_EQ(r.counters.ops.at({"pow", "double"}), 4);
+}
+
+TEST(Interpreter, IntToRealConversion) {
+  ir::Module m;
+  KernelBuilder kb(m, "itr");
+  Array* A = kb.array("A", {4}, 0.0, 4.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) { kb.store(kb.to_real(i), A, {i}); });
+  ir::Function* f = kb.finish();
+  ArrayStore store;
+  TypeAssignment types;
+  const RunResult r = run_function(*f, types, store);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(store["A"], (std::vector<double>{0.0, 1.0, 2.0, 3.0}));
+  EXPECT_EQ(r.counters.ops.at({"cast_fix", "double"}), 4);
+}
+
+TEST(CostCounters, TotalRealOps) {
+  CostCounters c;
+  c.count_op("add", "fix");
+  c.count_op("add", "fix");
+  c.count_op("mul", "double");
+  EXPECT_EQ(c.total_real_ops(), 3);
+}
+
+} // namespace
+} // namespace luis::interp

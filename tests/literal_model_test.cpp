@@ -1,0 +1,135 @@
+// Tests of the literal (paper-exact) ILP formulation against the merged
+// type-class formulation, plus the Err-term calibration knobs.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/type_classes.hpp"
+#include "ir/kernel_builder.hpp"
+#include "polybench/polybench.hpp"
+
+namespace luis::core {
+namespace {
+
+using ir::Array;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::RVal;
+
+ir::Function* build_saxpy(ir::Module& m) {
+  KernelBuilder kb(m, "saxpy");
+  Array* X = kb.array("X", {16}, -1.0, 1.0);
+  Array* Y = kb.array("Y", {16}, -4.0, 4.0);
+  RVal a = kb.real(2.5);
+  kb.for_loop("i", 0, 16, [&](IVal i) {
+    kb.store(a * kb.load(X, {i}) + kb.load(Y, {i}), Y, {i});
+  });
+  return kb.finish();
+}
+
+TEST(TypeClasses, RecordsSameTypeEdges) {
+  ir::Module m;
+  ir::Function* f = build_saxpy(m);
+  const TypeClasses classes = compute_type_classes(*f);
+  EXPECT_FALSE(classes.same_type_edges.empty());
+  // Every edge connects two registers of the same class.
+  for (const auto& [a, b] : classes.same_type_edges)
+    EXPECT_EQ(classes.class_of.at(a), classes.class_of.at(b));
+}
+
+TEST(LiteralModel, BuildsMuchLargerModelThanMerged) {
+  ir::Module m1, m2;
+  ir::Function* f1 = build_saxpy(m1);
+  ir::Function* f2 = build_saxpy(m2);
+  const vra::RangeMap r1 = vra::analyze_ranges(*f1);
+  const vra::RangeMap r2 = vra::analyze_ranges(*f2);
+
+  TuningConfig merged = TuningConfig::balanced();
+  TuningConfig literal = TuningConfig::balanced();
+  literal.literal_model = true;
+
+  const AllocationResult am =
+      allocate_ilp(*f1, r1, platform::stm32_table(), merged);
+  const AllocationResult al =
+      allocate_ilp(*f2, r2, platform::stm32_table(), literal);
+  EXPECT_GT(al.stats.model_variables, am.stats.model_variables * 3 / 2);
+  EXPECT_GT(al.stats.model_constraints, am.stats.model_constraints * 3 / 2);
+}
+
+TEST(LiteralModel, AgreesWithMergedFormulation) {
+  // The merging is a pure reformulation: both must pick the same formats.
+  for (const char* kernel_name : {"gemm", "atax", "trisolv"}) {
+    for (auto config_maker :
+         {&TuningConfig::precise, &TuningConfig::balanced, &TuningConfig::fast}) {
+      ir::Module m1, m2;
+      polybench::BuiltKernel k1 = polybench::build_kernel(kernel_name, m1);
+      polybench::BuiltKernel k2 = polybench::build_kernel(kernel_name, m2);
+      const vra::RangeMap r1 = vra::analyze_ranges(*k1.function);
+      const vra::RangeMap r2 = vra::analyze_ranges(*k2.function);
+
+      TuningConfig merged = config_maker();
+      TuningConfig literal = config_maker();
+      literal.literal_model = true;
+
+      const AllocationResult am =
+          allocate_ilp(*k1.function, r1, platform::stm32_table(), merged);
+      const AllocationResult al =
+          allocate_ilp(*k2.function, r2, platform::stm32_table(), literal);
+
+      ASSERT_EQ(am.stats.status, ilp::SolveStatus::Optimal);
+      // Literal models are bigger; allow NodeLimit with an incumbent.
+      ASSERT_TRUE(al.stats.status == ilp::SolveStatus::Optimal ||
+                  al.stats.status == ilp::SolveStatus::NodeLimit);
+      // Compare the format chosen for each array (frac bits may differ by
+      // LP-degenerate ties; formats must match for a true reformulation).
+      for (const auto& arr1 : k1.function->arrays()) {
+        const ir::Array* arr2 = k2.function->array_by_name(arr1->name());
+        EXPECT_EQ(am.assignment.of(arr1.get()).format,
+                  al.assignment.of(arr2).format)
+            << kernel_name << "/" << merged.name << " array " << arr1->name();
+      }
+      EXPECT_EQ(am.stats.instruction_mix, al.stats.instruction_mix)
+          << kernel_name << "/" << merged.name;
+    }
+  }
+}
+
+TEST(ErrZeroFloor, ControlsTheBalancedKnifeEdge) {
+  // On a kernel whose ranges straddle zero, Balanced flips between
+  // binary64 and fixed point depending on where the best-case IEBW of the
+  // floats is evaluated.
+  ir::Module m1, m2;
+  ir::Function* f1 = build_saxpy(m1);
+  ir::Function* f2 = build_saxpy(m2);
+  const vra::RangeMap r1 = vra::analyze_ranges(*f1);
+  const vra::RangeMap r2 = vra::analyze_ranges(*f2);
+
+  TuningConfig subnormal_reach = TuningConfig::balanced();
+  subnormal_reach.err_zero_floor = 0.0; // binary64's IEBW becomes ~1075
+  const AllocationResult deep =
+      allocate_ilp(*f1, r1, platform::stm32_table(), subnormal_reach);
+  EXPECT_EQ(deep.assignment.of(f1->array_by_name("Y")).format,
+            numrep::kBinary64);
+
+  TuningConfig coarse = TuningConfig::balanced();
+  coarse.err_zero_floor = 0.25; // floats gain little over fixed point
+  const AllocationResult shallow =
+      allocate_ilp(*f2, r2, platform::stm32_table(), coarse);
+  EXPECT_TRUE(shallow.assignment.of(f2->array_by_name("Y")).format.is_fixed());
+}
+
+TEST(GreedyAllocator, AlignsFracBitsWithinClass) {
+  ir::Module m;
+  polybench::BuiltKernel kernel = polybench::build_kernel("gemm", m);
+  const vra::RangeMap ranges = vra::analyze_ranges(*kernel.function);
+  const AllocationResult r =
+      allocate_greedy(*kernel.function, ranges, TuningConfig());
+  const TypeClasses classes = compute_type_classes(*kernel.function);
+  for (const auto& members : classes.members) {
+    const numrep::ConcreteType first = r.assignment.of(members.front());
+    for (const ir::Value* v : members)
+      EXPECT_EQ(r.assignment.of(v), first);
+  }
+}
+
+} // namespace
+} // namespace luis::core

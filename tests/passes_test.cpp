@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "ir/kernel_builder.hpp"
+#include "ir/passes.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "polybench/polybench.hpp"
+
+namespace luis::ir {
+namespace {
+
+TEST(ReplaceAllUses, RewritesEveryOperandSlot) {
+  Module m;
+  Function* f = m.add_function("f");
+  BasicBlock* entry = f->add_block("entry");
+  IRBuilder b(f);
+  b.set_insertion_block(entry);
+  Instruction* x = b.add(f->const_real(1.0), f->const_real(2.0));
+  Instruction* y = b.add(x, x);
+  b.ret();
+  EXPECT_EQ(replace_all_uses(*f, x, f->const_real(3.0)), 2);
+  EXPECT_EQ(y->operand(0), f->const_real(3.0));
+  EXPECT_EQ(y->operand(1), f->const_real(3.0));
+  EXPECT_FALSE(has_uses(*f, x));
+}
+
+TEST(FoldConstants, FoldsRealArithmetic) {
+  Module m;
+  Function* f = m.add_function("f");
+  BasicBlock* entry = f->add_block("entry");
+  IRBuilder b(f);
+  b.set_insertion_block(entry);
+  Array* out = f->add_array("out", {1});
+  Instruction* sum = b.add(f->const_real(1.5), f->const_real(2.0));
+  Instruction* prod = b.mul(sum, f->const_real(2.0));
+  b.store(prod, out, {f->const_int(0)});
+  b.ret();
+
+  EXPECT_GT(run_default_pipeline(*f), 0);
+  EXPECT_TRUE(verify(*f).ok()) << verify(*f).message();
+  // The store's operand is now a literal 7.0 and the arithmetic is gone.
+  const Instruction* store = entry->instructions().front().get();
+  ASSERT_EQ(store->opcode(), Opcode::Store);
+  ASSERT_EQ(store->operand(0)->kind(), Value::Kind::ConstReal);
+  EXPECT_DOUBLE_EQ(static_cast<const ConstReal*>(store->operand(0))->value(), 7.0);
+}
+
+TEST(FoldConstants, FoldsIntChainsAndIntToReal) {
+  Module m;
+  Function* f = m.add_function("f");
+  BasicBlock* entry = f->add_block("entry");
+  IRBuilder b(f);
+  b.set_insertion_block(entry);
+  Array* out = f->add_array("out", {4});
+  Instruction* idx = b.iadd(f->const_int(1), f->const_int(2));
+  Instruction* conv = b.int_to_real(b.imul(idx, f->const_int(2)));
+  b.store(conv, out, {idx});
+  b.ret();
+
+  run_default_pipeline(*f);
+  EXPECT_TRUE(verify(*f).ok());
+  const Instruction* store = entry->instructions().front().get();
+  ASSERT_EQ(store->opcode(), Opcode::Store);
+  EXPECT_DOUBLE_EQ(static_cast<const ConstReal*>(store->operand(0))->value(), 6.0);
+  // Store operands are [value, array, indices...]; the folded index.
+  ASSERT_EQ(store->operand(2)->kind(), Value::Kind::ConstInt);
+  EXPECT_EQ(static_cast<const ConstInt*>(store->operand(2))->value(), 3);
+}
+
+TEST(FoldConstants, SkipsIntegerDivisionByZero) {
+  Module m;
+  Function* f = m.add_function("f");
+  BasicBlock* entry = f->add_block("entry");
+  IRBuilder b(f);
+  b.set_insertion_block(entry);
+  Array* out = f->add_array("out", {8});
+  Instruction* div = b.idiv(f->const_int(4), f->const_int(0));
+  b.store(b.int_to_real(div), out, {f->const_int(0)});
+  b.ret();
+  fold_constants(*f);
+  // The idiv is still there (not folded into UB).
+  EXPECT_EQ(entry->instructions().front()->opcode(), Opcode::IDiv);
+}
+
+TEST(DeadCodeElimination, RemovesUnusedChains) {
+  Module m;
+  Function* f = m.add_function("f");
+  BasicBlock* entry = f->add_block("entry");
+  IRBuilder b(f);
+  b.set_insertion_block(entry);
+  Array* out = f->add_array("out", {1});
+  Instruction* used = b.add(f->const_real(1.0), f->const_real(1.0));
+  Instruction* dead1 = b.mul(used, f->const_real(2.0));
+  b.sub(dead1, f->const_real(1.0)); // dead2, uses dead1
+  b.store(used, out, {f->const_int(0)});
+  b.ret();
+
+  ASSERT_EQ(entry->instructions().size(), 5u);
+  EXPECT_EQ(eliminate_dead_code(*f), 2); // dead2 then dead1
+  EXPECT_EQ(entry->instructions().size(), 3u);
+  EXPECT_TRUE(verify(*f).ok());
+}
+
+TEST(DeadCodeElimination, KeepsStoresAndTerminators) {
+  Module m;
+  Function* f = m.add_function("f");
+  BasicBlock* entry = f->add_block("entry");
+  IRBuilder b(f);
+  b.set_insertion_block(entry);
+  Array* out = f->add_array("out", {1});
+  b.store(f->const_real(1.0), out, {f->const_int(0)});
+  b.ret();
+  EXPECT_EQ(eliminate_dead_code(*f), 0);
+  EXPECT_EQ(entry->instructions().size(), 2u);
+}
+
+TEST(SimplifyCfg, CollapsesKernelBuilderScaffolding) {
+  Module m;
+  KernelBuilder kb(m, "loop");
+  Array* A = kb.array("A", {8}, 0.0, 8.0);
+  kb.for_loop("i", 0, 8, [&](IVal i) {
+    kb.store(kb.load(A, {i}) + kb.real(1.0), A, {i});
+  });
+  Function* f = kb.finish();
+  const std::size_t before = f->blocks().size();
+  ASSERT_TRUE(verify(*f).ok());
+
+  const int changes = simplify_cfg(*f);
+  EXPECT_GT(changes, 0);
+  EXPECT_LT(f->blocks().size(), before);
+  EXPECT_TRUE(verify(*f).ok()) << verify(*f).message() << print_function(*f);
+}
+
+TEST(Passes, PipelinePreservesSemanticsOnPolybench) {
+  // Optimize a few kernels and check execution is bit-identical.
+  for (const char* name : {"gemm", "trisolv", "jacobi-2d", "nussinov"}) {
+    ir::Module m;
+    polybench::BuiltKernel kernel = polybench::build_kernel(name, m);
+
+    interp::ArrayStore before = kernel.inputs;
+    interp::TypeAssignment binary64;
+    const interp::RunResult r1 = run_function(*kernel.function, binary64, before);
+    ASSERT_TRUE(r1.ok) << r1.error;
+
+    const int changes = run_default_pipeline(*kernel.function);
+    EXPECT_GE(changes, 0);
+    ASSERT_TRUE(verify(*kernel.function).ok())
+        << name << ": " << verify(*kernel.function).message();
+
+    interp::ArrayStore after = kernel.inputs;
+    const interp::RunResult r2 = run_function(*kernel.function, binary64, after);
+    ASSERT_TRUE(r2.ok) << r2.error;
+    for (const std::string& out : kernel.outputs)
+      EXPECT_EQ(before.at(out), after.at(out)) << name << "/" << out;
+    // Simplification must not add work.
+    EXPECT_LE(r2.steps, r1.steps) << name;
+  }
+}
+
+TEST(Passes, PipelineShrinksBlockCountOnEveryKernel) {
+  for (const std::string& name : polybench::kernel_names()) {
+    ir::Module m;
+    polybench::BuiltKernel kernel = polybench::build_kernel(name, m, false);
+    const std::size_t blocks_before = kernel.function->blocks().size();
+    run_default_pipeline(*kernel.function);
+    EXPECT_TRUE(verify(*kernel.function).ok()) << name;
+    EXPECT_LT(kernel.function->blocks().size(), blocks_before) << name;
+  }
+}
+
+TEST(Passes, IdempotentAtFixpoint) {
+  ir::Module m;
+  polybench::BuiltKernel kernel = polybench::build_kernel("atax", m, false);
+  run_default_pipeline(*kernel.function);
+  EXPECT_EQ(run_default_pipeline(*kernel.function), 0);
+}
+
+} // namespace
+} // namespace luis::ir

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/presolve.hpp"
+#include "support/rng.hpp"
+
+namespace luis::ilp {
+namespace {
+
+TEST(Presolve, SubstitutesFixedVariables) {
+  Model m;
+  const VarId x = m.add_continuous("x", 3.0, 3.0); // fixed
+  const VarId y = m.add_continuous("y", 0.0, 10.0);
+  m.add_le(LinearExpr().add(x, 1).add(y, 1), 8.0);
+  m.set_objective(Direction::Maximize, LinearExpr().add(x, 1).add(y, 1));
+
+  const PresolvedModel pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.vars_removed, 1);
+  EXPECT_EQ(pre.reduced.num_variables(), 1u);
+  // The reduced constraint is a singleton, so it is absorbed into bounds.
+  EXPECT_EQ(pre.reduced.num_constraints(), 0u);
+  EXPECT_DOUBLE_EQ(pre.reduced.variables()[0].upper, 5.0);
+
+  const std::vector<double> restored = pre.restore({4.0});
+  EXPECT_DOUBLE_EQ(restored[static_cast<std::size_t>(x)], 3.0);
+  EXPECT_DOUBLE_EQ(restored[static_cast<std::size_t>(y)], 4.0);
+}
+
+TEST(Presolve, SingletonRowsTightenBounds) {
+  Model m;
+  const VarId x = m.add_continuous("x", 0.0, 100.0);
+  m.add_le(LinearExpr().add(x, 2.0), 10.0);  // x <= 5
+  m.add_ge(LinearExpr().add(x, 1.0), 2.0);   // x >= 2
+  m.add_le(LinearExpr().add(x, -1.0), -3.0); // -x <= -3  ->  x >= 3
+  m.set_objective(Direction::Minimize, LinearExpr().add(x, 1));
+  const PresolvedModel pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.reduced.num_constraints(), 0u);
+  EXPECT_EQ(pre.rows_removed, 3);
+  EXPECT_DOUBLE_EQ(pre.reduced.variables()[0].lower, 3.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.variables()[0].upper, 5.0);
+}
+
+TEST(Presolve, IntegerBoundsRoundInward) {
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10);
+  m.add_le(LinearExpr().add(x, 2.0), 9.0); // x <= 4.5 -> x <= 4
+  m.add_ge(LinearExpr().add(x, 3.0), 7.0); // x >= 2.33 -> x >= 3
+  m.set_objective(Direction::Minimize, LinearExpr().add(x, 1));
+  const PresolvedModel pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_DOUBLE_EQ(pre.reduced.variables()[0].lower, 3.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.variables()[0].upper, 4.0);
+}
+
+TEST(Presolve, DetectsInfeasibilityThroughBounds) {
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10);
+  m.add_le(LinearExpr().add(x, 1.0), 3.0);
+  m.add_ge(LinearExpr().add(x, 1.0), 7.0);
+  m.set_objective(Direction::Minimize, LinearExpr().add(x, 1));
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, IntegerWindowWithNoIntegerIsInfeasible) {
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10);
+  // 2.2 <= x <= 2.8 contains no integer.
+  m.add_ge(LinearExpr().add(x, 1.0), 2.2);
+  m.add_le(LinearExpr().add(x, 1.0), 2.8);
+  m.set_objective(Direction::Minimize, LinearExpr().add(x, 1));
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, EmptyRowFeasibilityCheck) {
+  Model m;
+  const VarId x = m.add_continuous("x", 1.0, 1.0);
+  m.add_le(LinearExpr().add(x, 1.0), 0.5); // becomes 1.0 <= 0.5: infeasible
+  m.set_objective(Direction::Minimize, LinearExpr().add(x, 1));
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, CascadingFixes) {
+  // Fixing x through a singleton empties another row, which fixes y.
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10);
+  const VarId y = m.add_integer("y", 0, 10);
+  m.add_eq(LinearExpr().add(x, 1.0), 4.0);              // x = 4
+  m.add_eq(LinearExpr().add(x, 1.0).add(y, 1.0), 10.0); // then y = 6
+  m.set_objective(Direction::Minimize, LinearExpr().add(y, 1));
+  const PresolvedModel pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.vars_removed, 2);
+  EXPECT_EQ(pre.reduced.num_variables(), 0u);
+  const std::vector<double> restored = pre.restore({});
+  EXPECT_DOUBLE_EQ(restored[static_cast<std::size_t>(x)], 4.0);
+  EXPECT_DOUBLE_EQ(restored[static_cast<std::size_t>(y)], 6.0);
+}
+
+TEST(Presolve, ObjectiveConstantFromFixedVariables) {
+  Model m;
+  const VarId x = m.add_continuous("x", 2.0, 2.0);
+  const VarId y = m.add_continuous("y", 0.0, 4.0);
+  m.set_objective(Direction::Maximize, LinearExpr().add(x, 10).add(y, 1));
+  const PresolvedModel pre = presolve(m);
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(s.objective, 24.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.objective().constant(), 20.0);
+}
+
+TEST(Presolve, SolveWithAndWithoutPresolveAgree) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Model m;
+    const int n = 8;
+    std::vector<VarId> xs;
+    for (int i = 0; i < n; ++i) {
+      // A mix of free-ish, tightly bounded, and fixed variables.
+      const double lo = static_cast<double>(rng.next_int(0, 2));
+      const double hi = lo + static_cast<double>(rng.next_int(0, 3));
+      xs.push_back(m.add_integer("x" + std::to_string(i), lo, hi));
+    }
+    LinearExpr total;
+    for (int i = 0; i < n; ++i) {
+      // Singleton rows sprinkled in.
+      if (rng.next_bool(0.4))
+        m.add_le(LinearExpr().add(xs[static_cast<std::size_t>(i)], 1.0),
+                 static_cast<double>(rng.next_int(1, 4)));
+      total.add(xs[static_cast<std::size_t>(i)],
+                static_cast<double>(rng.next_int(-3, 3)));
+    }
+    m.add_le(std::move(total), static_cast<double>(rng.next_int(2, 12)));
+    LinearExpr obj;
+    for (int i = 0; i < n; ++i)
+      obj.add(xs[static_cast<std::size_t>(i)],
+              static_cast<double>(rng.next_int(-5, 5)));
+    m.set_objective(Direction::Maximize, std::move(obj));
+
+    BranchAndBoundOptions with, without;
+    with.presolve = true;
+    without.presolve = false;
+    const Solution a = solve_milp(m, with);
+    const Solution b = solve_milp(m, without);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.status == SolveStatus::Optimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(m.is_feasible(a.values)) << "trial " << trial;
+    }
+  }
+}
+
+} // namespace
+} // namespace luis::ilp

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/ilp_allocator.hpp"
+#include "core/profiled_ranges.hpp"
+#include "polybench/polybench.hpp"
+
+namespace luis::core {
+namespace {
+
+TEST(ProfiledRanges, ObservationsAreInsideStaticVra) {
+  // Dynamic profiles must refine (be contained in) the sound static
+  // ranges, modulo both sides' safety margins.
+  for (const char* name : {"gemm", "atax", "jacobi-2d"}) {
+    ir::Module m;
+    polybench::BuiltKernel kernel = polybench::build_kernel(name, m);
+    const vra::RangeMap static_ranges = vra::analyze_ranges(*kernel.function);
+    std::string error;
+    const vra::RangeMap profiled =
+        profile_ranges(*kernel.function, kernel.inputs, /*margin=*/0.0, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_GT(profiled.size(), 0u);
+
+    for (const auto& bb : kernel.function->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->type() != ir::ScalarType::Real) continue;
+        if (!profiled.has(inst.get())) continue; // never executed
+        const vra::Interval dyn = profiled.of(inst.get());
+        const vra::Interval stat = static_ranges.of(inst.get());
+        EXPECT_GE(dyn.lo, stat.lo - 1e-9) << name;
+        EXPECT_LE(dyn.hi, stat.hi + 1e-9) << name;
+      }
+    }
+  }
+}
+
+TEST(ProfiledRanges, TighterRangesBuyFractionalBits) {
+  // With profiled ranges the Fast allocation can only gain (or keep)
+  // fractional bits relative to static VRA, never lose them.
+  ir::Module m;
+  polybench::BuiltKernel kernel = polybench::build_kernel("gemm", m);
+  const vra::RangeMap static_ranges = vra::analyze_ranges(*kernel.function);
+  const vra::RangeMap profiled =
+      profile_ranges(*kernel.function, kernel.inputs);
+
+  const AllocationResult by_static = allocate_ilp(
+      *kernel.function, static_ranges, platform::stm32_table(),
+      TuningConfig::fast());
+  const AllocationResult by_profile = allocate_ilp(
+      *kernel.function, profiled, platform::stm32_table(), TuningConfig::fast());
+
+  for (const auto& arr : kernel.function->arrays()) {
+    const auto s = by_static.assignment.of(arr.get());
+    const auto p = by_profile.assignment.of(arr.get());
+    if (s.format.is_fixed() && p.format.is_fixed()) {
+      EXPECT_GE(p.frac_bits, s.frac_bits) << arr->name();
+    }
+  }
+}
+
+TEST(ProfiledRanges, TunedKernelStillAccurate) {
+  // End to end with the dynamic range source: tune, run, check error.
+  ir::Module m;
+  polybench::BuiltKernel kernel = polybench::build_kernel("bicg", m);
+  const vra::RangeMap profiled =
+      profile_ranges(*kernel.function, kernel.inputs);
+  const AllocationResult alloc = allocate_ilp(
+      *kernel.function, profiled, platform::stm32_table(), TuningConfig::fast());
+
+  interp::ArrayStore ref = kernel.inputs;
+  interp::TypeAssignment binary64;
+  ASSERT_TRUE(run_function(*kernel.function, binary64, ref).ok);
+  interp::ArrayStore out = kernel.inputs;
+  ASSERT_TRUE(run_function(*kernel.function, alloc.assignment, out).ok);
+  for (const std::string& o : kernel.outputs) {
+    for (std::size_t i = 0; i < ref.at(o).size(); ++i)
+      EXPECT_NEAR(out.at(o)[i], ref.at(o)[i], 1e-4) << o;
+  }
+}
+
+TEST(ProfiledRanges, FailurePathReportsError) {
+  // A function with no entry cannot be profiled.
+  ir::Module m;
+  ir::Function* broken = m.add_function("broken");
+  (void)broken;
+  std::string error;
+  const vra::RangeMap map = profile_ranges(*broken, {}, 0.05, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(map.size(), 0u);
+}
+
+} // namespace
+} // namespace luis::core

@@ -1,0 +1,434 @@
+// luis — command line driver for the LUIS precision tuner.
+//
+//   luis kernels                          list the bundled PolyBench kernels
+//   luis emit <kernel> [-o out.ir]        write a kernel's textual IR
+//   luis print <file.ir>                  parse + verify + pretty-print
+//   luis verify <file.ir>                 verify and report problems
+//   luis ranges <file.ir>                 show the VRA result per register
+//   luis tune <file.ir> [options]         run the full pipeline, report the
+//                                         allocation, optionally emit tuned
+//                                         IR with materialized casts
+//   luis run <file.ir> [--type T]         execute with a uniform type and
+//                                         print per-array checksums
+//   luis compile <file.lk> [-o out.ir]    compile kernel-language source
+//   luis apply <file.ir> <types.txt>      execute under a saved assignment
+//   luis characterize [-o t.optime]       measure this machine's op-times
+//
+// tune also accepts --platform-file <t.optime> to tune against a saved
+// characterization (the paper's cross-compilation workflow).
+//
+// tune options:
+//   --platform Stm32|Raspberry|Intel|AMD|host     (default Stm32)
+//   --config Fast|Balanced|Precise                (default Balanced)
+//   --types fix32,binary32,binary64               candidate set T
+//   --literal                                     paper-exact ILP model
+//   --optimize                                    IR cleanup passes first
+//   -o <out.ir>                                   emit tuned IR with casts
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/assignment_io.hpp"
+#include "core/cast_materializer.hpp"
+#include "frontend/parser.hpp"
+#include "core/pipeline.hpp"
+#include "ir/parser.hpp"
+#include "ir/passes.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/microbench.hpp"
+#include "polybench/polybench.hpp"
+#include "support/rng.hpp"
+#include "support/string_utils.hpp"
+
+using namespace luis;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: luis <kernels|emit|compile|print|verify|ranges|tune|"
+               "run|characterize> [args]\n(see the header of tools/luis_cli.cpp "
+               "for the full option list)\n");
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+ir::Function* parse_or_die(ir::Module& module, const std::string& path) {
+  const auto text = read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "luis: cannot read %s\n", path.c_str());
+    return nullptr;
+  }
+  const ir::ParseResult parsed = ir::parse_function(module, *text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "luis: parse error in %s: %s\n", path.c_str(),
+                 parsed.error.c_str());
+    return nullptr;
+  }
+  return parsed.function;
+}
+
+/// Deterministic inputs for `run`: every array is filled from its range
+/// annotation with a fixed-seed generator, so runs are reproducible.
+interp::ArrayStore synth_inputs(const ir::Function& f) {
+  interp::ArrayStore store;
+  Rng rng(0xC0FFEE);
+  for (const auto& arr : f.arrays()) {
+    double lo = 0.0, hi = 1.0;
+    if (arr->range_annotation()) {
+      lo = arr->range_annotation()->first;
+      hi = arr->range_annotation()->second;
+    }
+    auto& buf = store[arr->name()];
+    for (std::int64_t i = 0; i < arr->element_count(); ++i)
+      buf.push_back(rng.next_double(lo, hi));
+  }
+  return store;
+}
+
+void print_array_summary(const interp::ArrayStore& store) {
+  for (const auto& [name, buf] : store) {
+    double sum = 0.0, mn = buf.empty() ? 0 : buf[0], mx = mn;
+    for (double v : buf) {
+      sum += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    std::printf("  %-12s n=%-6zu sum=%-14.8g min=%-12.6g max=%-12.6g\n",
+                name.c_str(), buf.size(), sum, mn, mx);
+  }
+}
+
+int cmd_kernels() {
+  for (const std::string& name : polybench::kernel_names())
+    std::printf("%s\n", name.c_str());
+  return 0;
+}
+
+int cmd_emit(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::string out_path;
+  for (std::size_t i = 1; i + 1 < args.size() + 1; ++i)
+    if (args[i - 1] == "-o" && i < args.size()) out_path = args[i];
+  ir::Module module;
+  polybench::BuiltKernel kernel = polybench::build_kernel(args[0], module);
+  const std::string text = ir::print_function(*kernel.function);
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream os(out_path);
+    os << text;
+    std::printf("wrote %s (%zu instructions)\n", out_path.c_str(),
+                kernel.function->instruction_count());
+  }
+  return 0;
+}
+
+int cmd_print(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  ir::Module module;
+  ir::Function* f = parse_or_die(module, args[0]);
+  if (!f) return 1;
+  std::fputs(ir::print_function(*f).c_str(), stdout);
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  ir::Module module;
+  ir::Function* f = parse_or_die(module, args[0]);
+  if (!f) return 1;
+  const ir::VerifyResult vr = ir::verify(*f);
+  if (vr.ok()) {
+    std::printf("%s: OK (%zu blocks, %zu instructions, %zu arrays)\n",
+                f->name().c_str(), f->blocks().size(), f->instruction_count(),
+                f->arrays().size());
+    return 0;
+  }
+  std::fputs(vr.message().c_str(), stderr);
+  return 1;
+}
+
+int cmd_ranges(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  ir::Module module;
+  ir::Function* f = parse_or_die(module, args[0]);
+  if (!f) return 1;
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  const auto ids = ir::number_instructions(*f);
+  for (const auto& arr : f->arrays())
+    std::printf("@%-10s %s\n", arr->name().c_str(),
+                ranges.of(arr.get()).to_string().c_str());
+  for (const auto& bb : f->blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->type() == ir::ScalarType::Real)
+        std::printf("%%%-10d %s\n", ids.at(inst.get()),
+                    ranges.of(inst.get()).to_string().c_str());
+  return 0;
+}
+
+int cmd_tune(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string path = args[0];
+  std::string platform_name = "Stm32", config_name = "Balanced", out_path;
+  std::string assignment_path;
+  core::TuningConfig config = core::TuningConfig::balanced();
+  core::PipelineOptions options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return ++i < args.size() ? args[i] : std::string();
+    };
+    if (a == "--platform") {
+      platform_name = next();
+    } else if (a == "--platform-file") {
+      platform_name = "@" + next();
+    } else if (a == "--config") {
+      config_name = next();
+    } else if (a == "--literal") {
+      config.literal_model = true;
+    } else if (a == "--optimize") {
+      options.optimize_ir = true;
+    } else if (a == "-o") {
+      out_path = next();
+      options.materialize_casts = true;
+    } else if (a == "--save-assignment") {
+      assignment_path = next();
+    } else if (a == "--types") {
+      config.types.clear();
+      for (const std::string& tok : split_fields(next(), ',')) {
+        const auto fmt = numrep::parse_format(std::string(trim(tok)));
+        if (!fmt) {
+          std::fprintf(stderr, "luis: unknown format '%s'\n", tok.c_str());
+          return 2;
+        }
+        config.types.push_back(*fmt);
+      }
+    } else {
+      std::fprintf(stderr, "luis: unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (config_name == "Fast") {
+    const bool lit = config.literal_model;
+    const auto types = config.types;
+    config = core::TuningConfig::fast();
+    config.literal_model = lit;
+    config.types = types;
+  } else if (config_name == "Precise") {
+    const bool lit = config.literal_model;
+    const auto types = config.types;
+    config = core::TuningConfig::precise();
+    config.literal_model = lit;
+    config.types = types;
+  }
+
+  const platform::OpTimeTable* table = platform::platform_by_name(platform_name);
+  platform::OpTimeTable host;
+  if (!table && platform_name == "host") {
+    std::fprintf(stderr, "characterizing host...\n");
+    host = platform::run_microbenchmark();
+    table = &host;
+  }
+  if (!table && !platform_name.empty() && platform_name[0] == '@') {
+    const auto text = read_file(platform_name.substr(1));
+    if (!text) {
+      std::fprintf(stderr, "luis: cannot read %s\n", platform_name.c_str() + 1);
+      return 1;
+    }
+    const auto parsed_table = platform::parse_optime_table(*text);
+    if (!parsed_table) {
+      std::fprintf(stderr, "luis: malformed op-time table file\n");
+      return 1;
+    }
+    host = *parsed_table;
+    table = &host;
+  }
+  if (!table) {
+    std::fprintf(stderr, "luis: unknown platform '%s'\n", platform_name.c_str());
+    return 2;
+  }
+
+  ir::Module module;
+  ir::Function* f = parse_or_die(module, path);
+  if (!f) return 1;
+  const ir::VerifyResult vr = ir::verify(*f);
+  if (!vr.ok()) {
+    std::fputs(vr.message().c_str(), stderr);
+    return 1;
+  }
+
+  const core::PipelineResult tuned = core::tune_kernel(*f, *table, config, options);
+  std::printf("pipeline: %d IR rewrites, VRA %.2f ms, allocation %.2f ms "
+              "(%zu vars x %zu rows, %ld nodes, %s)\n",
+              tuned.ir_changes, tuned.vra_seconds * 1e3,
+              tuned.allocation_seconds * 1e3,
+              tuned.allocation.stats.model_variables,
+              tuned.allocation.stats.model_constraints,
+              tuned.allocation.stats.nodes,
+              ilp::to_string(tuned.allocation.stats.status));
+  std::printf("classes: %d over %d registers, %d uses; casts inserted: %d\n",
+              tuned.allocation.stats.num_classes,
+              tuned.allocation.stats.num_registers,
+              tuned.allocation.stats.num_uses, tuned.casts_inserted);
+  std::printf("instruction mix:");
+  for (const auto& [cls, count] : tuned.allocation.stats.instruction_mix)
+    std::printf(" %s=%d", cls.c_str(), count);
+  std::printf("\narray types:\n");
+  for (const auto& arr : f->arrays())
+    std::printf("  @%-10s %s\n", arr->name().c_str(),
+                tuned.allocation.assignment.of(arr.get()).name().c_str());
+
+  if (!assignment_path.empty()) {
+    std::ofstream os(assignment_path);
+    os << core::assignment_to_text(*f, tuned.allocation.assignment);
+    std::printf("wrote type assignment to %s\n", assignment_path.c_str());
+  }
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    os << ir::print_function(*f);
+    std::printf("wrote tuned IR (explicit casts) to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_apply(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  ir::Module module;
+  ir::Function* f = parse_or_die(module, args[0]);
+  if (!f) return 1;
+  const auto text = read_file(args[1]);
+  if (!text) {
+    std::fprintf(stderr, "luis: cannot read %s\n", args[1].c_str());
+    return 1;
+  }
+  const core::AssignmentParseResult parsed =
+      core::assignment_from_text(*f, *text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "luis: %s: %s\n", args[1].c_str(),
+                 parsed.error.c_str());
+    return 1;
+  }
+  interp::ArrayStore store = synth_inputs(*f);
+  const interp::RunResult run = run_function(*f, parsed.assignment, store);
+  if (!run.ok) {
+    std::fprintf(stderr, "luis: execution failed: %s\n", run.error.c_str());
+    return 1;
+  }
+  std::printf("executed %ld steps under the saved assignment\n", run.steps);
+  print_array_summary(store);
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  numrep::ConcreteType type{numrep::kBinary64, 0};
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--type" && i + 1 < args.size()) {
+      const auto fmt = numrep::parse_format(args[++i]);
+      if (!fmt) {
+        std::fprintf(stderr, "luis: unknown format '%s'\n", args[i].c_str());
+        return 2;
+      }
+      type.format = *fmt;
+      if (fmt->is_fixed()) type.frac_bits = fmt->width() / 2;
+    }
+  }
+  ir::Module module;
+  ir::Function* f = parse_or_die(module, args[0]);
+  if (!f) return 1;
+  interp::ArrayStore store = synth_inputs(*f);
+  const interp::TypeAssignment types = interp::TypeAssignment::uniform(*f, type);
+  const interp::RunResult run = run_function(*f, types, store);
+  if (!run.ok) {
+    std::fprintf(stderr, "luis: execution failed: %s\n", run.error.c_str());
+    return 1;
+  }
+  std::printf("executed %ld steps (%ld real ops) in %s\n", run.steps,
+              run.counters.total_real_ops(), type.name().c_str());
+  print_array_summary(store);
+  return 0;
+}
+
+int cmd_compile(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::string out_path;
+  for (std::size_t i = 1; i + 1 < args.size() + 1; ++i)
+    if (args[i - 1] == "-o" && i < args.size()) out_path = args[i];
+  const auto source = read_file(args[0]);
+  if (!source) {
+    std::fprintf(stderr, "luis: cannot read %s\n", args[0].c_str());
+    return 1;
+  }
+  ir::Module module;
+  const frontend::CompileResult r = frontend::compile_kernel(module, *source);
+  if (!r.ok()) {
+    std::fprintf(stderr, "luis: %s:%d:%d: %s\n", args[0].c_str(), r.line,
+                 r.column, r.error.c_str());
+    return 1;
+  }
+  const ir::VerifyResult vr = ir::verify(*r.function);
+  if (!vr.ok()) {
+    std::fputs(vr.message().c_str(), stderr);
+    return 1;
+  }
+  const std::string text = ir::print_function(*r.function);
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream os(out_path);
+    os << text;
+    std::printf("compiled %s -> %s (%zu instructions)\n", args[0].c_str(),
+                out_path.c_str(), r.function->instruction_count());
+  }
+  return 0;
+}
+
+int cmd_characterize(const std::vector<std::string>& args) {
+  std::string out_path;
+  for (std::size_t i = 1; i + 1 < args.size() + 1; ++i)
+    if (args[i - 1] == "-o" && i < args.size()) out_path = args[i];
+  const platform::OpTimeTable host = platform::run_microbenchmark();
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    os << host.to_text();
+    std::printf("wrote characterization to %s\n", out_path.c_str());
+    return 0;
+  }
+  for (const auto& [key, time] : host.entries())
+    std::printf("%-12s %-8s %8.2f\n", key.first.c_str(), key.second.c_str(),
+                time);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "kernels") return cmd_kernels();
+  if (cmd == "emit") return cmd_emit(args);
+  if (cmd == "print") return cmd_print(args);
+  if (cmd == "verify") return cmd_verify(args);
+  if (cmd == "ranges") return cmd_ranges(args);
+  if (cmd == "tune") return cmd_tune(args);
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "compile") return cmd_compile(args);
+  if (cmd == "apply") return cmd_apply(args);
+  if (cmd == "characterize") return cmd_characterize(args);
+  return usage();
+}
