@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataset_size.dir/bench_dataset_size.cpp.o"
+  "CMakeFiles/bench_dataset_size.dir/bench_dataset_size.cpp.o.d"
+  "bench_dataset_size"
+  "bench_dataset_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

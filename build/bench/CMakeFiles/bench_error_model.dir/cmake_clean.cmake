@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_model.dir/bench_error_model.cpp.o"
+  "CMakeFiles/bench_error_model.dir/bench_error_model.cpp.o.d"
+  "bench_error_model"
+  "bench_error_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

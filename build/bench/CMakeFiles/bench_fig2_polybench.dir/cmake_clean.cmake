@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_polybench.dir/bench_fig2_polybench.cpp.o"
+  "CMakeFiles/bench_fig2_polybench.dir/bench_fig2_polybench.cpp.o.d"
+  "bench_fig2_polybench"
+  "bench_fig2_polybench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_polybench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_iebw.dir/bench_table1_iebw.cpp.o"
+  "CMakeFiles/bench_table1_iebw.dir/bench_table1_iebw.cpp.o.d"
+  "bench_table1_iebw"
+  "bench_table1_iebw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_iebw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

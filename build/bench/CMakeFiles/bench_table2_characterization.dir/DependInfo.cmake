@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_characterization.cpp" "bench/CMakeFiles/bench_table2_characterization.dir/bench_table2_characterization.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_characterization.dir/bench_table2_characterization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/luis_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/luis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/luis_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vra/CMakeFiles/luis_vra.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/luis_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/polybench/CMakeFiles/luis_polybench.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/luis_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/luis_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/numrep/CMakeFiles/luis_numrep.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/luis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_bench_common.dir/experiment.cpp.o"
+  "CMakeFiles/luis_bench_common.dir/experiment.cpp.o.d"
+  "libluis_bench_common.a"
+  "libluis_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polybench_tune.dir/polybench_tune.cpp.o"
+  "CMakeFiles/polybench_tune.dir/polybench_tune.cpp.o.d"
+  "polybench_tune"
+  "polybench_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polybench_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

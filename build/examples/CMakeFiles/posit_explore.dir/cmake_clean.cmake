@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posit_explore.dir/posit_explore.cpp.o"
+  "CMakeFiles/posit_explore.dir/posit_explore.cpp.o.d"
+  "posit_explore"
+  "posit_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posit_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

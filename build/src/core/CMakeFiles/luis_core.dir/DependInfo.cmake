@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment_io.cpp" "src/core/CMakeFiles/luis_core.dir/assignment_io.cpp.o" "gcc" "src/core/CMakeFiles/luis_core.dir/assignment_io.cpp.o.d"
+  "/root/repo/src/core/cast_materializer.cpp" "src/core/CMakeFiles/luis_core.dir/cast_materializer.cpp.o" "gcc" "src/core/CMakeFiles/luis_core.dir/cast_materializer.cpp.o.d"
+  "/root/repo/src/core/error_model.cpp" "src/core/CMakeFiles/luis_core.dir/error_model.cpp.o" "gcc" "src/core/CMakeFiles/luis_core.dir/error_model.cpp.o.d"
+  "/root/repo/src/core/greedy_allocator.cpp" "src/core/CMakeFiles/luis_core.dir/greedy_allocator.cpp.o" "gcc" "src/core/CMakeFiles/luis_core.dir/greedy_allocator.cpp.o.d"
+  "/root/repo/src/core/ilp_allocator.cpp" "src/core/CMakeFiles/luis_core.dir/ilp_allocator.cpp.o" "gcc" "src/core/CMakeFiles/luis_core.dir/ilp_allocator.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/luis_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/luis_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/profiled_ranges.cpp" "src/core/CMakeFiles/luis_core.dir/profiled_ranges.cpp.o" "gcc" "src/core/CMakeFiles/luis_core.dir/profiled_ranges.cpp.o.d"
+  "/root/repo/src/core/type_classes.cpp" "src/core/CMakeFiles/luis_core.dir/type_classes.cpp.o" "gcc" "src/core/CMakeFiles/luis_core.dir/type_classes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ilp/CMakeFiles/luis_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/luis_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vra/CMakeFiles/luis_vra.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/luis_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/luis_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/numrep/CMakeFiles/luis_numrep.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/luis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

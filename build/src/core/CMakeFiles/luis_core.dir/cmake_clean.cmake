@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_core.dir/assignment_io.cpp.o"
+  "CMakeFiles/luis_core.dir/assignment_io.cpp.o.d"
+  "CMakeFiles/luis_core.dir/cast_materializer.cpp.o"
+  "CMakeFiles/luis_core.dir/cast_materializer.cpp.o.d"
+  "CMakeFiles/luis_core.dir/error_model.cpp.o"
+  "CMakeFiles/luis_core.dir/error_model.cpp.o.d"
+  "CMakeFiles/luis_core.dir/greedy_allocator.cpp.o"
+  "CMakeFiles/luis_core.dir/greedy_allocator.cpp.o.d"
+  "CMakeFiles/luis_core.dir/ilp_allocator.cpp.o"
+  "CMakeFiles/luis_core.dir/ilp_allocator.cpp.o.d"
+  "CMakeFiles/luis_core.dir/pipeline.cpp.o"
+  "CMakeFiles/luis_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/luis_core.dir/profiled_ranges.cpp.o"
+  "CMakeFiles/luis_core.dir/profiled_ranges.cpp.o.d"
+  "CMakeFiles/luis_core.dir/type_classes.cpp.o"
+  "CMakeFiles/luis_core.dir/type_classes.cpp.o.d"
+  "libluis_core.a"
+  "libluis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

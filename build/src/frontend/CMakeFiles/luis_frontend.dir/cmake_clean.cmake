@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/luis_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/luis_frontend.dir/parser.cpp.o"
+  "CMakeFiles/luis_frontend.dir/parser.cpp.o.d"
+  "libluis_frontend.a"
+  "libluis_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

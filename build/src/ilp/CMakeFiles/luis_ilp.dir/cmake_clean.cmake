@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/luis_ilp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/luis_ilp.dir/lp_reader.cpp.o"
+  "CMakeFiles/luis_ilp.dir/lp_reader.cpp.o.d"
+  "CMakeFiles/luis_ilp.dir/lp_writer.cpp.o"
+  "CMakeFiles/luis_ilp.dir/lp_writer.cpp.o.d"
+  "CMakeFiles/luis_ilp.dir/model.cpp.o"
+  "CMakeFiles/luis_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/luis_ilp.dir/presolve.cpp.o"
+  "CMakeFiles/luis_ilp.dir/presolve.cpp.o.d"
+  "CMakeFiles/luis_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/luis_ilp.dir/simplex.cpp.o.d"
+  "libluis_ilp.a"
+  "libluis_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

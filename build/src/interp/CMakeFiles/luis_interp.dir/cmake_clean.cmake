@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/luis_interp.dir/interpreter.cpp.o.d"
+  "libluis_interp.a"
+  "libluis_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/luis_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/luis_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/ir/CMakeFiles/luis_ir.dir/ir.cpp.o" "gcc" "src/ir/CMakeFiles/luis_ir.dir/ir.cpp.o.d"
+  "/root/repo/src/ir/kernel_builder.cpp" "src/ir/CMakeFiles/luis_ir.dir/kernel_builder.cpp.o" "gcc" "src/ir/CMakeFiles/luis_ir.dir/kernel_builder.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/ir/CMakeFiles/luis_ir.dir/parser.cpp.o" "gcc" "src/ir/CMakeFiles/luis_ir.dir/parser.cpp.o.d"
+  "/root/repo/src/ir/passes.cpp" "src/ir/CMakeFiles/luis_ir.dir/passes.cpp.o" "gcc" "src/ir/CMakeFiles/luis_ir.dir/passes.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/luis_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/luis_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/luis_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/luis_ir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/luis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

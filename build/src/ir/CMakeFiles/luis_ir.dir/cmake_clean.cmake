@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_ir.dir/builder.cpp.o"
+  "CMakeFiles/luis_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/luis_ir.dir/ir.cpp.o"
+  "CMakeFiles/luis_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/luis_ir.dir/kernel_builder.cpp.o"
+  "CMakeFiles/luis_ir.dir/kernel_builder.cpp.o.d"
+  "CMakeFiles/luis_ir.dir/parser.cpp.o"
+  "CMakeFiles/luis_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/luis_ir.dir/passes.cpp.o"
+  "CMakeFiles/luis_ir.dir/passes.cpp.o.d"
+  "CMakeFiles/luis_ir.dir/printer.cpp.o"
+  "CMakeFiles/luis_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/luis_ir.dir/verifier.cpp.o"
+  "CMakeFiles/luis_ir.dir/verifier.cpp.o.d"
+  "libluis_ir.a"
+  "libluis_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numrep/fixed_point.cpp" "src/numrep/CMakeFiles/luis_numrep.dir/fixed_point.cpp.o" "gcc" "src/numrep/CMakeFiles/luis_numrep.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/numrep/formats.cpp" "src/numrep/CMakeFiles/luis_numrep.dir/formats.cpp.o" "gcc" "src/numrep/CMakeFiles/luis_numrep.dir/formats.cpp.o.d"
+  "/root/repo/src/numrep/iebw.cpp" "src/numrep/CMakeFiles/luis_numrep.dir/iebw.cpp.o" "gcc" "src/numrep/CMakeFiles/luis_numrep.dir/iebw.cpp.o.d"
+  "/root/repo/src/numrep/posit.cpp" "src/numrep/CMakeFiles/luis_numrep.dir/posit.cpp.o" "gcc" "src/numrep/CMakeFiles/luis_numrep.dir/posit.cpp.o.d"
+  "/root/repo/src/numrep/quantize.cpp" "src/numrep/CMakeFiles/luis_numrep.dir/quantize.cpp.o" "gcc" "src/numrep/CMakeFiles/luis_numrep.dir/quantize.cpp.o.d"
+  "/root/repo/src/numrep/soft_float.cpp" "src/numrep/CMakeFiles/luis_numrep.dir/soft_float.cpp.o" "gcc" "src/numrep/CMakeFiles/luis_numrep.dir/soft_float.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/luis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_numrep.dir/fixed_point.cpp.o"
+  "CMakeFiles/luis_numrep.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/luis_numrep.dir/formats.cpp.o"
+  "CMakeFiles/luis_numrep.dir/formats.cpp.o.d"
+  "CMakeFiles/luis_numrep.dir/iebw.cpp.o"
+  "CMakeFiles/luis_numrep.dir/iebw.cpp.o.d"
+  "CMakeFiles/luis_numrep.dir/posit.cpp.o"
+  "CMakeFiles/luis_numrep.dir/posit.cpp.o.d"
+  "CMakeFiles/luis_numrep.dir/quantize.cpp.o"
+  "CMakeFiles/luis_numrep.dir/quantize.cpp.o.d"
+  "CMakeFiles/luis_numrep.dir/soft_float.cpp.o"
+  "CMakeFiles/luis_numrep.dir/soft_float.cpp.o.d"
+  "libluis_numrep.a"
+  "libluis_numrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_numrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cost_model.cpp" "src/platform/CMakeFiles/luis_platform.dir/cost_model.cpp.o" "gcc" "src/platform/CMakeFiles/luis_platform.dir/cost_model.cpp.o.d"
+  "/root/repo/src/platform/energy.cpp" "src/platform/CMakeFiles/luis_platform.dir/energy.cpp.o" "gcc" "src/platform/CMakeFiles/luis_platform.dir/energy.cpp.o.d"
+  "/root/repo/src/platform/microbench.cpp" "src/platform/CMakeFiles/luis_platform.dir/microbench.cpp.o" "gcc" "src/platform/CMakeFiles/luis_platform.dir/microbench.cpp.o.d"
+  "/root/repo/src/platform/optime.cpp" "src/platform/CMakeFiles/luis_platform.dir/optime.cpp.o" "gcc" "src/platform/CMakeFiles/luis_platform.dir/optime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/luis_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/luis_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/luis_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/numrep/CMakeFiles/luis_numrep.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

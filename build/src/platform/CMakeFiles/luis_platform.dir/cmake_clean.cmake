@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_platform.dir/cost_model.cpp.o"
+  "CMakeFiles/luis_platform.dir/cost_model.cpp.o.d"
+  "CMakeFiles/luis_platform.dir/energy.cpp.o"
+  "CMakeFiles/luis_platform.dir/energy.cpp.o.d"
+  "CMakeFiles/luis_platform.dir/microbench.cpp.o"
+  "CMakeFiles/luis_platform.dir/microbench.cpp.o.d"
+  "CMakeFiles/luis_platform.dir/optime.cpp.o"
+  "CMakeFiles/luis_platform.dir/optime.cpp.o.d"
+  "libluis_platform.a"
+  "libluis_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

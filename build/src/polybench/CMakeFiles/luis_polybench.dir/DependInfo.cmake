@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/polybench/kernels_blas.cpp" "src/polybench/CMakeFiles/luis_polybench.dir/kernels_blas.cpp.o" "gcc" "src/polybench/CMakeFiles/luis_polybench.dir/kernels_blas.cpp.o.d"
+  "/root/repo/src/polybench/kernels_medley.cpp" "src/polybench/CMakeFiles/luis_polybench.dir/kernels_medley.cpp.o" "gcc" "src/polybench/CMakeFiles/luis_polybench.dir/kernels_medley.cpp.o.d"
+  "/root/repo/src/polybench/kernels_solvers.cpp" "src/polybench/CMakeFiles/luis_polybench.dir/kernels_solvers.cpp.o" "gcc" "src/polybench/CMakeFiles/luis_polybench.dir/kernels_solvers.cpp.o.d"
+  "/root/repo/src/polybench/kernels_stencils.cpp" "src/polybench/CMakeFiles/luis_polybench.dir/kernels_stencils.cpp.o" "gcc" "src/polybench/CMakeFiles/luis_polybench.dir/kernels_stencils.cpp.o.d"
+  "/root/repo/src/polybench/polybench.cpp" "src/polybench/CMakeFiles/luis_polybench.dir/polybench.cpp.o" "gcc" "src/polybench/CMakeFiles/luis_polybench.dir/polybench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/luis_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/luis_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/luis_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/numrep/CMakeFiles/luis_numrep.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

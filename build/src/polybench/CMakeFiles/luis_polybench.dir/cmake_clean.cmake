@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_polybench.dir/kernels_blas.cpp.o"
+  "CMakeFiles/luis_polybench.dir/kernels_blas.cpp.o.d"
+  "CMakeFiles/luis_polybench.dir/kernels_medley.cpp.o"
+  "CMakeFiles/luis_polybench.dir/kernels_medley.cpp.o.d"
+  "CMakeFiles/luis_polybench.dir/kernels_solvers.cpp.o"
+  "CMakeFiles/luis_polybench.dir/kernels_solvers.cpp.o.d"
+  "CMakeFiles/luis_polybench.dir/kernels_stencils.cpp.o"
+  "CMakeFiles/luis_polybench.dir/kernels_stencils.cpp.o.d"
+  "CMakeFiles/luis_polybench.dir/polybench.cpp.o"
+  "CMakeFiles/luis_polybench.dir/polybench.cpp.o.d"
+  "libluis_polybench.a"
+  "libluis_polybench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_polybench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_support.dir/diag.cpp.o"
+  "CMakeFiles/luis_support.dir/diag.cpp.o.d"
+  "CMakeFiles/luis_support.dir/rng.cpp.o"
+  "CMakeFiles/luis_support.dir/rng.cpp.o.d"
+  "CMakeFiles/luis_support.dir/statistics.cpp.o"
+  "CMakeFiles/luis_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/luis_support.dir/string_utils.cpp.o"
+  "CMakeFiles/luis_support.dir/string_utils.cpp.o.d"
+  "libluis_support.a"
+  "libluis_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

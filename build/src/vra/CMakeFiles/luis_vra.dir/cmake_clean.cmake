@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis_vra.dir/interval.cpp.o"
+  "CMakeFiles/luis_vra.dir/interval.cpp.o.d"
+  "CMakeFiles/luis_vra.dir/range_analysis.cpp.o"
+  "CMakeFiles/luis_vra.dir/range_analysis.cpp.o.d"
+  "libluis_vra.a"
+  "libluis_vra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis_vra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libluis_vra.a"
+)

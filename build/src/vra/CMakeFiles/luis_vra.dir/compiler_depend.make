@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for luis_vra.
+# This may be replaced when dependencies are built.

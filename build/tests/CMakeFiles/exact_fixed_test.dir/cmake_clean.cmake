@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_fixed_test.dir/exact_fixed_test.cpp.o"
+  "CMakeFiles/exact_fixed_test.dir/exact_fixed_test.cpp.o.d"
+  "exact_fixed_test"
+  "exact_fixed_test.pdb"
+  "exact_fixed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_fixed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

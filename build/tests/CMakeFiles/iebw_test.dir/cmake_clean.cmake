@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iebw_test.dir/iebw_test.cpp.o"
+  "CMakeFiles/iebw_test.dir/iebw_test.cpp.o.d"
+  "iebw_test"
+  "iebw_test.pdb"
+  "iebw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iebw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literal_model_test.dir/literal_model_test.cpp.o"
+  "CMakeFiles/literal_model_test.dir/literal_model_test.cpp.o.d"
+  "literal_model_test"
+  "literal_model_test.pdb"
+  "literal_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literal_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polybench_test.dir/polybench_test.cpp.o"
+  "CMakeFiles/polybench_test.dir/polybench_test.cpp.o.d"
+  "polybench_test"
+  "polybench_test.pdb"
+  "polybench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polybench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

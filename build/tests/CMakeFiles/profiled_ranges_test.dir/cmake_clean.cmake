@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiled_ranges_test.dir/profiled_ranges_test.cpp.o"
+  "CMakeFiles/profiled_ranges_test.dir/profiled_ranges_test.cpp.o.d"
+  "profiled_ranges_test"
+  "profiled_ranges_test.pdb"
+  "profiled_ranges_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiled_ranges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

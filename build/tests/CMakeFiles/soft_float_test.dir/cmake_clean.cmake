@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_float_test.dir/soft_float_test.cpp.o"
+  "CMakeFiles/soft_float_test.dir/soft_float_test.cpp.o.d"
+  "soft_float_test"
+  "soft_float_test.pdb"
+  "soft_float_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_float_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vra_test.dir/vra_test.cpp.o"
+  "CMakeFiles/vra_test.dir/vra_test.cpp.o.d"
+  "vra_test"
+  "vra_test.pdb"
+  "vra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/fixed_point_test[1]_include.cmake")
+include("/root/repo/build/tests/soft_float_test[1]_include.cmake")
+include("/root/repo/build/tests/posit_test[1]_include.cmake")
+include("/root/repo/build/tests/iebw_test[1]_include.cmake")
+include("/root/repo/build/tests/simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/branch_and_bound_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/vra_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/polybench_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/literal_model_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/passes_test[1]_include.cmake")
+include("/root/repo/build/tests/presolve_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_fixed_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/error_model_test[1]_include.cmake")
+include("/root/repo/build/tests/profiled_ranges_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_reader_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/assignment_io_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/luis.dir/luis_cli.cpp.o"
+  "CMakeFiles/luis.dir/luis_cli.cpp.o.d"
+  "luis"
+  "luis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/luis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

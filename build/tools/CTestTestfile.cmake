@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_kernels "/root/repo/build/tools/luis" "kernels")
+set_tests_properties(cli_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_emit_verify "sh" "-c" "/root/repo/build/tools/luis emit atax -o atax_cli.ir && /root/repo/build/tools/luis verify atax_cli.ir")
+set_tests_properties(cli_emit_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tune "sh" "-c" "/root/repo/build/tools/luis emit trisolv -o trisolv_cli.ir && /root/repo/build/tools/luis tune trisolv_cli.ir --platform AMD --config Fast --optimize -o trisolv_tuned.ir && /root/repo/build/tools/luis verify trisolv_tuned.ir")
+set_tests_properties(cli_tune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "sh" "-c" "/root/repo/build/tools/luis emit jacobi-1d -o j1d_cli.ir && /root/repo/build/tools/luis run j1d_cli.ir --type binary32")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ranges "sh" "-c" "/root/repo/build/tools/luis emit bicg -o bicg_cli.ir && /root/repo/build/tools/luis ranges bicg_cli.ir")
+set_tests_properties(cli_ranges PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/luis" "bogus-subcommand")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compile "sh" "-c" "/root/repo/build/tools/luis compile /root/repo/examples/kernels/blur3.lk -o blur3_cli.ir && /root/repo/build/tools/luis tune blur3_cli.ir --platform Raspberry --config Fast")
+set_tests_properties(cli_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_platform_file "sh" "-c" "/root/repo/build/tools/luis characterize -o host_cli.optime && /root/repo/build/tools/luis emit mvt -o mvt_cli.ir && /root/repo/build/tools/luis tune mvt_cli.ir --platform-file host_cli.optime --config Fast")
+set_tests_properties(cli_platform_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_assignment_roundtrip "sh" "-c" "/root/repo/build/tools/luis emit gesummv -o gsv_cli.ir && /root/repo/build/tools/luis tune gsv_cli.ir --platform Stm32 --config Fast --save-assignment gsv_types.txt && /root/repo/build/tools/luis apply gsv_cli.ir gsv_types.txt")
+set_tests_properties(cli_assignment_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
