@@ -1,0 +1,454 @@
+// The built-in lint passes (registered in lint.cpp).
+//
+// Every pass walks the function in program order and reports through the
+// shared DiagnosticEngine, so the combined report is deterministic. The
+// checks deliberately re-derive their facts from first principles (ranges,
+// format parameters) instead of trusting allocator internals: the lint is
+// only worth having if it can catch the allocator lying.
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "analysis/lint.hpp"
+#include "numrep/iebw.hpp"
+#include "numrep/posit.hpp"
+#include "numrep/soft_float.hpp"
+
+namespace luis::analysis {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::ScalarType;
+using numrep::ConcreteType;
+using numrep::FormatClass;
+
+namespace {
+
+bool is_real_register(const ir::Value* v) {
+  return (v->is_instruction() && v->type() == ScalarType::Real) || v->is_array();
+}
+
+std::string fmt_range(const vra::Interval& range) {
+  std::ostringstream os;
+  os << "[" << range.lo << ", " << range.hi << "]";
+  return os.str();
+}
+
+/// Guaranteed precision (IEBW) of `type` over `range` — the worst case
+/// over the interval, matching the fix-max derivation.
+int guaranteed_iebw(const ConcreteType& type, const vra::Interval& range) {
+  return numrep::iebw_of_range(type.format, range.lo, range.hi, type.frac_bits);
+}
+
+/// Largest finite magnitude `format` can represent; +inf for formats whose
+/// range cannot be exceeded (wide fixed handled by L004 instead).
+double representable_max(const ConcreteType& type) {
+  switch (type.format.format_class()) {
+  case FormatClass::FloatingPoint:
+    return numrep::float_max_value(type.format);
+  case FormatClass::Posit:
+    return numrep::posit_max_value(type.format);
+  case FormatClass::FixedPoint: {
+    const int magnitude_bits =
+        type.format.width() - (type.format.is_signed() ? 1 : 0);
+    return std::ldexp(1.0, magnitude_bits - type.frac_bits);
+  }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+/// The value that defines the representation a Real literal operand
+/// materializes in: stores write in the array's type, fcmp compares in the
+/// register operand's type, and every other Real consumer materializes its
+/// literals in its own result type. Returns nullptr when no owner exists
+/// (e.g. an fcmp between two literals).
+const ir::Value* literal_format_owner(const Instruction* user,
+                                      std::size_t operand_index) {
+  switch (user->opcode()) {
+  case Opcode::Store:
+    return operand_index == 0 ? user->operand(1) : nullptr;
+  case Opcode::FCmp: {
+    const ir::Value* other = user->operand(1 - operand_index);
+    return is_real_register(other) ? other : nullptr;
+  }
+  default:
+    return user->type() == ScalarType::Real ? user : nullptr;
+  }
+}
+
+/// Applies `fn` to every Real register of the function (arrays first, then
+/// instructions in program order — the allocator's register enumeration).
+template <typename Fn>
+void for_each_register(const ir::Function& f, Fn&& fn) {
+  for (const auto& arr : f.arrays()) fn(arr.get());
+  for (const auto& bb : f.blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->type() == ScalarType::Real) fn(inst.get());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// L001 assignment-completeness: every register and literal is covered.
+// ---------------------------------------------------------------------------
+void check_assignment_completeness(const LintContext& ctx,
+                                   DiagnosticEngine& engine) {
+  for_each_register(ctx.function, [&](const ir::Value* v) {
+    if (ctx.assignment.has_explicit(v)) return;
+    engine.report({"L001", Severity::Error, "assignment-completeness",
+                   ctx.describe(v),
+                   "no representation assigned; the interpreter would fall "
+                   "back to the assignment default",
+                   "re-run allocation, or add an explicit entry"});
+  });
+  // Literals materialize in their consumer's format, so they are covered
+  // exactly when a format-defining consumer exists.
+  for (const auto& bb : ctx.function.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        const ir::Value* op = inst->operand(i);
+        if (op->kind() != ir::Value::Kind::ConstReal) continue;
+        if (literal_format_owner(inst.get(), i) == nullptr)
+          engine.report({"L001", Severity::Warning, "assignment-completeness",
+                         ctx.describe(op),
+                         "literal used by " + ctx.describe(inst.get()) +
+                             " has no value defining its representation",
+                         "fold the constant expression"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L002 dangling-entry: assignment entries for values not in the function.
+// ---------------------------------------------------------------------------
+void check_dangling_entries(const LintContext& ctx, DiagnosticEngine& engine) {
+  // The key of a dangling entry may point at freed memory (an instruction
+  // erased by DCE), so it must never be dereferenced: membership is decided
+  // purely on pointer identity against the function's live values.
+  std::set<const ir::Value*> live;
+  for (const auto& arr : ctx.function.arrays()) live.insert(arr.get());
+  for (const auto& bb : ctx.function.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      live.insert(inst.get());
+      for (const ir::Value* op : inst->operands()) live.insert(op);
+    }
+  }
+  int dangling = 0;
+  for (const auto& [value, type] : ctx.assignment.entries())
+    if (!live.count(value)) ++dangling;
+  if (dangling > 0)
+    engine.report({"L002", Severity::Warning, "dangling-entry", "<assignment>",
+                   std::to_string(dangling) +
+                       " entr" + (dangling == 1 ? "y" : "ies") +
+                       " for values not present in the function (deleted by "
+                       "a pass, or from a different function)",
+                   "re-run allocation after IR transformations"});
+}
+
+// ---------------------------------------------------------------------------
+// L003 same-type-operands: the ILP same-type constraint holds.
+// ---------------------------------------------------------------------------
+void check_same_type_operands(const LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& types = ctx.assignment;
+  auto mismatch = [&](const ir::Value* a, const ir::Value* b) {
+    // Only judge pairs the assignment actually pins down; missing entries
+    // are L001's finding, not a type conflict.
+    if (!types.has_explicit(a) || !types.has_explicit(b)) return false;
+    if (ctx.options.casts_materialized) return !(types.of(a) == types.of(b));
+    // Before materialization, fixed-point registers of one class may carry
+    // different fractional splits (the materializer realigns them with
+    // shift casts); only a format disagreement violates the ILP class
+    // constraint at this stage.
+    return !(types.of(a).format == types.of(b).format);
+  };
+  auto report = [&](const Instruction* inst, const ir::Value* a,
+                    const ir::Value* b, const char* what) {
+    engine.report({"L003", Severity::Error, "same-type-operands",
+                   ctx.describe(inst),
+                   std::string(what) + ": " + ctx.describe(a) + " is " +
+                       types.of(a).name() + " but " + ctx.describe(b) + " is " +
+                       types.of(b).name(),
+                   "insert a cast or merge the two into one type class"});
+  };
+  for (const auto& bb : ctx.function.blocks()) {
+    for (const auto& inst_ptr : bb->instructions()) {
+      const Instruction* inst = inst_ptr.get();
+      switch (inst->opcode()) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+      case Opcode::Rem: case Opcode::Pow: case Opcode::Min: case Opcode::Max:
+      case Opcode::Neg: case Opcode::Abs: case Opcode::Sqrt: case Opcode::Exp:
+        for (const ir::Value* op : inst->operands())
+          if (is_real_register(op) && mismatch(inst, op))
+            report(inst, inst, op, "arithmetic operand representation differs");
+        break;
+      case Opcode::Phi:
+        if (inst->type() != ScalarType::Real) break;
+        for (const ir::Value* op : inst->operands())
+          if (is_real_register(op) && mismatch(inst, op))
+            report(inst, inst, op, "phi incoming representation differs");
+        break;
+      case Opcode::Select:
+        if (inst->type() != ScalarType::Real) break;
+        for (std::size_t i = 1; i <= 2; ++i)
+          if (is_real_register(inst->operand(i)) &&
+              mismatch(inst, inst->operand(i)))
+            report(inst, inst, inst->operand(i),
+                   "select arm representation differs");
+        break;
+      case Opcode::FCmp:
+        if (is_real_register(inst->operand(0)) &&
+            is_real_register(inst->operand(1)) &&
+            mismatch(inst->operand(0), inst->operand(1)))
+          report(inst, inst->operand(0), inst->operand(1),
+                 "fcmp operands compare in different representations");
+        break;
+      case Opcode::Load:
+        if (mismatch(inst, inst->operand(0)))
+          report(inst, inst, inst->operand(0),
+                 "load result representation differs from its array");
+        break;
+      case Opcode::Store:
+        // Before cast materialization a store is a legal representation
+        // boundary; afterwards nothing reconciles a mismatch.
+        if (ctx.options.casts_materialized && is_real_register(inst->operand(0)) &&
+            mismatch(inst->operand(0), inst->operand(1)))
+          report(inst, inst->operand(0), inst->operand(1),
+                 "stored value representation differs from its array after "
+                 "cast materialization");
+        break;
+      default:
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L004 fixed-point-overflow: frac bits respect fix-max(v, f).
+// ---------------------------------------------------------------------------
+void check_fixed_point_overflow(const LintContext& ctx,
+                                DiagnosticEngine& engine) {
+  for_each_register(ctx.function, [&](const ir::Value* v) {
+    if (!ctx.assignment.has_explicit(v)) return;
+    const ConcreteType type = ctx.assignment.of(v);
+    if (!type.format.is_fixed()) return;
+    const int width = type.format.width();
+    if (type.frac_bits < 0 || type.frac_bits >= width) {
+      engine.report({"L004", Severity::Error, "fixed-point-overflow",
+                     ctx.describe(v),
+                     type.name() + " has " + std::to_string(type.frac_bits) +
+                         " fractional bits outside [0, " +
+                         std::to_string(width - 1) + "]",
+                     "clamp frac_bits into the format's width"});
+      return;
+    }
+    const vra::Interval range = ctx.ranges.of(v);
+    const int fixmax = numrep::fixed_point_max_frac(
+        width, type.format.is_signed(), range.lo, range.hi);
+    // A cast is a deliberate narrowing point: its target format trusts the
+    // consumer's contract (typically an array's authoritative range
+    // annotation), and fixed point quantization saturates rather than
+    // wraps. A static operand range wider than the target's span is worth
+    // flagging, but it is the annotation's risk, not an allocation bug.
+    if (v->is_instruction() &&
+        static_cast<const Instruction*>(v)->opcode() == Opcode::Cast) {
+      if (type.frac_bits > fixmax)
+        engine.report({"L004", Severity::Warning, "fixed-point-overflow",
+                       ctx.describe(v),
+                       "cast saturates: static operand range " +
+                           fmt_range(range) + " exceeds the span of " +
+                           type.name() +
+                           "; correctness rests on the consumer's range "
+                           "contract",
+                       "widen the consumer's annotation or lower its "
+                       "fractional bits"});
+      return;
+    }
+    if (fixmax < 0) {
+      engine.report({"L004", Severity::Error, "fixed-point-overflow",
+                     ctx.describe(v),
+                     "range " + fmt_range(range) + " needs more integer bits "
+                         "than " + type.format.name() + " has at any "
+                         "fractional split",
+                     "assign a wider fixed format or a float"});
+    } else if (type.frac_bits > fixmax) {
+      engine.report({"L004", Severity::Error, "fixed-point-overflow",
+                     ctx.describe(v),
+                     std::to_string(type.frac_bits) + " fractional bits "
+                         "overflow on range " + fmt_range(range) +
+                         "; fix-max is " + std::to_string(fixmax),
+                     "reduce frac_bits to " + std::to_string(fixmax)});
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// L005 precision-loss-cast: IEBW drops and double-rounding chains.
+// ---------------------------------------------------------------------------
+void check_precision_loss_casts(const LintContext& ctx,
+                                DiagnosticEngine& engine) {
+  for (const auto& bb : ctx.function.blocks()) {
+    for (const auto& inst_ptr : bb->instructions()) {
+      const Instruction* inst = inst_ptr.get();
+      if (inst->opcode() != Opcode::Cast) continue;
+      const ir::Value* src = inst->operand(0);
+      if (!ctx.assignment.has_explicit(inst) || !ctx.assignment.has_explicit(src))
+        continue;
+      const ConcreteType from = ctx.assignment.of(src);
+      const ConcreteType to = ctx.assignment.of(inst);
+      const vra::Interval range = ctx.ranges.of(src);
+      const int iebw_from = guaranteed_iebw(from, range);
+      const int iebw_to = guaranteed_iebw(to, range);
+      const int drop = iebw_from - iebw_to;
+      if (drop > ctx.options.precision_loss_threshold)
+        engine.report({"L005", Severity::Warning, "precision-loss-cast",
+                       ctx.describe(inst),
+                       "cast " + from.name() + " -> " + to.name() + " drops " +
+                           std::to_string(drop) + " guaranteed fractional "
+                           "bits over range " + fmt_range(range) +
+                           " (threshold " +
+                           std::to_string(ctx.options.precision_loss_threshold) +
+                           ")",
+                       "keep the producer narrow or widen the consumer"});
+      // Double rounding: t -> t' -> t'' where the middle format is strictly
+      // the least precise — both roundings are lossy and the second hides
+      // the first.
+      if (src->is_instruction() &&
+          static_cast<const Instruction*>(src)->opcode() == Opcode::Cast) {
+        const Instruction* inner = static_cast<const Instruction*>(src);
+        const ir::Value* origin = inner->operand(0);
+        if (!ctx.assignment.has_explicit(origin)) continue;
+        const ConcreteType t0 = ctx.assignment.of(origin);
+        const vra::Interval origin_range = ctx.ranges.of(origin);
+        const int i0 = guaranteed_iebw(t0, origin_range);
+        const int i1 = guaranteed_iebw(from, origin_range);
+        const int i2 = guaranteed_iebw(to, origin_range);
+        if (i1 < i0 && i1 < i2)
+          engine.report({"L005", Severity::Warning, "precision-loss-cast",
+                         ctx.describe(inst),
+                         "double rounding " + t0.name() + " -> " + from.name() +
+                             " -> " + to.name() + ": the intermediate format "
+                             "is the least precise of the chain",
+                         "cast directly from " + t0.name() + " to " +
+                             to.name()});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L006 redundant-cast: identity casts and cancelling cast pairs.
+// ---------------------------------------------------------------------------
+void check_redundant_casts(const LintContext& ctx, DiagnosticEngine& engine) {
+  for (const auto& bb : ctx.function.blocks()) {
+    for (const auto& inst_ptr : bb->instructions()) {
+      const Instruction* inst = inst_ptr.get();
+      if (inst->opcode() != Opcode::Cast) continue;
+      const ir::Value* src = inst->operand(0);
+      if (!ctx.assignment.has_explicit(inst) || !ctx.assignment.has_explicit(src))
+        continue;
+      const ConcreteType from = ctx.assignment.of(src);
+      const ConcreteType to = ctx.assignment.of(inst);
+      if (from == to) {
+        engine.report({"L006", Severity::Warning, "redundant-cast",
+                       ctx.describe(inst),
+                       "cast to the identical representation " + to.name(),
+                       "forward the operand and delete the cast"});
+        continue;
+      }
+      // Back-to-back pair that cancels: t -> t' -> t with a lossless middle
+      // hop (the intermediate is at least as precise over the range).
+      if (src->is_instruction() &&
+          static_cast<const Instruction*>(src)->opcode() == Opcode::Cast) {
+        const Instruction* inner = static_cast<const Instruction*>(src);
+        const ir::Value* origin = inner->operand(0);
+        if (ctx.assignment.has_explicit(origin) &&
+            ctx.assignment.of(origin) == to) {
+          const vra::Interval range = ctx.ranges.of(origin);
+          if (guaranteed_iebw(from, range) >= guaranteed_iebw(to, range))
+            engine.report({"L006", Severity::Warning, "redundant-cast",
+                           ctx.describe(inst),
+                           "casts " + to.name() + " -> " + from.name() +
+                               " -> " + to.name() + " cancel (the middle "
+                               "format loses no precision)",
+                           "use " + ctx.describe(origin) + " directly and "
+                               "delete both casts"});
+        }
+      }
+      // A cast nothing consumes is dead weight from a partial rewrite.
+      const auto uses = ctx.uses.find(inst);
+      if (uses == ctx.uses.end() || uses->second.empty())
+        engine.report({"L006", Severity::Note, "redundant-cast",
+                       ctx.describe(inst), "cast result has no uses",
+                       "delete the cast (dead code)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L007 range-escape: values the assigned format cannot represent.
+// ---------------------------------------------------------------------------
+void check_range_escape(const LintContext& ctx, DiagnosticEngine& engine) {
+  for_each_register(ctx.function, [&](const ir::Value* v) {
+    if (!ctx.assignment.has_explicit(v)) return;
+    const ConcreteType type = ctx.assignment.of(v);
+    const vra::Interval range = ctx.ranges.of(v);
+    const double max_mag = range.max_magnitude();
+    switch (type.format.format_class()) {
+    case FormatClass::FloatingPoint:
+      if (!numrep::is_executable_float(type.format))
+        engine.report({"L007", Severity::Note, "range-escape", ctx.describe(v),
+                       type.format.name() + " is described for the IEBW "
+                           "metric but cannot be executed by the soft-float "
+                           "emulator",
+                       "use an executable format (p <= 53, E <= 1023)"});
+      if (max_mag > numrep::float_max_value(type.format))
+        engine.report({"L007", Severity::Error, "range-escape", ctx.describe(v),
+                       "range " + fmt_range(range) + " exceeds the largest "
+                           "finite " + type.format.name() + " value " +
+                           std::to_string(numrep::float_max_value(type.format)) +
+                           "; overflow to infinity is guaranteed reachable",
+                       "assign a format with a wider exponent range"});
+      break;
+    case FormatClass::Posit:
+      if (max_mag > numrep::posit_max_value(type.format))
+        engine.report({"L007", Severity::Warning, "range-escape",
+                       ctx.describe(v),
+                       "range " + fmt_range(range) + " exceeds maxpos of " +
+                           type.format.name() + "; values will saturate",
+                       "assign a wider posit or a float"});
+      break;
+    case FormatClass::FixedPoint:
+      break; // the fractional-bit budget is L004's finding
+    }
+  });
+  // Literals materialize in their consumer's format; the allocator's
+  // feasibility check only looks at register ranges, so an oversized
+  // literal coefficient slips through it — exactly the gap this check
+  // closes. Warning severity: execution saturates rather than traps.
+  for (const auto& bb : ctx.function.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        const ir::Value* op = inst->operand(i);
+        if (op->kind() != ir::Value::Kind::ConstReal) continue;
+        const ir::Value* owner = literal_format_owner(inst.get(), i);
+        if (!owner || !ctx.assignment.has_explicit(owner)) continue;
+        const ConcreteType type = ctx.assignment.of(owner);
+        const double value =
+            std::abs(static_cast<const ir::ConstReal*>(op)->value());
+        if (value > representable_max(type))
+          engine.report({"L007", Severity::Warning, "range-escape",
+                         ctx.describe(op),
+                         "literal materializes in " + type.name() + " (via " +
+                             ctx.describe(owner) + ") but exceeds its largest "
+                             "representable magnitude",
+                         "widen the consumer's format or rescale the "
+                             "expression"});
+      }
+    }
+  }
+}
+
+} // namespace luis::analysis

@@ -1,0 +1,95 @@
+#include "analysis/diagnostics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace luis::analysis {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+  case Severity::Note: return "note";
+  case Severity::Warning: return "warning";
+  case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_text() const {
+  std::ostringstream os;
+  os << to_string(severity) << " [" << code << "] " << location << ": "
+     << message;
+  if (!fix_hint.empty()) os << " (fix: " << fix_hint << ")";
+  return os.str();
+}
+
+int DiagnosticEngine::count(Severity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+int DiagnosticEngine::count_code(const std::string& code) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_)
+    if (d.code == code) ++n;
+  return n;
+}
+
+std::string DiagnosticEngine::to_text() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) os << d.to_text() << "\n";
+  os << count(Severity::Error) << " error(s), " << count(Severity::Warning)
+     << " warning(s), " << count(Severity::Note) << " note(s)\n";
+  return os.str();
+}
+
+namespace {
+
+void write_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+    case '"': os << "\\\""; break;
+    case '\\': os << "\\\\"; break;
+    case '\n': os << "\\n"; break;
+    case '\t': os << "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        os << buf;
+      } else {
+        os << c;
+      }
+    }
+  }
+  os << '"';
+}
+
+} // namespace
+
+std::string DiagnosticEngine::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    os << "  {\"code\": ";
+    write_json_string(os, d.code);
+    os << ", \"severity\": ";
+    write_json_string(os, to_string(d.severity));
+    os << ", \"check\": ";
+    write_json_string(os, d.check);
+    os << ", \"location\": ";
+    write_json_string(os, d.location);
+    os << ", \"message\": ";
+    write_json_string(os, d.message);
+    os << ", \"fix_hint\": ";
+    write_json_string(os, d.fix_hint);
+    os << "}" << (i + 1 < diagnostics_.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+} // namespace luis::analysis

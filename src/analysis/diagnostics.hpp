@@ -1,0 +1,56 @@
+// Diagnostic engine of the precision lint suite.
+//
+// Every finding a lint pass produces is a Diagnostic: a stable
+// machine-readable code (L001, L002, ...), a severity, a human-readable
+// location inside the linted function (printer ids for instructions, @name
+// for arrays), the violation message, and an optional fix hint. The engine
+// collects findings across passes and renders them as compiler-style text
+// or as a JSON array for CI and tooling consumers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace luis::analysis {
+
+enum class Severity { Note, Warning, Error };
+
+const char* to_string(Severity severity);
+
+struct Diagnostic {
+  std::string code;     ///< stable id, e.g. "L004"
+  Severity severity = Severity::Warning;
+  std::string check;    ///< registry name of the producing pass
+  std::string location; ///< "%12 (mul) in body", "@A", "<deleted value>"
+  std::string message;
+  std::string fix_hint; ///< empty when no mechanical fix applies
+
+  /// One "file:line: severity: message"-style line.
+  std::string to_text() const;
+};
+
+class DiagnosticEngine {
+public:
+  void report(Diagnostic diagnostic) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  std::size_t size() const { return diagnostics_.size(); }
+
+  int count(Severity severity) const;
+  int count_code(const std::string& code) const;
+  bool has_errors() const { return count(Severity::Error) > 0; }
+  bool has_warnings() const { return count(Severity::Warning) > 0; }
+
+  /// Compiler-style report, one line per diagnostic plus a summary line.
+  std::string to_text() const;
+  /// JSON array of objects with the Diagnostic field names as keys.
+  std::string to_json() const;
+
+private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+} // namespace luis::analysis

@@ -1,0 +1,76 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/printer.hpp"
+
+namespace luis::analysis {
+
+// Implemented in checks.cpp.
+void check_assignment_completeness(const LintContext&, DiagnosticEngine&);
+void check_dangling_entries(const LintContext&, DiagnosticEngine&);
+void check_same_type_operands(const LintContext&, DiagnosticEngine&);
+void check_fixed_point_overflow(const LintContext&, DiagnosticEngine&);
+void check_precision_loss_casts(const LintContext&, DiagnosticEngine&);
+void check_redundant_casts(const LintContext&, DiagnosticEngine&);
+void check_range_escape(const LintContext&, DiagnosticEngine&);
+
+namespace {
+
+constexpr LintPass kPasses[] = {
+    {"assignment-completeness", "L001", check_assignment_completeness},
+    {"dangling-entry", "L002", check_dangling_entries},
+    {"same-type-operands", "L003", check_same_type_operands},
+    {"fixed-point-overflow", "L004", check_fixed_point_overflow},
+    {"precision-loss-cast", "L005", check_precision_loss_casts},
+    {"redundant-cast", "L006", check_redundant_casts},
+    {"range-escape", "L007", check_range_escape},
+};
+
+} // namespace
+
+std::span<const LintPass> lint_passes() { return kPasses; }
+
+std::string LintContext::describe(const ir::Value* value) const {
+  if (value->is_array()) return "@" + value->name();
+  if (value->kind() == ir::Value::Kind::ConstReal) {
+    std::ostringstream os;
+    os << "const " << static_cast<const ir::ConstReal*>(value)->value();
+    return os.str();
+  }
+  if (value->kind() == ir::Value::Kind::ConstInt) {
+    std::ostringstream os;
+    os << "const " << static_cast<const ir::ConstInt*>(value)->value();
+    return os.str();
+  }
+  const auto* inst = static_cast<const ir::Instruction*>(value);
+  std::ostringstream os;
+  const auto it = ids.find(inst);
+  if (it != ids.end())
+    os << "%" << it->second << " ";
+  os << "(" << ir::to_string(inst->opcode());
+  if (inst->parent()) os << " in " << inst->parent()->name();
+  os << ")";
+  return os.str();
+}
+
+DiagnosticEngine run_lint(const ir::Function& function,
+                          const interp::TypeAssignment& assignment,
+                          const vra::RangeMap& ranges,
+                          const LintOptions& options) {
+  LintContext context{function, assignment, ranges, options,
+                      ir::number_instructions(function),
+                      ir::compute_uses(function)};
+  DiagnosticEngine engine;
+  const auto& disabled = options.disabled_codes;
+  for (const LintPass& pass : kPasses) {
+    if (std::find(disabled.begin(), disabled.end(), pass.codes) !=
+        disabled.end())
+      continue;
+    pass.run(context, engine);
+  }
+  return engine;
+}
+
+} // namespace luis::analysis

@@ -16,15 +16,6 @@ bool is_real_register(const ir::Value* v) {
   return v->is_instruction() && v->type() == ScalarType::Real;
 }
 
-/// Loads produce the array's representation by definition; pin the
-/// assignment down so boundary detection is consumer-side only.
-void normalize_loads(const ir::Function& f, interp::TypeAssignment& assignment) {
-  for (const auto& bb : f.blocks())
-    for (const auto& inst : bb->instructions())
-      if (inst->opcode() == Opcode::Load)
-        assignment.set(inst.get(), assignment.of(inst->operand(0)));
-}
-
 struct Boundary {
   Instruction* consumer;
   std::size_t operand_index;
@@ -46,7 +37,11 @@ std::vector<Boundary> find_boundaries(const ir::Function& f,
       }
       if (inst->type() != ScalarType::Real && inst->opcode() != Opcode::FCmp)
         continue;
-      if (inst->opcode() == Opcode::Load) continue;
+      // Loads produce their array's type and casts convert by definition:
+      // neither ever needs an operand conversion, and skipping casts is what
+      // makes materialization idempotent.
+      if (inst->opcode() == Opcode::Load || inst->opcode() == Opcode::Cast)
+        continue;
       const numrep::ConcreteType target = assignment.of(inst);
       for (std::size_t i = 0; i < inst->num_operands(); ++i) {
         const ir::Value* op = inst->operand(i);
@@ -65,15 +60,25 @@ std::vector<Boundary> find_boundaries(const ir::Function& f,
 
 } // namespace
 
+// Loads produce the array's representation by definition; pinning the
+// assignment down makes boundary detection consumer-side only.
+void normalize_load_types(const ir::Function& f,
+                          interp::TypeAssignment& assignment) {
+  for (const auto& bb : f.blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->opcode() == Opcode::Load)
+        assignment.set(inst.get(), assignment.of(inst->operand(0)));
+}
+
 int count_type_boundaries(const ir::Function& f,
                           const interp::TypeAssignment& assignment) {
   interp::TypeAssignment normalized = assignment;
-  normalize_loads(f, normalized);
+  normalize_load_types(f, normalized);
   return static_cast<int>(find_boundaries(f, normalized).size());
 }
 
 int materialize_casts(ir::Function& f, interp::TypeAssignment& assignment) {
-  normalize_loads(f, assignment);
+  normalize_load_types(f, assignment);
   const std::vector<Boundary> boundaries = find_boundaries(f, assignment);
   for (const Boundary& b : boundaries) {
     ir::Value* op = b.consumer->operand(b.operand_index);

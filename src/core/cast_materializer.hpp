@@ -21,4 +21,11 @@ int materialize_casts(ir::Function& f, interp::TypeAssignment& assignment);
 int count_type_boundaries(const ir::Function& f,
                           const interp::TypeAssignment& assignment);
 
+/// Pins every Load's entry to its array's representation — the canonical
+/// view both materialization passes start from. Exposed so external
+/// assignments (hand-edited or loaded from disk) can be normalized before
+/// boundary counting or linting.
+void normalize_load_types(const ir::Function& f,
+                          interp::TypeAssignment& assignment);
+
 } // namespace luis::core

@@ -35,6 +35,24 @@ PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
   if (options.materialize_casts)
     result.casts_inserted = materialize_casts(f, result.allocation.assignment);
 
+  if (options.lint != LintMode::Off) {
+    const auto t2 = std::chrono::steady_clock::now();
+    // Materialized casts postdate the VRA pass; refresh the ranges so the
+    // lint sees them (a cast carries its operand's range, not top).
+    if (result.casts_inserted > 0)
+      result.ranges = vra::analyze_ranges(f, options.vra);
+    analysis::LintOptions lint_options = options.lint_options;
+    lint_options.casts_materialized = options.materialize_casts;
+    // Deliberately lints the allocator's raw output: a load whose entry
+    // disagrees with its array is an allocator bug L003 must surface, not
+    // something to normalize away.
+    result.lint = analysis::run_lint(f, result.allocation.assignment,
+                                     result.ranges, lint_options);
+    result.lint_seconds = seconds_since(t2);
+    if (options.lint == LintMode::Error && result.lint.has_errors())
+      result.lint_ok = false;
+  }
+
   result.total_seconds = seconds_since(t0);
   return result;
 }

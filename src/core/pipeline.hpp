@@ -7,6 +7,7 @@
 // compilation-overhead experiment (Section V-B) consumes.
 #pragma once
 
+#include "analysis/lint.hpp"
 #include "core/config.hpp"
 #include "core/ilp_allocator.hpp"
 #include "core/greedy_allocator.hpp"
@@ -15,6 +16,11 @@
 namespace luis::core {
 
 enum class AllocatorKind { Ilp, Greedy };
+
+/// Opt-in precision lint over the pipeline's output (see analysis/lint.hpp):
+/// Warn collects diagnostics for reporting only; Error additionally fails
+/// the pipeline (PipelineResult::lint_ok) on error-severity findings.
+enum class LintMode { Off, Warn, Error };
 
 struct PipelineOptions {
   AllocatorKind allocator = AllocatorKind::Ilp;
@@ -26,6 +32,11 @@ struct PipelineOptions {
   /// Insert explicit Cast instructions into the function after allocation
   /// (mutates the IR; off by default so one build can be tuned repeatedly).
   bool materialize_casts = false;
+  /// Run the precision lint after allocation (and after cast
+  /// materialization when that stage is enabled, so the casts are checked
+  /// too).
+  LintMode lint = LintMode::Off;
+  analysis::LintOptions lint_options;
 };
 
 struct PipelineResult {
@@ -36,6 +47,11 @@ struct PipelineResult {
   double allocation_seconds = 0.0; ///< model build + solve (or greedy scan)
   double total_seconds = 0.0;
   int casts_inserted = 0;
+  /// Lint findings (empty when PipelineOptions::lint is Off).
+  analysis::DiagnosticEngine lint;
+  double lint_seconds = 0.0;
+  /// False iff lint ran in Error mode and found error-severity diagnostics.
+  bool lint_ok = true;
 };
 
 /// Runs the pipeline on `f`. The op-time table is only consulted by the

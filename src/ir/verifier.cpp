@@ -88,6 +88,15 @@ bool dominates(const std::map<const BasicBlock*, const BasicBlock*>& idom,
   }
 }
 
+std::map<const Value*, std::vector<Use>> compute_uses(const Function& f) {
+  std::map<const Value*, std::vector<Use>> uses;
+  for (const auto& bb : f.blocks())
+    for (const auto& inst : bb->instructions())
+      for (std::size_t i = 0; i < inst->num_operands(); ++i)
+        uses[inst->operand(i)].push_back({inst.get(), i});
+  return uses;
+}
+
 std::string VerifyResult::message() const {
   std::ostringstream os;
   for (const std::string& e : errors) os << e << "\n";

@@ -31,4 +31,15 @@ std::map<const BasicBlock*, const BasicBlock*> compute_dominators(const Function
 bool dominates(const std::map<const BasicBlock*, const BasicBlock*>& idom,
                const BasicBlock* a, const BasicBlock* b);
 
+/// One use of a value: operand `operand_index` of `user` references it.
+struct Use {
+  const Instruction* user = nullptr;
+  std::size_t operand_index = 0;
+};
+
+/// Def -> uses over every operand reference in `f`, in program order — the
+/// use walk the verifier performs for its dominance check, exposed for the
+/// analysis passes (dead-cast detection, cast-chain pattern matching).
+std::map<const Value*, std::vector<Use>> compute_uses(const Function& f);
+
 } // namespace luis::ir

@@ -1,0 +1,430 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "core/pipeline.hpp"
+#include "ir/kernel_builder.hpp"
+#include "ir/verifier.hpp"
+#include "platform/cost_model.hpp"
+#include "polybench/polybench.hpp"
+
+namespace luis::analysis {
+namespace {
+
+using interp::TypeAssignment;
+using ir::Array;
+using ir::Instruction;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::Opcode;
+using ir::ScalarType;
+using numrep::ConcreteType;
+
+/// B[i] = A[i] over 8 elements; both arrays annotated [lo, hi].
+ir::Function* build_copy(ir::Module& m, double lo, double hi) {
+  KernelBuilder kb(m, "copy");
+  Array* A = kb.array("A", {8}, lo, hi);
+  Array* B = kb.array("B", {8}, lo, hi);
+  kb.for_loop("i", 0, 8, [&](IVal i) { kb.store(kb.load(A, {i}), B, {i}); });
+  return kb.finish();
+}
+
+/// C[i] = A[i] + B[i] over 8 elements annotated [0, 1].
+ir::Function* build_add(ir::Module& m) {
+  KernelBuilder kb(m, "add");
+  Array* A = kb.array("A", {8}, 0.0, 1.0);
+  Array* B = kb.array("B", {8}, 0.0, 1.0);
+  Array* C = kb.array("C", {8}, 0.0, 2.0);
+  kb.for_loop("i", 0, 8, [&](IVal i) {
+    kb.store(kb.load(A, {i}) + kb.load(B, {i}), C, {i});
+  });
+  return kb.finish();
+}
+
+/// Covers every Real register (arrays + Real instructions) except `skip`.
+TypeAssignment assign_all_except(const ir::Function& f, ConcreteType type,
+                                 const ir::Value* skip = nullptr) {
+  TypeAssignment out;
+  for (const auto& arr : f.arrays())
+    if (arr.get() != skip) out.set(arr.get(), type);
+  for (const auto& bb : f.blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->type() == ScalarType::Real && inst.get() != skip)
+        out.set(inst.get(), type);
+  return out;
+}
+
+const Instruction* find_inst(const ir::Function& f, Opcode op, int skip = 0) {
+  for (const auto& bb : f.blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->opcode() == op && skip-- == 0) return inst.get();
+  return nullptr;
+}
+
+/// Inserts `cast(store_value)` before the first store and rewires the store
+/// through it (what core::materialize_casts does, but under test control).
+Instruction* insert_cast_before_first_store(ir::Function& f,
+                                            bool rewire = true) {
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst_ptr : bb->instructions()) {
+      Instruction* store = inst_ptr.get();
+      if (store->opcode() != Opcode::Store) continue;
+      ir::Value* value = store->operand(0);
+      auto cast = std::make_unique<Instruction>(
+          Opcode::Cast, ScalarType::Real, std::vector<ir::Value*>{value});
+      Instruction* inserted = bb->insert_before(store, std::move(cast));
+      if (rewire) store->set_operand(0, inserted);
+      return inserted;
+    }
+  }
+  return nullptr;
+}
+
+constexpr ConcreteType kF64{numrep::kBinary64, 0};
+constexpr ConcreteType kF32{numrep::kBinary32, 0};
+
+// ---------------------------------------------------------------------------
+// Registry and clean-run baseline.
+// ---------------------------------------------------------------------------
+
+TEST(LintRegistry, SevenPassesWithUniqueStableCodes) {
+  std::set<std::string> codes;
+  for (const LintPass& pass : lint_passes()) {
+    ASSERT_NE(pass.name, nullptr);
+    ASSERT_NE(pass.run, nullptr);
+    EXPECT_TRUE(codes.insert(pass.codes).second)
+        << pass.codes << " registered twice";
+  }
+  EXPECT_EQ(codes.size(), 7u);
+  EXPECT_TRUE(codes.count("L001"));
+  EXPECT_TRUE(codes.count("L007"));
+}
+
+TEST(Lint, CompleteUniformAssignmentIsClean) {
+  ir::Module m;
+  ir::Function* f = build_add(m);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  const TypeAssignment assignment = assign_all_except(*f, kF64);
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_TRUE(engine.empty()) << engine.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// Negative suite: one hand-broken assignment per diagnostic code.
+// ---------------------------------------------------------------------------
+
+TEST(LintNegative, L001MissingRegisterEntry) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 1.0);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  const Instruction* load = find_inst(*f, Opcode::Load);
+  ASSERT_NE(load, nullptr);
+  const TypeAssignment assignment = assign_all_except(*f, kF64, load);
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L001"), 1) << engine.to_text();
+  EXPECT_EQ(engine.size(), 1u) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Error);
+}
+
+TEST(LintNegative, L002DanglingEntryFromAnotherFunction) {
+  ir::Module m, other;
+  ir::Function* f = build_copy(m, 0.0, 1.0);
+  ir::Function* g = build_copy(other, 0.0, 1.0);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment = assign_all_except(*f, kF64);
+  assignment.set(find_inst(*g, Opcode::Load), kF64);
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L002"), 1) << engine.to_text();
+  EXPECT_EQ(engine.size(), 1u) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Warning);
+}
+
+TEST(LintNegative, L003ArithmeticOperandTypeMismatch) {
+  ir::Module m;
+  ir::Function* f = build_add(m);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment = assign_all_except(*f, kF64);
+  // Flip the first load and its array together so the load<->array pair
+  // stays consistent and only the add sees a mismatched operand.
+  const Instruction* load = find_inst(*f, Opcode::Load);
+  ASSERT_NE(load, nullptr);
+  assignment.set(load, kF32);
+  assignment.set(load->operand(0), kF32);
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L003"), 1) << engine.to_text();
+  EXPECT_EQ(engine.size(), 1u) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Error);
+}
+
+TEST(LintNegative, L003FracRealignmentIsLegalBeforeMaterialization) {
+  // Registers of one fixed class legitimately carry different fractional
+  // splits straight out of the allocator; the materializer realigns them
+  // with shift casts. Only a format disagreement is an error at that
+  // stage — after materialization the full concrete type must match.
+  ir::Module m;
+  ir::Function* f = build_add(m);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment =
+      assign_all_except(*f, ConcreteType{numrep::kFixed32, 20});
+  const Instruction* load = find_inst(*f, Opcode::Load);
+  ASSERT_NE(load, nullptr);
+  assignment.set(load, ConcreteType{numrep::kFixed32, 21});
+  assignment.set(load->operand(0), ConcreteType{numrep::kFixed32, 21});
+  EXPECT_EQ(run_lint(*f, assignment, ranges).count_code("L003"), 0);
+  LintOptions opts;
+  opts.casts_materialized = true;
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges, opts);
+  EXPECT_EQ(engine.count_code("L003"), 1) << engine.to_text();
+}
+
+TEST(LintNegative, L003StoreMismatchOnlyAfterMaterialization) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 1.0);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment = assign_all_except(*f, kF64);
+  assignment.set(f->array_by_name("B"), kF32);
+  // Pre-materialization a store is a legal representation boundary...
+  EXPECT_EQ(run_lint(*f, assignment, ranges).count_code("L003"), 0);
+  // ...afterwards nothing reconciles the mismatch.
+  LintOptions opts;
+  opts.casts_materialized = true;
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges, opts);
+  EXPECT_EQ(engine.count_code("L003"), 1) << engine.to_text();
+}
+
+TEST(LintNegative, L004FracBitsExceedFixMax) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 100.0);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  // Representing 100 needs 7 integer bits, so fix-max is 24. The store is
+  // not checked pre-materialization, so only @B itself trips.
+  TypeAssignment assignment =
+      assign_all_except(*f, ConcreteType{numrep::kFixed32, 24});
+  assignment.set(f->array_by_name("B"), ConcreteType{numrep::kFixed32, 30});
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L004"), 1) << engine.to_text();
+  EXPECT_EQ(engine.size(), 1u) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Error);
+}
+
+TEST(LintNegative, L004CastSaturationIsAWarningNotAnError) {
+  // A cast's target trusts its consumer's contract and fixed-point
+  // quantization saturates, so a static range wider than the cast target's
+  // span must not be a hard error (the allocator legitimately produces
+  // this when an array annotation is narrower than the stored expression's
+  // static range).
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 100.0);
+  Instruction* cast = insert_cast_before_first_store(*f);
+  ASSERT_NE(cast, nullptr);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment =
+      assign_all_except(*f, ConcreteType{numrep::kFixed32, 24});
+  assignment.set(cast, ConcreteType{numrep::kFixed32, 30});
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L004"), 1) << engine.to_text();
+  EXPECT_FALSE(engine.has_errors()) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Warning);
+}
+
+TEST(LintNegative, L005CastDropsGuaranteedBits) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 100.0);
+  Instruction* cast = insert_cast_before_first_store(*f);
+  ASSERT_NE(cast, nullptr);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  // binary64 -> binary32 over [0, 100] drops ~29 guaranteed bits, far past
+  // the default threshold of 12.
+  TypeAssignment assignment = assign_all_except(*f, kF64);
+  assignment.set(cast, kF32);
+  assignment.set(f->array_by_name("B"), kF32);
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L005"), 1) << engine.to_text();
+  EXPECT_EQ(engine.size(), 1u) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Warning);
+}
+
+TEST(LintNegative, L005DoubleRoundingChain) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 100.0);
+  // load -> cast(binary32) -> cast(binary64) -> store: the middle format
+  // is strictly the least precise of the chain.
+  Instruction* inner = insert_cast_before_first_store(*f);
+  Instruction* outer = insert_cast_before_first_store(*f);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(outer->operand(0), inner);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment = assign_all_except(*f, kF64);
+  assignment.set(inner, kF32);
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  // The inner cast's own IEBW drop plus the double-rounding finding.
+  EXPECT_EQ(engine.count_code("L005"), 2) << engine.to_text();
+  bool found = false;
+  for (const Diagnostic& d : engine.diagnostics())
+    if (d.message.find("double rounding") != std::string::npos) found = true;
+  EXPECT_TRUE(found) << engine.to_text();
+}
+
+TEST(LintNegative, L006IdentityCast) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 1.0);
+  Instruction* cast = insert_cast_before_first_store(*f);
+  ASSERT_NE(cast, nullptr);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  const TypeAssignment assignment = assign_all_except(*f, kF64);
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L006"), 1) << engine.to_text();
+  EXPECT_EQ(engine.size(), 1u) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Warning);
+}
+
+TEST(LintNegative, L006DeadCastIsANote) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 1.0);
+  // Insert the cast but keep the store on the original value: an upcast
+  // (binary32 -> binary64) nothing consumes.
+  Instruction* cast = insert_cast_before_first_store(*f, /*rewire=*/false);
+  ASSERT_NE(cast, nullptr);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment = assign_all_except(*f, kF32);
+  assignment.set(cast, kF64);
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L006"), 1) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Note);
+}
+
+TEST(LintNegative, L007RangeExceedsFloatFormat) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 1e6);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  // binary16 tops out at 65504; [0, 1e6] guarantees overflow to infinity.
+  TypeAssignment assignment = assign_all_except(*f, kF64);
+  assignment.set(f->array_by_name("B"), ConcreteType{numrep::kBinary16, 0});
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L007"), 1) << engine.to_text();
+  EXPECT_EQ(engine.size(), 1u) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Error);
+}
+
+TEST(LintNegative, L007LiteralExceedsConsumerFormat) {
+  ir::Module m;
+  KernelBuilder kb(m, "lit");
+  Array* B = kb.array("B", {8}, 0.0, 100.0);
+  kb.for_loop("i", 0, 8, [&](IVal i) { kb.store(kb.real(300.0), B, {i}); });
+  ir::Function* f = kb.finish();
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  // fix32.24 spans [-128, 128): @B's annotated range fits but the literal
+  // coefficient 300 does not — the allocator's feasibility check only sees
+  // register ranges, which is exactly the gap L007 closes.
+  const TypeAssignment assignment =
+      assign_all_except(*f, ConcreteType{numrep::kFixed32, 24});
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges);
+  EXPECT_EQ(engine.count_code("L007"), 1) << engine.to_text();
+  EXPECT_EQ(engine.size(), 1u) << engine.to_text();
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::Warning);
+}
+
+// ---------------------------------------------------------------------------
+// Options, text and JSON output.
+// ---------------------------------------------------------------------------
+
+TEST(Lint, DisabledCodesSuppressTheirPass) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 100.0);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment =
+      assign_all_except(*f, ConcreteType{numrep::kFixed32, 24});
+  assignment.set(f->array_by_name("B"), ConcreteType{numrep::kFixed32, 30});
+  LintOptions opts;
+  opts.disabled_codes = {"L004"};
+  const DiagnosticEngine engine = run_lint(*f, assignment, ranges, opts);
+  EXPECT_EQ(engine.count_code("L004"), 0) << engine.to_text();
+  EXPECT_TRUE(engine.empty()) << engine.to_text();
+}
+
+TEST(Lint, TextReportCarriesStableCodeAndSummary) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 100.0);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment =
+      assign_all_except(*f, ConcreteType{numrep::kFixed32, 24});
+  assignment.set(f->array_by_name("B"), ConcreteType{numrep::kFixed32, 30});
+  const std::string text = run_lint(*f, assignment, ranges).to_text();
+  EXPECT_NE(text.find("[L004]"), std::string::npos) << text;
+  EXPECT_NE(text.find("error"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 error"), std::string::npos) << text;
+}
+
+TEST(Lint, JsonReportHasOneObjectPerDiagnostic) {
+  ir::Module m;
+  ir::Function* f = build_copy(m, 0.0, 100.0);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  TypeAssignment assignment =
+      assign_all_except(*f, ConcreteType{numrep::kFixed32, 24});
+  assignment.set(f->array_by_name("B"), ConcreteType{numrep::kFixed32, 30});
+  const std::string json = run_lint(*f, assignment, ranges).to_json();
+  EXPECT_NE(json.find("\"code\": \"L004\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"check\": \"fixed-point-overflow\""),
+            std::string::npos) << json;
+  EXPECT_NE(json.find("\"fix_hint\""), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '[');
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline integration: the allocator's output must lint clean.
+// ---------------------------------------------------------------------------
+
+TEST(LintPipeline, ReportsTimingAndOkFlag) {
+  ir::Module m;
+  ir::Function* f = build_add(m);
+  core::PipelineOptions opt;
+  opt.materialize_casts = true;
+  opt.lint = core::LintMode::Error;
+  const core::PipelineResult r = core::tune_kernel(
+      *f, platform::stm32_table(), core::TuningConfig::balanced(), opt);
+  EXPECT_GE(r.lint_seconds, 0.0);
+  EXPECT_TRUE(r.lint_ok) << r.lint.to_text();
+  EXPECT_FALSE(r.lint.has_errors()) << r.lint.to_text();
+}
+
+// Acceptance: every PolyBench kernel under every preset allocates an
+// assignment that carries zero error-severity diagnostics, casts included.
+class LintKernelSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LintKernelSweep, AllocatorOutputLintsClean) {
+  const core::TuningConfig configs[] = {core::TuningConfig::precise(),
+                                        core::TuningConfig::balanced(),
+                                        core::TuningConfig::fast()};
+  const char* names[] = {"Precise", "Balanced", "Fast"};
+  for (int c = 0; c < 3; ++c) {
+    ir::Module m;
+    polybench::BuiltKernel kernel = polybench::build_kernel(GetParam(), m);
+    ASSERT_NE(kernel.function, nullptr);
+    core::PipelineOptions opt;
+    opt.materialize_casts = true;
+    opt.lint = core::LintMode::Error;
+    const core::PipelineResult r = core::tune_kernel(
+        *kernel.function, platform::stm32_table(), configs[c], opt);
+    EXPECT_TRUE(r.lint_ok) << GetParam() << " x " << names[c] << ":\n"
+                           << r.lint.to_text();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolyBench, LintKernelSweep,
+    ::testing::ValuesIn(std::vector<std::string>(
+        polybench::kernel_names().begin(), polybench::kernel_names().end())),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+} // namespace
+} // namespace luis::analysis

@@ -305,6 +305,34 @@ TEST(CastMaterializer, InsertsCastsAtBoundariesAndPreservesSemantics) {
   EXPECT_EQ(before.at("C"), after.at("C"));
 }
 
+TEST(CastMaterializer, MaterializationIsIdempotent) {
+  ir::Module m;
+  ir::Function* f = build_small_gemm(m);
+  TypeAssignment mixed;
+  for (const auto& arr : f->arrays())
+    mixed.set(arr.get(), numrep::ConcreteType{numrep::kFixed32, 16});
+  const int first = materialize_casts(*f, mixed);
+  EXPECT_GT(first, 0);
+  // Every boundary now carries a cast in the consumer's type: a second
+  // sweep must find nothing left to fix.
+  EXPECT_EQ(count_type_boundaries(*f, mixed), 0);
+  EXPECT_EQ(materialize_casts(*f, mixed), 0);
+  EXPECT_TRUE(ir::verify(*f).ok()) << ir::verify(*f).message();
+}
+
+TEST(CastMaterializer, CountMatchesInsertionOnAllocatorOutput) {
+  ir::Module m;
+  ir::Function* f = build_small_gemm(m);
+  const vra::RangeMap ranges = vra::analyze_ranges(*f);
+  AllocationResult r = allocate_ilp(*f, ranges, platform::stm32_table(),
+                                    TuningConfig::balanced());
+  const int counted = count_type_boundaries(*f, r.assignment);
+  const int inserted = materialize_casts(*f, r.assignment);
+  EXPECT_EQ(counted, inserted);
+  // The counting pass is pure: it must not have mutated the function.
+  EXPECT_EQ(materialize_casts(*f, r.assignment), 0);
+}
+
 TEST(CastMaterializer, NoBoundariesNoCasts) {
   ir::Module m;
   ir::Function* f = build_small_gemm(m);

@@ -8,6 +8,9 @@
 //   luis tune <file.ir> [options]         run the full pipeline, report the
 //                                         allocation, optionally emit tuned
 //                                         IR with materialized casts
+//   luis lint <file.ir> [options]         run the pipeline and the precision
+//                                         lint over its output (or over a
+//                                         saved assignment), report findings
 //   luis run <file.ir> [--type T]         execute with a uniform type and
 //                                         print per-array checksums
 //   luis compile <file.lk> [-o out.ir]    compile kernel-language source
@@ -23,8 +26,24 @@
 //   --types fix32,binary32,binary64               candidate set T
 //   --literal                                     paper-exact ILP model
 //   --optimize                                    IR cleanup passes first
+//   --lint=warn|error                             precision lint the result
+//                                                 (error: non-zero exit on
+//                                                 error-severity findings)
 //   -o <out.ir>                                   emit tuned IR with casts
+//
+// lint options (plus --platform/--platform-file/--config/--types/--literal/
+// --optimize as in tune):
+//   --assignment <types.txt>    lint a saved assignment instead of running
+//                               the allocator
+//   --materialize               materialize casts first, then lint
+//   --format text|json          report format (default text)
+//   --threshold N               L005 guaranteed-IEBW drop threshold
+//   --werror                    exit non-zero on warnings too
+//
+// Every verb that parses IR verifies it and exits non-zero on verifier
+// errors, so the tool is usable as a pre-commit check.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -32,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "core/assignment_io.hpp"
 #include "core/cast_materializer.hpp"
 #include "frontend/parser.hpp"
@@ -53,8 +73,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: luis <kernels|emit|compile|print|verify|ranges|tune|"
-               "run|characterize> [args]\n(see the header of tools/luis_cli.cpp "
-               "for the full option list)\n");
+               "lint|run|characterize> [args]\n(see the header of "
+               "tools/luis_cli.cpp for the full option list)\n");
   return 2;
 }
 
@@ -79,6 +99,82 @@ ir::Function* parse_or_die(ir::Module& module, const std::string& path) {
     return nullptr;
   }
   return parsed.function;
+}
+
+/// Parses and verifies; returns nullptr (caller exits non-zero) when the
+/// file does not parse or the IR is structurally broken.
+ir::Function* parse_and_verify_or_die(ir::Module& module,
+                                      const std::string& path) {
+  ir::Function* f = parse_or_die(module, path);
+  if (!f) return nullptr;
+  const ir::VerifyResult vr = ir::verify(*f);
+  if (!vr.ok()) {
+    std::fputs(vr.message().c_str(), stderr);
+    return nullptr;
+  }
+  return f;
+}
+
+/// Resolves --platform / --platform-file ("@path") / "host" to an op-time
+/// table, using `storage` for tables that have to be built on the fly.
+const platform::OpTimeTable* resolve_platform(const std::string& platform_name,
+                                              platform::OpTimeTable& storage) {
+  const platform::OpTimeTable* table = platform::platform_by_name(platform_name);
+  if (table) return table;
+  if (platform_name == "host") {
+    std::fprintf(stderr, "characterizing host...\n");
+    storage = platform::run_microbenchmark();
+    return &storage;
+  }
+  if (!platform_name.empty() && platform_name[0] == '@') {
+    const auto text = read_file(platform_name.substr(1));
+    if (!text) {
+      std::fprintf(stderr, "luis: cannot read %s\n", platform_name.c_str() + 1);
+      return nullptr;
+    }
+    const auto parsed_table = platform::parse_optime_table(*text);
+    if (!parsed_table) {
+      std::fprintf(stderr, "luis: malformed op-time table file\n");
+      return nullptr;
+    }
+    storage = *parsed_table;
+    return &storage;
+  }
+  std::fprintf(stderr, "luis: unknown platform '%s'\n", platform_name.c_str());
+  return nullptr;
+}
+
+/// Applies a Table III preset by name, preserving flag-driven fields.
+bool apply_config_preset(const std::string& config_name,
+                         core::TuningConfig& config) {
+  if (config_name == "Balanced") return true;
+  const bool literal = config.literal_model;
+  const auto types = config.types;
+  if (config_name == "Fast") {
+    config = core::TuningConfig::fast();
+  } else if (config_name == "Precise") {
+    config = core::TuningConfig::precise();
+  } else {
+    std::fprintf(stderr, "luis: unknown config '%s'\n", config_name.c_str());
+    return false;
+  }
+  config.literal_model = literal;
+  config.types = types;
+  return true;
+}
+
+/// Parses a --types list into `config.types`; false on unknown formats.
+bool parse_types_list(const std::string& list, core::TuningConfig& config) {
+  config.types.clear();
+  for (const std::string& tok : split_fields(list, ',')) {
+    const auto fmt = numrep::parse_format(std::string(trim(tok)));
+    if (!fmt) {
+      std::fprintf(stderr, "luis: unknown format '%s'\n", tok.c_str());
+      return false;
+    }
+    config.types.push_back(*fmt);
+  }
+  return true;
 }
 
 /// Deterministic inputs for `run`: every array is filled from its range
@@ -142,7 +238,14 @@ int cmd_print(const std::vector<std::string>& args) {
   ir::Module module;
   ir::Function* f = parse_or_die(module, args[0]);
   if (!f) return 1;
+  // Print even when broken (the text is the debugging aid), but report the
+  // problems and fail so scripted use catches them.
   std::fputs(ir::print_function(*f).c_str(), stdout);
+  const ir::VerifyResult vr = ir::verify(*f);
+  if (!vr.ok()) {
+    std::fputs(vr.message().c_str(), stderr);
+    return 1;
+  }
   return 0;
 }
 
@@ -165,7 +268,7 @@ int cmd_verify(const std::vector<std::string>& args) {
 int cmd_ranges(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   ir::Module module;
-  ir::Function* f = parse_or_die(module, args[0]);
+  ir::Function* f = parse_and_verify_or_die(module, args[0]);
   if (!f) return 1;
   const vra::RangeMap ranges = vra::analyze_ranges(*f);
   const auto ids = ir::number_instructions(*f);
@@ -207,69 +310,26 @@ int cmd_tune(const std::vector<std::string>& args) {
       options.materialize_casts = true;
     } else if (a == "--save-assignment") {
       assignment_path = next();
+    } else if (a == "--lint=warn") {
+      options.lint = core::LintMode::Warn;
+    } else if (a == "--lint=error") {
+      options.lint = core::LintMode::Error;
     } else if (a == "--types") {
-      config.types.clear();
-      for (const std::string& tok : split_fields(next(), ',')) {
-        const auto fmt = numrep::parse_format(std::string(trim(tok)));
-        if (!fmt) {
-          std::fprintf(stderr, "luis: unknown format '%s'\n", tok.c_str());
-          return 2;
-        }
-        config.types.push_back(*fmt);
-      }
+      if (!parse_types_list(next(), config)) return 2;
     } else {
       std::fprintf(stderr, "luis: unknown option '%s'\n", a.c_str());
       return 2;
     }
   }
-  if (config_name == "Fast") {
-    const bool lit = config.literal_model;
-    const auto types = config.types;
-    config = core::TuningConfig::fast();
-    config.literal_model = lit;
-    config.types = types;
-  } else if (config_name == "Precise") {
-    const bool lit = config.literal_model;
-    const auto types = config.types;
-    config = core::TuningConfig::precise();
-    config.literal_model = lit;
-    config.types = types;
-  }
+  if (!apply_config_preset(config_name, config)) return 2;
 
-  const platform::OpTimeTable* table = platform::platform_by_name(platform_name);
-  platform::OpTimeTable host;
-  if (!table && platform_name == "host") {
-    std::fprintf(stderr, "characterizing host...\n");
-    host = platform::run_microbenchmark();
-    table = &host;
-  }
-  if (!table && !platform_name.empty() && platform_name[0] == '@') {
-    const auto text = read_file(platform_name.substr(1));
-    if (!text) {
-      std::fprintf(stderr, "luis: cannot read %s\n", platform_name.c_str() + 1);
-      return 1;
-    }
-    const auto parsed_table = platform::parse_optime_table(*text);
-    if (!parsed_table) {
-      std::fprintf(stderr, "luis: malformed op-time table file\n");
-      return 1;
-    }
-    host = *parsed_table;
-    table = &host;
-  }
-  if (!table) {
-    std::fprintf(stderr, "luis: unknown platform '%s'\n", platform_name.c_str());
-    return 2;
-  }
+  platform::OpTimeTable storage;
+  const platform::OpTimeTable* table = resolve_platform(platform_name, storage);
+  if (!table) return 2;
 
   ir::Module module;
-  ir::Function* f = parse_or_die(module, path);
+  ir::Function* f = parse_and_verify_or_die(module, path);
   if (!f) return 1;
-  const ir::VerifyResult vr = ir::verify(*f);
-  if (!vr.ok()) {
-    std::fputs(vr.message().c_str(), stderr);
-    return 1;
-  }
 
   const core::PipelineResult tuned = core::tune_kernel(*f, *table, config, options);
   std::printf("pipeline: %d IR rewrites, VRA %.2f ms, allocation %.2f ms "
@@ -302,13 +362,109 @@ int cmd_tune(const std::vector<std::string>& args) {
     os << ir::print_function(*f);
     std::printf("wrote tuned IR (explicit casts) to %s\n", out_path.c_str());
   }
+  if (options.lint != core::LintMode::Off) {
+    std::printf("lint: %.2f ms\n%s", tuned.lint_seconds * 1e3,
+                tuned.lint.to_text().c_str());
+    if (!tuned.lint_ok) {
+      std::fprintf(stderr, "luis: lint found error-severity diagnostics\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_lint(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string path = args[0];
+  std::string platform_name = "Stm32", config_name = "Balanced";
+  std::string assignment_path, format = "text";
+  bool materialize = false, werror = false;
+  core::TuningConfig config = core::TuningConfig::balanced();
+  analysis::LintOptions lint_options;
+  core::PipelineOptions options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return ++i < args.size() ? args[i] : std::string();
+    };
+    if (a == "--platform") {
+      platform_name = next();
+    } else if (a == "--platform-file") {
+      platform_name = "@" + next();
+    } else if (a == "--config") {
+      config_name = next();
+    } else if (a == "--literal") {
+      config.literal_model = true;
+    } else if (a == "--optimize") {
+      options.optimize_ir = true;
+    } else if (a == "--materialize") {
+      materialize = true;
+    } else if (a == "--assignment") {
+      assignment_path = next();
+    } else if (a == "--format") {
+      format = next();
+    } else if (a == "--threshold") {
+      lint_options.precision_loss_threshold = std::atoi(next().c_str());
+    } else if (a == "--werror") {
+      werror = true;
+    } else if (a == "--types") {
+      if (!parse_types_list(next(), config)) return 2;
+    } else {
+      std::fprintf(stderr, "luis: unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "luis: unknown lint format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (!apply_config_preset(config_name, config)) return 2;
+
+  ir::Module module;
+  ir::Function* f = parse_and_verify_or_die(module, path);
+  if (!f) return 1;
+
+  analysis::DiagnosticEngine engine;
+  if (!assignment_path.empty()) {
+    // Lint a saved (possibly hand-edited) assignment against this IR.
+    const auto text = read_file(assignment_path);
+    if (!text) {
+      std::fprintf(stderr, "luis: cannot read %s\n", assignment_path.c_str());
+      return 1;
+    }
+    const core::AssignmentParseResult parsed =
+        core::assignment_from_text(*f, *text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "luis: %s: %s\n", assignment_path.c_str(),
+                   parsed.error.c_str());
+      return 1;
+    }
+    const vra::RangeMap ranges = vra::analyze_ranges(*f);
+    engine = analysis::run_lint(*f, parsed.assignment, ranges, lint_options);
+  } else {
+    platform::OpTimeTable storage;
+    const platform::OpTimeTable* table =
+        resolve_platform(platform_name, storage);
+    if (!table) return 2;
+    options.materialize_casts = materialize;
+    options.lint = core::LintMode::Error;
+    options.lint_options = lint_options;
+    const core::PipelineResult tuned =
+        core::tune_kernel(*f, *table, config, options);
+    engine = tuned.lint;
+  }
+
+  std::fputs(format == "json" ? engine.to_json().c_str()
+                              : engine.to_text().c_str(),
+             stdout);
+  if (engine.has_errors() || (werror && engine.has_warnings())) return 1;
   return 0;
 }
 
 int cmd_apply(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   ir::Module module;
-  ir::Function* f = parse_or_die(module, args[0]);
+  ir::Function* f = parse_and_verify_or_die(module, args[0]);
   if (!f) return 1;
   const auto text = read_file(args[1]);
   if (!text) {
@@ -348,7 +504,7 @@ int cmd_run(const std::vector<std::string>& args) {
     }
   }
   ir::Module module;
-  ir::Function* f = parse_or_die(module, args[0]);
+  ir::Function* f = parse_and_verify_or_die(module, args[0]);
   if (!f) return 1;
   interp::ArrayStore store = synth_inputs(*f);
   const interp::TypeAssignment types = interp::TypeAssignment::uniform(*f, type);
@@ -426,6 +582,7 @@ int main(int argc, char** argv) {
   if (cmd == "verify") return cmd_verify(args);
   if (cmd == "ranges") return cmd_ranges(args);
   if (cmd == "tune") return cmd_tune(args);
+  if (cmd == "lint") return cmd_lint(args);
   if (cmd == "run") return cmd_run(args);
   if (cmd == "compile") return cmd_compile(args);
   if (cmd == "apply") return cmd_apply(args);
