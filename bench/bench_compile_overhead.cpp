@@ -55,19 +55,19 @@ int main() {
     const core::PipelineResult mrg = core::tune_kernel(
         *k3.function, platform::amd_table(), core::TuningConfig::balanced());
 
-    const double t_taffo = kBaseCompileSeconds + greedy.total_seconds;
-    const double s_lit = (kBaseCompileSeconds + lit.total_seconds) / t_taffo;
-    const double s_mrg = (kBaseCompileSeconds + mrg.total_seconds) / t_taffo;
+    const double t_taffo = kBaseCompileSeconds + greedy.timings.total_seconds;
+    const double s_lit = (kBaseCompileSeconds + lit.timings.total_seconds) / t_taffo;
+    const double s_mrg = (kBaseCompileSeconds + mrg.timings.total_seconds) / t_taffo;
     literal_slowdown.add(s_lit);
     merged_slowdown.add(s_mrg);
-    literal_seconds.add(lit.allocation_seconds);
+    literal_seconds.add(lit.timings.allocation_seconds);
 
     std::printf("%-16s %10.4f | %10.4f %7zu %7zu %8.2fx | %10.4f %7zu %7zu "
                 "%8.2fx\n",
-                name.c_str(), greedy.total_seconds, lit.total_seconds,
+                name.c_str(), greedy.timings.total_seconds, lit.timings.total_seconds,
                 lit.allocation.stats.model_variables,
                 lit.allocation.stats.model_constraints, s_lit,
-                mrg.total_seconds, mrg.allocation.stats.model_variables,
+                mrg.timings.total_seconds, mrg.allocation.stats.model_variables,
                 mrg.allocation.stats.model_constraints, s_mrg);
   }
 

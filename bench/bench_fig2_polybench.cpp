@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "experiment.hpp"
@@ -96,7 +97,7 @@ void print_table4(const std::vector<KernelResult>& grid) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Table III: model parameters per configuration ===\n\n");
   std::printf("%-12s %6s %6s\n", "Configuration", "W1", "W2");
   std::printf("%-12s %6.0f %6.0f\n", "Fast", 1000.0, 1.0);
@@ -104,6 +105,9 @@ int main() {
   std::printf("%-12s %6.0f %6.0f\n", "Precise", 1.0, 1000.0);
 
   GridOptions opt;
+  // Optional worker-thread override (0 = hardware concurrency); the grid
+  // values are identical at any thread count.
+  if (argc > 1) opt.threads = std::atoi(argv[1]);
   const std::vector<KernelResult> grid = run_grid(opt);
 
   std::printf("\n=== Figure 2 (top): Speedup [%%] ===\n\n");

@@ -1,13 +1,8 @@
 #include "experiment.hpp"
 
-#include <cstdio>
-
-#include "core/pipeline.hpp"
-#include "support/string_utils.hpp"
-#include "platform/cost_model.hpp"
-#include "polybench/polybench.hpp"
+#include "core/sweep.hpp"
 #include "support/diag.hpp"
-#include "support/statistics.hpp"
+#include "support/string_utils.hpp"
 
 namespace luis::bench {
 
@@ -30,121 +25,34 @@ std::string format_mpe(double mpe) {
   return format_string("%.1e", mpe);
 }
 
-namespace {
-
-core::TuningConfig config_by_name(const std::string& name, long max_nodes) {
-  core::TuningConfig c;
-  if (name == "Precise")
-    c = core::TuningConfig::precise();
-  else if (name == "Balanced")
-    c = core::TuningConfig::balanced();
-  else if (name == "Fast")
-    c = core::TuningConfig::fast();
-  else
-    LUIS_FATAL("unknown config " + name);
-  c.solver.max_nodes = max_nodes;
-  return c;
-}
-
-/// MPE across all output arrays of a kernel (concatenated, matching how
-/// PolyBench dumps every output array for comparison).
-double kernel_mpe(const polybench::BuiltKernel& kernel,
-                  const interp::ArrayStore& reference,
-                  const interp::ArrayStore& tuned) {
-  std::vector<double> ref, out;
-  for (const std::string& name : kernel.outputs) {
-    const auto& r = reference.at(name);
-    const auto& t = tuned.at(name);
-    ref.insert(ref.end(), r.begin(), r.end());
-    out.insert(out.end(), t.begin(), t.end());
-  }
-  return mean_percentage_error(ref, out);
-}
-
-} // namespace
-
 std::vector<KernelResult> run_grid(const GridOptions& opt) {
-  std::vector<std::string> kernels = opt.kernels;
-  if (kernels.empty())
-    kernels.assign(polybench::kernel_names().begin(),
-                   polybench::kernel_names().end());
-  std::vector<std::string> platforms = opt.platforms;
-  if (platforms.empty()) platforms = platform_order();
+  core::SweepOptions sweep;
+  sweep.kernels = opt.kernels;
+  sweep.platforms = opt.platforms;
+  sweep.include_taffo = opt.include_taffo;
+  sweep.solver_max_nodes = opt.solver_max_nodes;
+  sweep.threads = opt.threads;
+  sweep.verbose = opt.verbose;
+  // The benches only consume the cell values; the determinism self-check
+  // is covered by the sweep tests and `luis sweep`.
+  sweep.check_determinism = false;
+  const core::SweepResult result = core::run_sweep(sweep);
 
   std::vector<KernelResult> results;
-  for (const std::string& kernel_name : kernels) {
-    if (opt.verbose) std::fprintf(stderr, "[grid] %s\n", kernel_name.c_str());
-    KernelResult kr;
-    kr.kernel = kernel_name;
-
-    ir::Module module;
-    polybench::BuiltKernel kernel = polybench::build_kernel(kernel_name, module);
-
-    // Unmodified baseline: all binary64. One execution profile serves all
-    // platforms (only the op-time pricing differs).
-    interp::ArrayStore reference = kernel.inputs;
-    interp::TypeAssignment binary64;
-    const interp::RunResult base =
-        run_function(*kernel.function, binary64, reference);
-    LUIS_ASSERT(base.ok, kernel_name + " baseline failed: " + base.error);
-
-    // TAFFO greedy baseline: platform-blind allocation, one run.
-    interp::RunResult taffo_run;
-    interp::ArrayStore taffo_out;
-    core::PipelineResult taffo_tuned;
-    if (opt.include_taffo) {
-      core::PipelineOptions popt;
-      popt.allocator = core::AllocatorKind::Greedy;
-      taffo_tuned = core::tune_kernel(*kernel.function,
-                                      platform::stm32_table(), // unused by greedy
-                                      core::TuningConfig::balanced(), popt);
-      taffo_out = kernel.inputs;
-      taffo_run = run_function(*kernel.function,
-                               taffo_tuned.allocation.assignment, taffo_out);
-      LUIS_ASSERT(taffo_run.ok, kernel_name + " TAFFO run failed");
+  for (const core::SweepJobResult& job : result.jobs) {
+    LUIS_ASSERT(job.ok,
+                (job.kernel + "/" + job.config + ": " + job.error).c_str());
+    if (results.empty() || results.back().kernel != job.kernel) {
+      results.emplace_back();
+      results.back().kernel = job.kernel;
     }
-
-    for (const std::string& platform_name : platforms) {
-      const platform::OpTimeTable* table =
-          platform::platform_by_name(platform_name);
-      LUIS_ASSERT(table != nullptr, "unknown platform " + platform_name);
-      const double t_base = platform::simulated_time(base.counters, *table);
-
-      for (const std::string& config_name : config_order()) {
-        if (config_name == "TAFFO") {
-          if (!opt.include_taffo) continue;
-          Cell cell;
-          cell.speedup_percent = platform::speedup_percent(
-              t_base, platform::simulated_time(taffo_run.counters, *table));
-          cell.mpe = kernel_mpe(kernel, reference, taffo_out);
-          cell.tune_seconds = taffo_tuned.allocation_seconds;
-          cell.vra_seconds = taffo_tuned.vra_seconds;
-          cell.stats = taffo_tuned.allocation.stats;
-          kr.cells[platform_name][config_name] = cell;
-          continue;
-        }
-
-        core::PipelineOptions popt;
-        const core::PipelineResult tuned = core::tune_kernel(
-            *kernel.function, *table,
-            config_by_name(config_name, opt.solver_max_nodes), popt);
-
-        interp::ArrayStore out = kernel.inputs;
-        const interp::RunResult run =
-            run_function(*kernel.function, tuned.allocation.assignment, out);
-        LUIS_ASSERT(run.ok, kernel_name + "/" + config_name + " run failed");
-
-        Cell cell;
-        cell.speedup_percent = platform::speedup_percent(
-            t_base, platform::simulated_time(run.counters, *table));
-        cell.mpe = kernel_mpe(kernel, reference, out);
-        cell.tune_seconds = tuned.allocation_seconds;
-        cell.vra_seconds = tuned.vra_seconds;
-        cell.stats = tuned.allocation.stats;
-        kr.cells[platform_name][config_name] = cell;
-      }
-    }
-    results.push_back(std::move(kr));
+    Cell cell;
+    cell.speedup_percent = job.speedup_percent;
+    cell.mpe = job.mpe;
+    cell.tune_seconds = job.timings.allocation_seconds;
+    cell.vra_seconds = job.timings.vra_seconds;
+    cell.stats = job.stats;
+    results.back().cells[job.platform][job.config] = cell;
   }
   return results;
 }

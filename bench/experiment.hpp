@@ -35,8 +35,14 @@ struct GridOptions {
   bool include_taffo = true;
   long solver_max_nodes = 3000;
   bool verbose = true; ///< progress lines on stderr
+  /// Worker threads for the underlying sweep driver (0 = hardware
+  /// concurrency, 1 = serial). Results are identical at any setting.
+  int threads = 0;
 };
 
+/// Runs the grid on the parallel sweep driver (core::run_sweep) and
+/// reshapes the job list into the per-kernel cell matrix the benches
+/// print. The cell values are identical to the historical serial loop.
 std::vector<KernelResult> run_grid(const GridOptions& options = {});
 
 /// The config column order of Figure 2.

@@ -71,8 +71,8 @@ int main(int argc, char** argv) {
               table->machine().c_str(), config.name.c_str(),
               tuned.allocation.stats.model_variables,
               tuned.allocation.stats.model_constraints,
-              tuned.allocation.stats.nodes, tuned.vra_seconds * 1e3,
-              tuned.allocation_seconds * 1e3);
+              tuned.allocation.stats.nodes, tuned.timings.vra_seconds * 1e3,
+              tuned.timings.allocation_seconds * 1e3);
   std::printf("\narray types:\n");
   for (const auto& arr : kernel.function->arrays())
     std::printf("  %-8s -> %s\n", arr->name().c_str(),

@@ -63,7 +63,7 @@ int main() {
               "(%ld B&B nodes)\n",
               tuned.allocation.stats.model_variables,
               tuned.allocation.stats.model_constraints,
-              tuned.allocation_seconds * 1e3, tuned.allocation.stats.nodes);
+              tuned.timings.allocation_seconds * 1e3, tuned.allocation.stats.nodes);
   for (const auto& arr : f->arrays())
     std::printf("  array %-4s -> %s\n", arr->name().c_str(),
                 tuned.allocation.assignment.of(arr.get()).name().c_str());

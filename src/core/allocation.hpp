@@ -19,6 +19,11 @@ struct AllocationStats {
   long nodes = 0;
   long iterations = 0;
   double objective = 0.0;
+  /// Wall-clock split of the allocator's work: ILP model construction vs.
+  /// the branch & bound solve. The greedy allocator reports its whole
+  /// scan as solve time.
+  double model_build_seconds = 0.0;
+  double solve_seconds = 0.0;
   /// Tunable arithmetic instructions per chosen cost class — the
   /// "instruction mix" / precision mix of Table V.
   std::map<std::string, int> instruction_mix;

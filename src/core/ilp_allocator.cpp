@@ -1,6 +1,7 @@
 #include "core/ilp_allocator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "core/type_classes.hpp"
@@ -68,6 +69,7 @@ AllocationResult allocate_ilp(const ir::Function& f, const vra::RangeMap& ranges
                               const platform::OpTimeTable& table,
                               const TuningConfig& config) {
   AllocationResult out;
+  const auto t_build = std::chrono::steady_clock::now();
   const TypeClasses classes = compute_type_classes(f);
   const auto& types = config.types;
   const int ntypes = static_cast<int>(types.size());
@@ -337,9 +339,15 @@ AllocationResult allocate_ilp(const ir::Function& f, const vra::RangeMap& ranges
 
   out.stats.model_variables = model.num_variables();
   out.stats.model_constraints = model.num_constraints();
+  const auto t_solve = std::chrono::steady_clock::now();
+  out.stats.model_build_seconds =
+      std::chrono::duration<double>(t_solve - t_build).count();
 
   // ---- Solve. ----
   const ilp::Solution solution = ilp::solve_milp(model, config.solver);
+  out.stats.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_solve)
+          .count();
   out.stats.status = solution.status;
   out.stats.nodes = solution.nodes;
   out.stats.iterations = solution.iterations;

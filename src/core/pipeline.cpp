@@ -22,21 +22,32 @@ PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
   const auto t0 = std::chrono::steady_clock::now();
 
   if (options.optimize_ir) result.ir_changes = ir::run_default_pipeline(f);
+  // Stamp the IR pass before VRA starts: vra_seconds must cover only the
+  // range analysis, not the optional IR cleanup that precedes it.
+  const auto t_vra = std::chrono::steady_clock::now();
+  result.timings.ir_seconds =
+      std::chrono::duration<double>(t_vra - t0).count();
 
   result.ranges = vra::analyze_ranges(f, options.vra);
-  result.vra_seconds = seconds_since(t0);
+  result.timings.vra_seconds = seconds_since(t_vra);
 
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t_alloc = std::chrono::steady_clock::now();
   result.allocation = options.allocator == AllocatorKind::Ilp
                           ? allocate_ilp(f, result.ranges, table, config)
                           : allocate_greedy(f, result.ranges, config);
-  result.allocation_seconds = seconds_since(t1);
+  result.timings.allocation_seconds = seconds_since(t_alloc);
+  result.timings.model_build_seconds =
+      result.allocation.stats.model_build_seconds;
+  result.timings.solve_seconds = result.allocation.stats.solve_seconds;
 
-  if (options.materialize_casts)
+  if (options.materialize_casts) {
+    const auto t_mat = std::chrono::steady_clock::now();
     result.casts_inserted = materialize_casts(f, result.allocation.assignment);
+    result.timings.materialize_seconds = seconds_since(t_mat);
+  }
 
   if (options.lint != LintMode::Off) {
-    const auto t2 = std::chrono::steady_clock::now();
+    const auto t_lint = std::chrono::steady_clock::now();
     // Materialized casts postdate the VRA pass; refresh the ranges so the
     // lint sees them (a cast carries its operand's range, not top).
     if (result.casts_inserted > 0)
@@ -48,12 +59,12 @@ PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
     // something to normalize away.
     result.lint = analysis::run_lint(f, result.allocation.assignment,
                                      result.ranges, lint_options);
-    result.lint_seconds = seconds_since(t2);
+    result.timings.lint_seconds = seconds_since(t_lint);
     if (options.lint == LintMode::Error && result.lint.has_errors())
       result.lint_ok = false;
   }
 
-  result.total_seconds = seconds_since(t0);
+  result.timings.total_seconds = seconds_since(t0);
   return result;
 }
 

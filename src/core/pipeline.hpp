@@ -39,17 +39,51 @@ struct PipelineOptions {
   analysis::LintOptions lint_options;
 };
 
+/// Wall-clock seconds per pipeline stage. Each stage is measured from the
+/// end of the previous one, so the stages are disjoint and their sum is
+/// bounded by `total_seconds` (the sum can be slightly below the total —
+/// bookkeeping between stages is not attributed to any of them).
+struct StageTimings {
+  double ir_seconds = 0.0;          ///< optional IR cleanup passes
+  double vra_seconds = 0.0;         ///< value range analysis only
+  double allocation_seconds = 0.0;  ///< model build + solve (or greedy scan)
+  double materialize_seconds = 0.0; ///< cast materialization
+  double lint_seconds = 0.0;        ///< precision lint (incl. range refresh)
+  double total_seconds = 0.0;       ///< whole tune_kernel call
+  /// Sub-stages of allocation, sourced from AllocationStats: ILP model
+  /// construction vs. branch & bound solve. Greedy reports its scan as
+  /// solve time. Both are contained in allocation_seconds, so they are
+  /// excluded from stage_sum().
+  double model_build_seconds = 0.0;
+  double solve_seconds = 0.0;
+
+  /// Sum of the disjoint top-level stages (always <= total_seconds).
+  double stage_sum() const {
+    return ir_seconds + vra_seconds + allocation_seconds +
+           materialize_seconds + lint_seconds;
+  }
+
+  StageTimings& operator+=(const StageTimings& o) {
+    ir_seconds += o.ir_seconds;
+    vra_seconds += o.vra_seconds;
+    allocation_seconds += o.allocation_seconds;
+    materialize_seconds += o.materialize_seconds;
+    lint_seconds += o.lint_seconds;
+    total_seconds += o.total_seconds;
+    model_build_seconds += o.model_build_seconds;
+    solve_seconds += o.solve_seconds;
+    return *this;
+  }
+};
+
 struct PipelineResult {
   AllocationResult allocation;
   vra::RangeMap ranges;
   int ir_changes = 0; ///< rewrites made by the optional cleanup passes
-  double vra_seconds = 0.0;
-  double allocation_seconds = 0.0; ///< model build + solve (or greedy scan)
-  double total_seconds = 0.0;
+  StageTimings timings;
   int casts_inserted = 0;
   /// Lint findings (empty when PipelineOptions::lint is Off).
   analysis::DiagnosticEngine lint;
-  double lint_seconds = 0.0;
   /// False iff lint ran in Error mode and found error-severity diagnostics.
   bool lint_ok = true;
 };

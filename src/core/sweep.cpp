@@ -1,0 +1,380 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/assignment_io.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "platform/cost_model.hpp"
+#include "polybench/polybench.hpp"
+#include "support/diag.hpp"
+#include "support/statistics.hpp"
+#include "support/string_utils.hpp"
+#include "support/thread_pool.hpp"
+
+namespace luis::core {
+namespace {
+
+TuningConfig config_by_name(const std::string& name, long max_nodes) {
+  TuningConfig c;
+  if (name == "Precise")
+    c = TuningConfig::precise();
+  else if (name == "Balanced")
+    c = TuningConfig::balanced();
+  else if (name == "Fast")
+    c = TuningConfig::fast();
+  else
+    LUIS_FATAL("unknown sweep config " + name);
+  c.solver.max_nodes = max_nodes;
+  return c;
+}
+
+/// MPE across all output arrays (concatenated, as PolyBench dumps them).
+double kernel_mpe(const std::vector<std::string>& outputs,
+                  const interp::ArrayStore& reference,
+                  const interp::ArrayStore& tuned) {
+  std::vector<double> ref, out;
+  for (const std::string& name : outputs) {
+    const auto& r = reference.at(name);
+    const auto& t = tuned.at(name);
+    ref.insert(ref.end(), r.begin(), r.end());
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  return mean_percentage_error(ref, out);
+}
+
+/// Everything a tuning job needs from its kernel, produced once per
+/// kernel and read-only afterwards. Jobs re-parse `ir_text` into a
+/// private Module instead of sharing the Function (the pipeline interns
+/// constants on it).
+struct KernelContext {
+  std::string name;
+  bool ok = false;
+  std::string error;
+  std::string ir_text;
+  interp::ArrayStore inputs;
+  std::vector<std::string> outputs;
+  interp::ArrayStore reference;       ///< all-binary64 outputs
+  interp::CostCounters base_counters; ///< all-binary64 execution profile
+  // TAFFO greedy baseline — platform-blind, so computed once and priced
+  // per platform when the job slots are filled.
+  bool taffo_ok = false;
+  std::string taffo_error;
+  StageTimings taffo_timings;
+  AllocationStats taffo_stats;
+  std::string taffo_assignment;
+  interp::CostCounters taffo_counters;
+  double taffo_mpe = 0.0;
+};
+
+void prepare_kernel(KernelContext& ctx, bool include_taffo) {
+  ir::Module module;
+  polybench::BuiltKernel kernel = polybench::build_kernel(ctx.name, module);
+  ctx.inputs = kernel.inputs;
+  ctx.outputs = kernel.outputs;
+
+  ctx.reference = kernel.inputs;
+  interp::TypeAssignment binary64;
+  const interp::RunResult base =
+      run_function(*kernel.function, binary64, ctx.reference);
+  if (!base.ok) {
+    ctx.error = ctx.name + " baseline failed: " + base.error;
+    return;
+  }
+  ctx.base_counters = base.counters;
+  ctx.ir_text = ir::print_function(*kernel.function);
+
+  if (include_taffo) {
+    PipelineOptions popt;
+    popt.allocator = AllocatorKind::Greedy;
+    const PipelineResult tuned =
+        tune_kernel(*kernel.function,
+                    platform::stm32_table(), // unused by greedy
+                    TuningConfig::balanced(), popt);
+    ctx.taffo_timings = tuned.timings;
+    ctx.taffo_stats = tuned.allocation.stats;
+    ctx.taffo_assignment =
+        assignment_to_text(*kernel.function, tuned.allocation.assignment);
+    interp::ArrayStore out = kernel.inputs;
+    const interp::RunResult run =
+        run_function(*kernel.function, tuned.allocation.assignment, out);
+    if (!run.ok) {
+      ctx.taffo_error = ctx.name + " TAFFO run failed: " + run.error;
+    } else {
+      ctx.taffo_ok = true;
+      ctx.taffo_counters = run.counters;
+      ctx.taffo_mpe = kernel_mpe(ctx.outputs, ctx.reference, out);
+    }
+  }
+  ctx.ok = true;
+}
+
+/// Tunes one (kernel, config, platform) job on a private clone of the
+/// kernel. With `execute` the tuned kernel is also interpreted for the
+/// speedup/MPE metrics; the determinism re-check skips that (the
+/// assignment fully determines the execution).
+void run_ilp_job(const KernelContext& ctx, const platform::OpTimeTable& table,
+                 const SweepOptions& opt, ilp::SolverCache* cache,
+                 bool execute, SweepJobResult& out) {
+  ir::Module module;
+  const ir::ParseResult parsed = ir::parse_function(module, ctx.ir_text);
+  LUIS_ASSERT(parsed.ok(),
+              ("sweep: kernel IR re-parse failed: " + parsed.error).c_str());
+  ir::Function& f = *parsed.function;
+
+  TuningConfig config = config_by_name(out.config, opt.solver_max_nodes);
+  config.solver.cache = cache;
+  const PipelineOptions popt;
+  const PipelineResult tuned = tune_kernel(f, table, config, popt);
+  out.timings = tuned.timings;
+  out.stats = tuned.allocation.stats;
+  out.assignment_text = assignment_to_text(f, tuned.allocation.assignment);
+
+  if (execute) {
+    interp::ArrayStore store = ctx.inputs;
+    const interp::RunResult run =
+        run_function(f, tuned.allocation.assignment, store);
+    if (!run.ok) {
+      out.error = ctx.name + "/" + out.config + " run failed: " + run.error;
+      return;
+    }
+    const double t_base = platform::simulated_time(ctx.base_counters, table);
+    out.speedup_percent = platform::speedup_percent(
+        t_base, platform::simulated_time(run.counters, table));
+    out.mpe = kernel_mpe(ctx.outputs, ctx.reference, store);
+  }
+  out.ok = true;
+}
+
+void append_timings_json(std::string& out, const StageTimings& t) {
+  out += format_string("{\"ir_seconds\":%.6g,\"vra_seconds\":%.6g,"
+                       "\"allocation_seconds\":%.6g,"
+                       "\"model_build_seconds\":%.6g,\"solve_seconds\":%.6g,"
+                       "\"materialize_seconds\":%.6g,\"lint_seconds\":%.6g,"
+                       "\"total_seconds\":%.6g}",
+                       t.ir_seconds, t.vra_seconds, t.allocation_seconds,
+                       t.model_build_seconds, t.solve_seconds,
+                       t.materialize_seconds, t.lint_seconds, t.total_seconds);
+}
+
+} // namespace
+
+SweepResult run_sweep(const SweepOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::string> kernels = options.kernels;
+  if (kernels.empty())
+    kernels.assign(polybench::kernel_names().begin(),
+                   polybench::kernel_names().end());
+  for (const std::string& k : kernels) {
+    const auto names = polybench::kernel_names();
+    if (std::find(names.begin(), names.end(), k) == names.end())
+      LUIS_FATAL("unknown kernel " + k);
+  }
+  std::vector<std::string> configs = options.configs;
+  if (configs.empty()) configs = {"Precise", "Balanced", "Fast"};
+  for (const std::string& c : configs)
+    (void)config_by_name(c, 1); // validates the name
+  std::vector<std::string> platforms = options.platforms;
+  if (platforms.empty()) platforms = {"Stm32", "Raspberry", "Intel", "AMD"};
+  std::vector<const platform::OpTimeTable*> tables;
+  for (const std::string& p : platforms) {
+    const platform::OpTimeTable* table = platform::platform_by_name(p);
+    LUIS_ASSERT(table != nullptr, ("unknown platform " + p).c_str());
+    tables.push_back(table);
+  }
+
+  int threads = options.threads;
+  if (threads <= 0)
+    threads = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
+  ilp::SolverCache cache;
+  ilp::SolverCache* cache_ptr = options.use_cache ? &cache : nullptr;
+
+  // Phase 1: per-kernel setup (build, binary64 reference, IR rendering,
+  // TAFFO baseline), parallel over kernels.
+  std::vector<KernelContext> contexts(kernels.size());
+  for (std::size_t i = 0; i < kernels.size(); ++i) contexts[i].name = kernels[i];
+  support::parallel_for(contexts.size(), threads, [&](std::size_t i) {
+    prepare_kernel(contexts[i], options.include_taffo);
+    if (options.verbose)
+      std::fprintf(stderr, "[sweep] %s prepared\n", contexts[i].name.c_str());
+  });
+
+  // Job slots in their fixed kernel-major order.
+  SweepResult result;
+  std::vector<std::size_t> ilp_jobs;      // indices into result.jobs
+  std::vector<const KernelContext*> ctx_of; // parallel to result.jobs
+  std::vector<const platform::OpTimeTable*> table_of;
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    for (std::size_t pi = 0; pi < platforms.size(); ++pi) {
+      for (const std::string& config : configs) {
+        SweepJobResult job;
+        job.kernel = kernels[ki];
+        job.config = config;
+        job.platform = platforms[pi];
+        ilp_jobs.push_back(result.jobs.size());
+        result.jobs.push_back(std::move(job));
+        ctx_of.push_back(&contexts[ki]);
+        table_of.push_back(tables[pi]);
+      }
+      if (options.include_taffo) {
+        SweepJobResult job;
+        job.kernel = kernels[ki];
+        job.config = "TAFFO";
+        job.platform = platforms[pi];
+        const KernelContext& ctx = contexts[ki];
+        if (!ctx.ok) {
+          job.error = ctx.error;
+        } else if (!ctx.taffo_ok) {
+          job.error = ctx.taffo_error;
+        } else {
+          job.ok = true;
+          job.timings = ctx.taffo_timings;
+          job.stats = ctx.taffo_stats;
+          job.assignment_text = ctx.taffo_assignment;
+          const double t_base =
+              platform::simulated_time(ctx.base_counters, *tables[pi]);
+          job.speedup_percent = platform::speedup_percent(
+              t_base, platform::simulated_time(ctx.taffo_counters, *tables[pi]));
+          job.mpe = ctx.taffo_mpe;
+        }
+        result.jobs.push_back(std::move(job));
+        ctx_of.push_back(&contexts[ki]);
+        table_of.push_back(tables[pi]);
+      }
+    }
+  }
+
+  // Phase 2: the ILP jobs, parallel over (kernel x platform x config).
+  support::parallel_for(ilp_jobs.size(), threads, [&](std::size_t i) {
+    const std::size_t j = ilp_jobs[i];
+    SweepJobResult& job = result.jobs[j];
+    const KernelContext& ctx = *ctx_of[j];
+    if (!ctx.ok) {
+      job.error = ctx.error;
+      return;
+    }
+    run_ilp_job(ctx, *table_of[j], options, cache_ptr, /*execute=*/true, job);
+    if (options.verbose)
+      std::fprintf(stderr, "[sweep] %s/%s/%s %s\n", job.kernel.c_str(),
+                   job.config.c_str(), job.platform.c_str(),
+                   job.ok ? "ok" : "FAILED");
+  });
+
+  // Determinism check: serially re-tune every ILP job and compare. The
+  // re-solves hit the shared cache (same canonical model), so this is
+  // cheap — and it is what proves a parallel sweep computed exactly what
+  // the serial path would have.
+  if (options.check_determinism) {
+    int mismatches = 0;
+    for (const std::size_t j : ilp_jobs) {
+      const SweepJobResult& job = result.jobs[j];
+      const KernelContext& ctx = *ctx_of[j];
+      if (!ctx.ok) continue;
+      SweepJobResult redo;
+      redo.kernel = job.kernel;
+      redo.config = job.config;
+      redo.platform = job.platform;
+      run_ilp_job(ctx, *table_of[j], options, cache_ptr, /*execute=*/false,
+                  redo);
+      const bool same = redo.assignment_text == job.assignment_text &&
+                        redo.stats.objective == job.stats.objective &&
+                        redo.stats.status == job.stats.status;
+      if (!same) {
+        ++mismatches;
+        if (options.verbose)
+          std::fprintf(stderr, "[sweep] determinism MISMATCH %s/%s/%s\n",
+                       job.kernel.c_str(), job.config.c_str(),
+                       job.platform.c_str());
+      }
+    }
+    result.stats.determinism_mismatches = mismatches;
+  }
+
+  result.stats.jobs = static_cast<int>(result.jobs.size());
+  result.stats.threads = threads;
+  for (const SweepJobResult& job : result.jobs) {
+    if (!job.ok) ++result.stats.failed;
+    result.stats.stage_totals += job.timings;
+    result.stats.solver_nodes += job.stats.nodes;
+    result.stats.solver_iterations += job.stats.iterations;
+  }
+  if (cache_ptr) result.stats.cache = cache_ptr->stats();
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+std::string sweep_summary_text(const SweepResult& result) {
+  const SweepStats& s = result.stats;
+  std::string out;
+  out += format_string("jobs: %d (%d failed), %d thread%s, %.2f s wall\n",
+                       s.jobs, s.failed, s.threads, s.threads == 1 ? "" : "s",
+                       s.wall_seconds);
+  const StageTimings& t = s.stage_totals;
+  out += format_string("stage totals: ir %.2fs | vra %.2fs | alloc %.2fs "
+                       "(build %.2fs, solve %.2fs) | materialize %.2fs | "
+                       "lint %.2fs\n",
+                       t.ir_seconds, t.vra_seconds, t.allocation_seconds,
+                       t.model_build_seconds, t.solve_seconds,
+                       t.materialize_seconds, t.lint_seconds);
+  out += format_string("solver: %ld nodes, %ld simplex iterations\n",
+                       s.solver_nodes, s.solver_iterations);
+  out += format_string("cache: %ld lookups, %ld hits (%.1f%%)\n",
+                       s.cache.lookups, s.cache.hits,
+                       100.0 * s.cache.hit_rate());
+  if (s.determinism_mismatches < 0)
+    out += "determinism check: skipped\n";
+  else if (s.determinism_mismatches == 0)
+    out += "determinism check: PASS (serial re-tune reproduced every job)\n";
+  else
+    out += format_string("determinism check: FAIL (%d mismatching jobs)\n",
+                         s.determinism_mismatches);
+  return out;
+}
+
+std::string sweep_report_json(const SweepResult& result) {
+  std::string out = "{\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const SweepJobResult& job = result.jobs[i];
+    out += format_string(
+        "    {\"kernel\":\"%s\",\"config\":\"%s\",\"platform\":\"%s\","
+        "\"ok\":%s,\"speedup_percent\":%.6g,\"mpe\":%.6g,"
+        "\"status\":\"%s\",\"objective\":%.17g,\"nodes\":%ld,"
+        "\"iterations\":%ld,\"model_variables\":%zu,"
+        "\"model_constraints\":%zu,\"timings\":",
+        job.kernel.c_str(), job.config.c_str(), job.platform.c_str(),
+        job.ok ? "true" : "false", job.speedup_percent, job.mpe,
+        ilp::to_string(job.stats.status), job.stats.objective, job.stats.nodes,
+        job.stats.iterations, job.stats.model_variables,
+        job.stats.model_constraints);
+    append_timings_json(out, job.timings);
+    out += "}";
+    if (i + 1 < result.jobs.size()) out += ",";
+    out += "\n";
+  }
+  const SweepStats& s = result.stats;
+  out += "  ],\n  \"summary\": {";
+  out += format_string("\"jobs\":%d,\"failed\":%d,\"threads\":%d,"
+                       "\"wall_seconds\":%.6g,\"solver_nodes\":%ld,"
+                       "\"solver_iterations\":%ld,",
+                       s.jobs, s.failed, s.threads, s.wall_seconds,
+                       s.solver_nodes, s.solver_iterations);
+  out += format_string("\"cache\":{\"lookups\":%ld,\"hits\":%ld,"
+                       "\"insertions\":%ld,\"hit_rate\":%.4f},",
+                       s.cache.lookups, s.cache.hits, s.cache.insertions,
+                       s.cache.hit_rate());
+  out += format_string("\"determinism_mismatches\":%d,\"stage_totals\":",
+                       s.determinism_mismatches);
+  append_timings_json(out, s.stage_totals);
+  out += "}\n}\n";
+  return out;
+}
+
+} // namespace luis::core

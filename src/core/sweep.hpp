@@ -1,0 +1,95 @@
+// Multithreaded batch tuning driver: the paper's full evaluation grid
+// (PolyBench kernel x preset x platform) fanned across a thread pool.
+//
+// Isolation model. Every job tunes its own clone of the kernel (parsed
+// from IR text pre-rendered once per kernel), so no job ever touches
+// another job's Function — the pipeline interns constants on the Function
+// and is therefore not shareable across threads. The only mutable shared
+// state is the solver result cache, which is internally locked and, by
+// construction of its canonical key, cannot change what any job computes
+// (see ilp/solver_cache.hpp).
+//
+// Determinism. Job results are written into a preallocated slot vector in
+// a fixed (kernel-major) order, so the output is identical no matter how
+// the pool schedules jobs. With `check_determinism` the driver re-runs
+// every ILP job's tuning serially after the parallel phase and compares
+// status, objective bits, and the serialized assignment; the re-solves
+// hit the solver cache, which is what makes the check cheap — and is the
+// sweep's organic source of cache hits, since the grid's 360 models are
+// pairwise distinct.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "ilp/solver_cache.hpp"
+
+namespace luis::core {
+
+struct SweepOptions {
+  std::vector<std::string> kernels;   ///< empty = all 30 PolyBench kernels
+  std::vector<std::string> configs;   ///< empty = Precise, Balanced, Fast
+  std::vector<std::string> platforms; ///< empty = Stm32/Raspberry/Intel/AMD
+  /// Also run the platform-blind TAFFO greedy baseline (once per kernel).
+  bool include_taffo = true;
+  long solver_max_nodes = 3000;
+  /// Worker threads; 0 = hardware concurrency, 1 = serial reference path.
+  int threads = 0;
+  /// Share one solver result cache across all jobs.
+  bool use_cache = true;
+  /// After the (possibly parallel) sweep, serially re-tune every ILP job
+  /// and verify it reproduces the same assignment and objective.
+  bool check_determinism = true;
+  bool verbose = false; ///< per-kernel progress lines on stderr
+};
+
+struct SweepJobResult {
+  std::string kernel;
+  std::string config;   ///< "Precise", "Balanced", "Fast", or "TAFFO"
+  std::string platform;
+  bool ok = false;
+  std::string error;
+  double speedup_percent = 0.0; ///< vs. the all-binary64 kernel
+  double mpe = 0.0;             ///< vs. the all-binary64 outputs
+  StageTimings timings;
+  AllocationStats stats;
+  /// Canonical serialization of the type assignment (assignment_io) — the
+  /// artifact the determinism check compares.
+  std::string assignment_text;
+};
+
+struct SweepStats {
+  int jobs = 0;
+  int failed = 0;
+  int threads = 1;         ///< resolved worker count
+  double wall_seconds = 0.0;
+  StageTimings stage_totals; ///< summed over all jobs
+  long solver_nodes = 0;
+  long solver_iterations = 0;
+  ilp::SolverCache::Stats cache; ///< zeros when the cache is disabled
+  /// -1 when the check is disabled; otherwise the number of jobs whose
+  /// serial re-tune disagreed with the sweep result (0 = proven).
+  int determinism_mismatches = -1;
+};
+
+struct SweepResult {
+  /// One entry per job in a fixed kernel-major order, independent of
+  /// scheduling: kernels in input order, then platforms, then configs
+  /// (TAFFO last when enabled).
+  std::vector<SweepJobResult> jobs;
+  SweepStats stats;
+};
+
+/// Runs the sweep. Aborts (LUIS_FATAL) on unknown kernel/config/platform
+/// names; per-job execution failures are reported in the job result.
+SweepResult run_sweep(const SweepOptions& options = {});
+
+/// Human-readable stats block (stage totals, solver work, cache hit rate,
+/// determinism verdict).
+std::string sweep_summary_text(const SweepResult& result);
+
+/// The full report — every job plus the summary — as a JSON document.
+std::string sweep_report_json(const SweepResult& result);
+
+} // namespace luis::core

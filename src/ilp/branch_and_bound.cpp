@@ -1,7 +1,9 @@
 #include "ilp/branch_and_bound.hpp"
 
 #include "ilp/presolve.hpp"
+#include "ilp/solver_cache.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <queue>
@@ -46,9 +48,9 @@ int most_fractional(const Model& model, const std::vector<double>& values,
 
 namespace {
 Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt);
-} // namespace
 
-Solution solve_milp(const Model& model, const BranchAndBoundOptions& opt) {
+Solution solve_milp_uncached(const Model& model,
+                             const BranchAndBoundOptions& opt) {
   if (!opt.presolve) return solve_milp_impl(model, opt);
 
   const PresolvedModel pre = presolve(model);
@@ -58,6 +60,11 @@ Solution solve_milp(const Model& model, const BranchAndBoundOptions& opt) {
     return sol;
   }
   Solution sol = solve_milp_impl(pre.reduced, opt);
+  // The reduced objective omits the fixed-variable contribution; lift the
+  // proven bound back into full-model terms so bound and objective are
+  // comparable whenever presolve fixed a variable with a nonzero
+  // objective coefficient.
+  sol.best_bound += pre.objective_offset;
   if (!sol.values.empty()) {
     sol.values = pre.restore(sol.values);
     sol.objective = model.objective_value(sol.values);
@@ -74,6 +81,16 @@ Solution solve_milp(const Model& model, const BranchAndBoundOptions& opt) {
   }
   return sol;
 }
+} // namespace
+
+Solution solve_milp(const Model& model, const BranchAndBoundOptions& opt) {
+  if (!opt.cache) return solve_milp_uncached(model, opt);
+  const std::string key = canonical_model_key(model, opt);
+  if (std::optional<Solution> hit = opt.cache->lookup(key)) return *hit;
+  Solution sol = solve_milp_uncached(model, opt);
+  opt.cache->insert(key, sol);
+  return sol;
+}
 
 namespace {
 
@@ -88,6 +105,11 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
   long nodes = 0;
   long iterations = 0;
   bool hit_limit = false;
+  // Tightest bound among nodes abandoned because their LP relaxation hit
+  // the iteration limit. Their subtrees are unexplored, so their parent
+  // bounds must stay in the proven-bound computation or best_bound (and
+  // the reported gap) overstate what the search actually proved.
+  double dropped_open_bound = kInfinity;
 
   std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
                       NodeOrder>
@@ -111,6 +133,7 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
     iterations += lp.iterations;
     if (lp.status == SolveStatus::IterationLimit) {
       hit_limit = true;
+      dropped_open_bound = std::min(dropped_open_bound, node->bound);
       continue;
     }
     if (lp.status == SolveStatus::Infeasible) continue;
@@ -163,8 +186,10 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
     }
   }
 
-  // The tightest bound still open (for gap reporting).
+  // The tightest bound still open (for gap reporting), including nodes
+  // whose relaxations were abandoned at the LP iteration limit.
   best_open_bound = open.empty() ? incumbent_cost : open.top()->bound;
+  best_open_bound = std::min(best_open_bound, dropped_open_bound);
 
   incumbent.nodes = nodes;
   incumbent.iterations = iterations;

@@ -11,6 +11,8 @@
 
 namespace luis::ilp {
 
+class SolverCache;
+
 struct BranchAndBoundOptions {
   long max_nodes = 50000;
   double integrality_tolerance = 1e-6;
@@ -19,6 +21,9 @@ struct BranchAndBoundOptions {
   /// Run the presolve reductions before the search (see presolve.hpp).
   bool presolve = true;
   SimplexOptions lp;
+  /// Optional shared memoization of whole-model solves (see
+  /// solver_cache.hpp). Not owned; may be shared across threads.
+  SolverCache* cache = nullptr;
 };
 
 /// Solves `model` to integer optimality (within the configured limits).

@@ -35,6 +35,12 @@ std::string to_lp_format(const Model& model) {
                                                             : "Maximize\n");
   os << " obj: ";
   write_expr(os, model, model.objective());
+  // The objective's constant term is part of the reported optimum (and of
+  // presolve-lifted bounds); dropping it would silently shift objectives
+  // on a write/read round-trip.
+  const double c0 = model.objective().constant();
+  if (c0 > 0.0) os << " + " << c0;
+  if (c0 < 0.0) os << " - " << -c0;
   os << "\nSubject To\n";
   int idx = 0;
   for (const Constraint& c : model.constraints()) {

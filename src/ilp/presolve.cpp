@@ -165,7 +165,7 @@ PresolvedModel presolve(const Model& model) {
   for (const auto& [var, coeff] : model.objective().terms()) {
     const auto j = static_cast<std::size_t>(var);
     if (vars[j].fixed)
-      objective.add_constant(coeff * vars[j].value);
+      out.objective_offset += coeff * vars[j].value;
     else
       objective.add(out.reduced_index[j], coeff);
   }

@@ -29,6 +29,12 @@ struct PresolvedModel {
   int vars_removed = 0;
   int rows_removed = 0;
 
+  /// Objective contribution of the eliminated (fixed) variables. The
+  /// reduced objective deliberately excludes it, so reduced-space
+  /// objectives and bounds live in reduced-model terms; callers lift them
+  /// back by adding this offset (solve_milp does).
+  double objective_offset = 0.0;
+
   /// Lifts a reduced-space assignment back to the original variables.
   std::vector<double> restore(const std::vector<double>& reduced_values) const;
 };

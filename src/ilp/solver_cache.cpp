@@ -1,0 +1,121 @@
+#include "ilp/solver_cache.hpp"
+
+#include <cstdio>
+
+#include "ilp/branch_and_bound.hpp"
+
+namespace luis::ilp {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+  out += ';';
+}
+
+void append_expr(std::string& out, const LinearExpr& expr) {
+  append_double(out, expr.constant());
+  for (const auto& [var, coeff] : expr.terms()) {
+    out += std::to_string(var);
+    out += ':';
+    append_double(out, coeff);
+  }
+}
+
+} // namespace
+
+std::string canonical_model_key(const Model& model,
+                                const BranchAndBoundOptions& options) {
+  std::string out;
+  out.reserve(64 * (model.num_variables() + model.num_constraints()));
+
+  out += model.objective_direction() == Direction::Minimize ? "min|" : "max|";
+  append_expr(out, model.objective());
+
+  out += "|v|";
+  for (const Variable& v : model.variables()) {
+    out += v.kind == VarKind::Continuous ? 'c'
+           : v.kind == VarKind::Integer  ? 'i'
+                                         : 'b';
+    append_double(out, v.lower);
+    append_double(out, v.upper);
+  }
+
+  out += "|c|";
+  for (const Constraint& c : model.constraints()) {
+    out += c.sense == Sense::LE ? '<' : c.sense == Sense::GE ? '>' : '=';
+    append_double(out, c.rhs);
+    append_expr(out, c.expr);
+  }
+
+  // Result-affecting solver options: the same model under different limits
+  // or tolerances can legitimately produce different incumbents/bounds.
+  out += "|o|";
+  out += std::to_string(options.max_nodes);
+  out += ';';
+  append_double(out, options.integrality_tolerance);
+  append_double(out, options.relative_gap);
+  out += options.presolve ? '1' : '0';
+  out += ';';
+  out += std::to_string(options.lp.max_iterations);
+  out += ';';
+  append_double(out, options.lp.tolerance);
+  return out;
+}
+
+std::uint64_t fnv1a64(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::optional<Solution> SolverCache::lookup(const std::string& key) {
+  const std::uint64_t h = fnv1a64(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  const auto it = entries_.find(h);
+  if (it != entries_.end()) {
+    for (const Entry& e : it->second) {
+      if (e.key == key) {
+        ++stats_.hits;
+        return e.solution;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void SolverCache::insert(const std::string& key, const Solution& solution) {
+  const std::uint64_t h = fnv1a64(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& bucket = entries_[h];
+  for (const Entry& e : bucket) {
+    if (e.key == key) return; // first insertion wins
+  }
+  bucket.push_back(Entry{key, solution});
+  ++stats_.insertions;
+}
+
+SolverCache::Stats SolverCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SolverCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [h, bucket] : entries_) n += bucket.size();
+  return n;
+}
+
+void SolverCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+} // namespace luis::ilp

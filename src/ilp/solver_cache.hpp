@@ -1,0 +1,72 @@
+// Thread-safe memoization of MILP solves keyed by the canonical model.
+//
+// The cache lets a batch driver (the sweep orchestrator, repeated
+// determinism checks, preset re-runs) skip branch & bound entirely when it
+// meets a model it has already solved. Correctness rests on the key being
+// a faithful canonicalization: two models share a key only if they are the
+// same optimization problem solved under the same result-affecting solver
+// options. The canonical form strips names and formatting but deliberately
+// preserves variable and constraint order — the solver is deterministic,
+// so order-identical models produce bit-identical solutions, and a cache
+// hit can never change what a sweep computes (it only skips recomputing
+// it). Reordering-insensitive keys would trade that guarantee away.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace luis::ilp {
+
+struct BranchAndBoundOptions;
+
+/// Serializes the model plus the result-affecting solver options into a
+/// canonical string: name-free, order-preserving, doubles at full
+/// round-trip precision. Equal strings imply identical solves.
+std::string canonical_model_key(const Model& model,
+                                const BranchAndBoundOptions& options);
+
+/// FNV-1a 64-bit hash of `key` (stable across platforms and runs).
+std::uint64_t fnv1a64(const std::string& key);
+
+class SolverCache {
+public:
+  struct Stats {
+    long lookups = 0;
+    long hits = 0;
+    long insertions = 0;
+    double hit_rate() const {
+      return lookups > 0 ? static_cast<double>(hits) / lookups : 0.0;
+    }
+  };
+
+  /// Returns the cached solution for `key`, if any. Counts a lookup.
+  std::optional<Solution> lookup(const std::string& key);
+
+  /// Stores `solution` under `key`. Duplicate keys keep the first entry so
+  /// concurrent insert races cannot flip which solution later hits return
+  /// (both racers computed identical solutions anyway — see the header
+  /// comment — but first-wins makes that independent of timing).
+  void insert(const std::string& key, const Solution& solution);
+
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+private:
+  struct Entry {
+    std::string key; ///< full key, verified on hit (hash collisions)
+    Solution solution;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  Stats stats_;
+};
+
+} // namespace luis::ilp

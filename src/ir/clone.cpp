@@ -1,0 +1,17 @@
+#include "ir/clone.hpp"
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "support/diag.hpp"
+
+namespace luis::ir {
+
+Function* clone_function(const Function& f, Module& dest) {
+  const std::string text = print_function(f);
+  ParseResult parsed = parse_function(dest, text);
+  LUIS_ASSERT(parsed.ok(),
+              ("clone_function round-trip failed: " + parsed.error).c_str());
+  return parsed.function;
+}
+
+} // namespace luis::ir

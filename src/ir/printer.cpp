@@ -29,9 +29,15 @@ public:
     for (const auto& arr : f_.arrays()) {
       os_ << "  array @" << arr->name();
       for (const std::int64_t d : arr->dims()) os_ << "[" << d << "]";
-      if (arr->range_annotation())
-        os_ << " range [" << arr->range_annotation()->first << ", "
-            << arr->range_annotation()->second << "]";
+      if (arr->range_annotation()) {
+        // Full-precision bounds: print -> parse must reproduce the exact
+        // annotation or a cloned function sees shifted VRA ranges.
+        os_ << " range [";
+        print_real_literal(os_, arr->range_annotation()->first);
+        os_ << ", ";
+        print_real_literal(os_, arr->range_annotation()->second);
+        os_ << "]";
+      }
       os_ << "\n";
     }
     for (const auto& bb : f_.blocks()) {

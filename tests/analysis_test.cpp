@@ -387,7 +387,7 @@ TEST(LintPipeline, ReportsTimingAndOkFlag) {
   opt.lint = core::LintMode::Error;
   const core::PipelineResult r = core::tune_kernel(
       *f, platform::stm32_table(), core::TuningConfig::balanced(), opt);
-  EXPECT_GE(r.lint_seconds, 0.0);
+  EXPECT_GE(r.timings.lint_seconds, 0.0);
   EXPECT_TRUE(r.lint_ok) << r.lint.to_text();
   EXPECT_FALSE(r.lint.has_errors()) << r.lint.to_text();
 }

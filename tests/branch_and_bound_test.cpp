@@ -5,6 +5,7 @@
 
 #include "ilp/branch_and_bound.hpp"
 #include "ilp/lp_writer.hpp"
+#include "ilp/solver_cache.hpp"
 #include "support/rng.hpp"
 
 namespace luis::ilp {
@@ -150,6 +151,122 @@ TEST(BranchAndBound, NodeLimitReportsIncumbent) {
   opt.max_nodes = 1;
   const Solution s = solve_milp(m, opt);
   EXPECT_EQ(s.status, SolveStatus::NodeLimit);
+}
+
+TEST(BranchAndBound, NodeLimitBoundStaysBelowIncumbentObjective) {
+  // Minimization under a node limit: the proven bound must never claim
+  // more than the search established, i.e. best_bound <= objective.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 10;
+    Model m;
+    LinearExpr cover, obj;
+    for (int i = 0; i < n; ++i) {
+      const VarId x = m.add_binary("x" + std::to_string(i));
+      cover.add(x, static_cast<double>(rng.next_int(1, 6)));
+      obj.add(x, static_cast<double>(rng.next_int(1, 9)) + 0.5);
+    }
+    m.add_ge(std::move(cover), 12.0);
+    m.set_objective(Direction::Minimize, std::move(obj));
+
+    BranchAndBoundOptions opt;
+    opt.max_nodes = 3; // forces an early stop on most trials
+    const Solution s = solve_milp(m, opt);
+    if (s.values.empty()) continue; // no incumbent: nothing to compare
+    EXPECT_LE(s.best_bound, s.objective + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(BranchAndBound, IterationLimitKeepsBoundSound) {
+  // Starved LP iterations: nodes whose relaxation hits IterationLimit are
+  // abandoned, but their subtree's bound must survive into best_bound.
+  // Dropping them silently used to report best_bound = +inf for a
+  // minimization problem — an unproven "proof" of optimality.
+  Model m;
+  LinearExpr cover, obj;
+  for (int i = 0; i < 8; ++i) {
+    const VarId x = m.add_binary("x" + std::to_string(i));
+    cover.add(x, static_cast<double>(1 + (i * 3) % 5));
+    obj.add(x, static_cast<double>(2 + (i * 7) % 9));
+  }
+  m.add_ge(cover, 10.0);
+  m.set_objective(Direction::Minimize, obj);
+
+  // Reference optimum with generous limits.
+  const Solution exact = solve_milp(m);
+  ASSERT_EQ(exact.status, SolveStatus::Optimal);
+
+  BranchAndBoundOptions starved;
+  starved.presolve = false; // keep the full model at the starved LP
+  starved.lp.max_iterations = 1;
+  const Solution s = solve_milp(m, starved);
+  EXPECT_EQ(s.status, SolveStatus::NodeLimit);
+  // Nothing was proven, so the bound may be -inf — but it must not exceed
+  // the true optimum (a bound above it would falsely tighten the gap).
+  EXPECT_LE(s.best_bound, exact.objective + 1e-9);
+}
+
+TEST(BranchAndBound, CachedSolutionEqualsFreshSolve) {
+  Model m;
+  LinearExpr wsum, vsum;
+  for (int i = 0; i < 10; ++i) {
+    const VarId x = m.add_binary("x" + std::to_string(i));
+    wsum.add(x, static_cast<double>(3 + (i * 5) % 11));
+    vsum.add(x, static_cast<double>(1 + (i * 7) % 13));
+  }
+  m.add_le(std::move(wsum), 30.0);
+  m.set_objective(Direction::Maximize, std::move(vsum));
+
+  const Solution fresh = solve_milp(m);
+  ASSERT_EQ(fresh.status, SolveStatus::Optimal);
+
+  SolverCache cache;
+  BranchAndBoundOptions opt;
+  opt.cache = &cache;
+  const Solution miss = solve_milp(m, opt); // computes and fills the cache
+  const Solution hit = solve_milp(m, opt);  // must come from the cache
+
+  const SolverCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+
+  for (const Solution* s : {&miss, &hit}) {
+    EXPECT_EQ(s->status, fresh.status);
+    EXPECT_EQ(s->objective, fresh.objective); // bit-identical, not NEAR
+    EXPECT_EQ(s->best_bound, fresh.best_bound);
+    EXPECT_EQ(s->values, fresh.values);
+  }
+}
+
+TEST(BranchAndBound, CacheKeySeparatesModelsAndOptions) {
+  Model a, b;
+  const VarId xa = a.add_integer("x", 0, 5);
+  a.set_objective(Direction::Maximize, LinearExpr().add(xa, 1));
+  const VarId xb = b.add_integer("x", 0, 6); // differs only in one bound
+  b.set_objective(Direction::Maximize, LinearExpr().add(xb, 1));
+
+  BranchAndBoundOptions opt;
+  EXPECT_NE(canonical_model_key(a, opt), canonical_model_key(b, opt));
+  BranchAndBoundOptions other = opt;
+  other.max_nodes = opt.max_nodes + 1;
+  EXPECT_NE(canonical_model_key(a, opt), canonical_model_key(a, other));
+
+  // Names must NOT separate: the canonical form is name-free.
+  Model c;
+  const VarId xc = c.add_integer("renamed", 0, 5);
+  c.set_objective(Direction::Maximize, LinearExpr().add(xc, 1));
+  EXPECT_EQ(canonical_model_key(a, opt), canonical_model_key(c, opt));
+
+  SolverCache cache;
+  BranchAndBoundOptions cached = opt;
+  cached.cache = &cache;
+  const Solution sa = solve_milp(a, cached);
+  const Solution sb = solve_milp(b, cached);
+  EXPECT_EQ(cache.stats().hits, 0); // distinct models, no false sharing
+  EXPECT_NEAR(sa.objective, 5.0, 1e-9);
+  EXPECT_NEAR(sb.objective, 6.0, 1e-9);
 }
 
 TEST(BranchAndBound, RandomMilpsMatchBruteForce) {

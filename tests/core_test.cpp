@@ -348,10 +348,35 @@ TEST(Pipeline, ReportsStageTimings) {
   PipelineOptions opt;
   const PipelineResult r =
       tune_kernel(*f, platform::stm32_table(), TuningConfig::balanced(), opt);
-  EXPECT_GE(r.vra_seconds, 0.0);
-  EXPECT_GT(r.allocation_seconds, 0.0);
-  EXPECT_GE(r.total_seconds, r.allocation_seconds);
+  EXPECT_GE(r.timings.vra_seconds, 0.0);
+  EXPECT_GT(r.timings.allocation_seconds, 0.0);
+  EXPECT_GE(r.timings.total_seconds, r.timings.allocation_seconds);
   EXPECT_GT(r.ranges.size(), 0u);
+  // The build/solve split is contained in the allocation stage.
+  EXPECT_GE(r.timings.model_build_seconds, 0.0);
+  EXPECT_GT(r.timings.solve_seconds, 0.0);
+  EXPECT_LE(r.timings.model_build_seconds + r.timings.solve_seconds,
+            r.timings.allocation_seconds + 1e-9);
+}
+
+TEST(Pipeline, StageSecondsSumToAtMostTotal) {
+  // Every stage enabled: the stages are measured disjointly, so their sum
+  // must not exceed the whole call. Before the timing fix, vra_seconds
+  // started at t0 and silently included the IR-pass time, so the sum
+  // could exceed total_seconds.
+  ir::Module m;
+  ir::Function* f = build_small_gemm(m);
+  PipelineOptions opt;
+  opt.optimize_ir = true;
+  opt.materialize_casts = true;
+  opt.lint = LintMode::Warn;
+  const PipelineResult r =
+      tune_kernel(*f, platform::stm32_table(), TuningConfig::balanced(), opt);
+  EXPECT_GE(r.timings.ir_seconds, 0.0);
+  EXPECT_GE(r.timings.vra_seconds, 0.0);
+  EXPECT_GE(r.timings.materialize_seconds, 0.0);
+  EXPECT_GE(r.timings.lint_seconds, 0.0);
+  EXPECT_LE(r.timings.stage_sum(), r.timings.total_seconds + 1e-9);
 }
 
 TEST(Pipeline, GreedyIsCheaperToRunThanIlp) {
@@ -367,7 +392,7 @@ TEST(Pipeline, GreedyIsCheaperToRunThanIlp) {
       tune_kernel(*f2, platform::stm32_table(), TuningConfig::balanced(),
                   greedy_opt);
   // The ILP step dominates compilation overhead (Section V-B).
-  EXPECT_GT(ri.allocation_seconds, rg.allocation_seconds);
+  EXPECT_GT(ri.timings.allocation_seconds, rg.timings.allocation_seconds);
 }
 
 TEST(Config, TableThreePresets) {

@@ -109,6 +109,38 @@ End
   EXPECT_NEAR(s.value(1), 1.0, 1e-6);
 }
 
+TEST(LpReader, ObjectiveConstantSurvivesWriteReadRoundTrip) {
+  // The objective's constant term is part of the reported optimum (and of
+  // presolve-lifted bounds); the writer must emit it or a dump/reload
+  // cycle silently shifts every objective.
+  Model m;
+  const VarId x = m.add_integer("x", 0.0, 4.0);
+  LinearExpr obj;
+  obj.add(x, 2.0);
+  obj.add_constant(7.5);
+  m.set_objective(Direction::Maximize, std::move(obj));
+
+  const LpParseResult r = parse_lp(to_lp_format(m));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_DOUBLE_EQ(r.model.objective().constant(), 7.5);
+
+  const Solution original = solve_milp(m);
+  const Solution reloaded = solve_milp(r.model);
+  ASSERT_EQ(original.status, SolveStatus::Optimal);
+  ASSERT_EQ(reloaded.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(original.objective, 15.5);
+  EXPECT_DOUBLE_EQ(reloaded.objective, original.objective);
+
+  // Negative constants round-trip through the "- c" spelling.
+  Model neg;
+  const VarId y = neg.add_continuous("y", 0.0, 1.0);
+  neg.set_objective(Direction::Minimize,
+                    LinearExpr().add(y, 1.0).add_constant(-3.25));
+  const LpParseResult rn = parse_lp(to_lp_format(neg));
+  ASSERT_TRUE(rn.ok()) << rn.error;
+  EXPECT_DOUBLE_EQ(rn.model.objective().constant(), -3.25);
+}
+
 TEST(LpReader, RejectsMalformedInput) {
   EXPECT_FALSE(parse_lp("garbage before any section").ok());
   EXPECT_FALSE(parse_lp("Minimize\n obj: x\nSubject To\n c: x 4\nEnd\n").ok());

@@ -98,7 +98,7 @@ TEST(Presolve, CascadingFixes) {
   EXPECT_DOUBLE_EQ(restored[static_cast<std::size_t>(y)], 6.0);
 }
 
-TEST(Presolve, ObjectiveConstantFromFixedVariables) {
+TEST(Presolve, ObjectiveOffsetFromFixedVariables) {
   Model m;
   const VarId x = m.add_continuous("x", 2.0, 2.0);
   const VarId y = m.add_continuous("y", 0.0, 4.0);
@@ -107,7 +107,30 @@ TEST(Presolve, ObjectiveConstantFromFixedVariables) {
   const Solution s = solve_milp(m);
   ASSERT_EQ(s.status, SolveStatus::Optimal);
   EXPECT_DOUBLE_EQ(s.objective, 24.0);
-  EXPECT_DOUBLE_EQ(pre.reduced.objective().constant(), 20.0);
+  // The fixed contribution 10*2 lives in the offset, not in the reduced
+  // objective, so reduced-space results are lifted exactly once.
+  EXPECT_DOUBLE_EQ(pre.objective_offset, 20.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.objective().constant(), 0.0);
+  // The lifted bound matches the full-model optimum.
+  EXPECT_DOUBLE_EQ(s.best_bound, 24.0);
+}
+
+TEST(Presolve, BoundAndObjectiveStayConsistentUnderOffset) {
+  // Fixed variables with large objective coefficients plus a nontrivial
+  // residual MILP: the proven bound must be comparable to the objective in
+  // full-model terms (bound >= objective for maximization at optimality).
+  Model m;
+  const VarId f = m.add_integer("f", 7, 7); // fixed by bounds
+  const VarId x = m.add_integer("x", 0, 5);
+  const VarId y = m.add_integer("y", 0, 5);
+  m.add_le(LinearExpr().add(x, 2.0).add(y, 3.0), 12.0);
+  m.set_objective(Direction::Maximize,
+                  LinearExpr().add(f, 100).add(x, 4).add(y, 5));
+  const Solution s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_GT(s.objective, 700.0); // offset flowed into the objective
+  EXPECT_GE(s.best_bound, s.objective - 1e-9);
+  EXPECT_NEAR(s.best_bound, s.objective, 1e-6);
 }
 
 TEST(Presolve, SolveWithAndWithoutPresolveAgree) {

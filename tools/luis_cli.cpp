@@ -16,6 +16,24 @@
 //   luis compile <file.lk> [-o out.ir]    compile kernel-language source
 //   luis apply <file.ir> <types.txt>      execute under a saved assignment
 //   luis characterize [-o t.optime]       measure this machine's op-times
+//   luis sweep [options]                  batch-tune kernel x config x
+//                                         platform jobs on a thread pool
+//                                         and report per-stage statistics
+//
+// sweep options:
+//   --kernels a,b,c       subset of PolyBench kernels (default: all 30)
+//   --configs a,b         subset of Precise,Balanced,Fast (default: all)
+//   --platforms a,b       subset of Stm32,Raspberry,Intel,AMD (default: all)
+//   --threads N           worker threads (default: hardware concurrency;
+//                         1 = serial reference path, same results)
+//   --max-nodes N         branch & bound node limit per solve (default 3000)
+//   --no-taffo            skip the greedy TAFFO baseline rows
+//   --no-cache            disable the shared solver result cache
+//   --no-check            skip the serial determinism re-check
+//   --json <path>         also write the full per-job report as JSON
+//   --quiet               suppress per-kernel progress on stderr
+// Exits non-zero if any job fails or the determinism check finds a
+// mismatch.
 //
 // tune also accepts --platform-file <t.optime> to tune against a saved
 // characterization (the paper's cross-compilation workflow).
@@ -56,6 +74,7 @@
 #include "core/cast_materializer.hpp"
 #include "frontend/parser.hpp"
 #include "core/pipeline.hpp"
+#include "core/sweep.hpp"
 #include "ir/parser.hpp"
 #include "ir/passes.hpp"
 #include "ir/printer.hpp"
@@ -73,7 +92,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: luis <kernels|emit|compile|print|verify|ranges|tune|"
-               "lint|run|characterize> [args]\n(see the header of "
+               "lint|run|characterize|sweep> [args]\n(see the header of "
                "tools/luis_cli.cpp for the full option list)\n");
   return 2;
 }
@@ -334,8 +353,8 @@ int cmd_tune(const std::vector<std::string>& args) {
   const core::PipelineResult tuned = core::tune_kernel(*f, *table, config, options);
   std::printf("pipeline: %d IR rewrites, VRA %.2f ms, allocation %.2f ms "
               "(%zu vars x %zu rows, %ld nodes, %s)\n",
-              tuned.ir_changes, tuned.vra_seconds * 1e3,
-              tuned.allocation_seconds * 1e3,
+              tuned.ir_changes, tuned.timings.vra_seconds * 1e3,
+              tuned.timings.allocation_seconds * 1e3,
               tuned.allocation.stats.model_variables,
               tuned.allocation.stats.model_constraints,
               tuned.allocation.stats.nodes,
@@ -363,7 +382,7 @@ int cmd_tune(const std::vector<std::string>& args) {
     std::printf("wrote tuned IR (explicit casts) to %s\n", out_path.c_str());
   }
   if (options.lint != core::LintMode::Off) {
-    std::printf("lint: %.2f ms\n%s", tuned.lint_seconds * 1e3,
+    std::printf("lint: %.2f ms\n%s", tuned.timings.lint_seconds * 1e3,
                 tuned.lint.to_text().c_str());
     if (!tuned.lint_ok) {
       std::fprintf(stderr, "luis: lint found error-severity diagnostics\n");
@@ -570,6 +589,70 @@ int cmd_characterize(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_sweep(const std::vector<std::string>& args) {
+  core::SweepOptions opt;
+  opt.verbose = true; // --quiet turns the progress lines off
+  std::string json_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (a == "--kernels" && has_value) {
+      opt.kernels = split_fields(args[++i], ',');
+    } else if (a == "--configs" && has_value) {
+      opt.configs = split_fields(args[++i], ',');
+    } else if (a == "--platforms" && has_value) {
+      opt.platforms = split_fields(args[++i], ',');
+    } else if (a == "--threads" && has_value) {
+      opt.threads = std::atoi(args[++i].c_str());
+    } else if (a == "--max-nodes" && has_value) {
+      opt.solver_max_nodes = std::atol(args[++i].c_str());
+    } else if (a == "--no-taffo") {
+      opt.include_taffo = false;
+    } else if (a == "--no-cache") {
+      opt.use_cache = false;
+    } else if (a == "--no-check") {
+      opt.check_determinism = false;
+    } else if (a == "--json" && has_value) {
+      json_path = args[++i];
+    } else if (a == "--quiet") {
+      opt.verbose = false;
+    } else {
+      std::fprintf(stderr, "luis sweep: unknown option %s\n", a.c_str());
+      return usage();
+    }
+  }
+  const core::SweepResult result = core::run_sweep(opt);
+
+  std::printf("%-14s %-9s %-10s %10s %10s %9s %6s\n", "kernel", "config",
+              "platform", "speedup%", "mpe%", "tune[ms]", "nodes");
+  for (const core::SweepJobResult& job : result.jobs) {
+    if (!job.ok) {
+      std::printf("%-14s %-9s %-10s FAILED: %s\n", job.kernel.c_str(),
+                  job.config.c_str(), job.platform.c_str(), job.error.c_str());
+      continue;
+    }
+    std::printf("%-14s %-9s %-10s %10.2f %10.3g %9.2f %6ld\n",
+                job.kernel.c_str(), job.config.c_str(), job.platform.c_str(),
+                job.speedup_percent, job.mpe,
+                job.timings.allocation_seconds * 1e3, job.stats.nodes);
+  }
+  std::printf("\n%s", core::sweep_summary_text(result).c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "luis sweep: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    os << core::sweep_report_json(result);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (result.stats.failed > 0) return 1;
+  if (result.stats.determinism_mismatches > 0) return 1;
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -587,5 +670,6 @@ int main(int argc, char** argv) {
   if (cmd == "compile") return cmd_compile(args);
   if (cmd == "apply") return cmd_apply(args);
   if (cmd == "characterize") return cmd_characterize(args);
+  if (cmd == "sweep") return cmd_sweep(args);
   return usage();
 }
