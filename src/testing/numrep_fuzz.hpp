@@ -1,0 +1,20 @@
+// Metamorphic properties of the number-representation layer.
+//
+// There is no independent reference implementation to diff against, so
+// quantize/IEBW are checked through relations that must hold between
+// *related* calls: idempotence and monotonicity of rounding, nesting of
+// narrower formats inside wider ones, IEBW monotonicity in width, the
+// Definition-1 error bound, and fixed/float/posit cross-checks at points
+// every representation stores exactly. A failure message pins down the
+// format and input value, which is already a minimal repro.
+#pragma once
+
+#include "support/rng.hpp"
+#include "testing/fuzz.hpp"
+
+namespace luis::testing {
+
+/// One fuzz trial: a batch of random values pushed through every property.
+CheckResult check_numrep_trial(Rng& rng);
+
+} // namespace luis::testing

@@ -2,96 +2,27 @@
 // pushed through the whole stack (build -> verify -> print/parse round trip
 // -> VRA -> ILP and greedy allocation -> execution) and the pipeline-level
 // invariants are checked on each.
+//
+// The kernels come from the shared fuzzing generator (src/testing); the
+// structural properties of the programs themselves (round trip, clone,
+// interpreter determinism) are that harness's job — this file checks what
+// only the full pipeline can: tuning preserves semantics and the presets
+// order as promised.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "core/cast_materializer.hpp"
 #include "core/pipeline.hpp"
-#include "ir/kernel_builder.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "platform/cost_model.hpp"
 #include "support/rng.hpp"
-#include "support/statistics.hpp"
+#include "testing/ir_fuzz.hpp"
 
 namespace luis {
 namespace {
-
-using ir::Array;
-using ir::BVal;
-using ir::IVal;
-using ir::KernelBuilder;
-using ir::RVal;
-
-struct GeneratedKernel {
-  ir::Function* function;
-  interp::ArrayStore inputs;
-};
-
-/// Builds a random but well-formed kernel: 2-4 arrays, a loop nest of depth
-/// 1-2, and a random expression tree stored back. Expressions avoid
-/// division by values straddling zero so that every generated program is
-/// numerically tame.
-GeneratedKernel generate(ir::Module& m, Rng& rng, int id) {
-  KernelBuilder kb(m, "fuzz" + std::to_string(id));
-  const std::int64_t n = rng.next_int(4, 10);
-  const int narrays = static_cast<int>(rng.next_int(2, 4));
-  std::vector<Array*> arrays;
-  GeneratedKernel out;
-  for (int a = 0; a < narrays; ++a) {
-    const bool two_d = rng.next_bool(0.5);
-    std::vector<std::int64_t> dims =
-        two_d ? std::vector<std::int64_t>{n, n} : std::vector<std::int64_t>{n};
-    Array* arr = kb.array("A" + std::to_string(a), dims, 0.25, 8.0);
-    arrays.push_back(arr);
-    auto& buf = out.inputs[arr->name()];
-    for (std::int64_t i = 0; i < arr->element_count(); ++i)
-      buf.push_back(rng.next_double(0.25, 8.0));
-  }
-
-  // A random real expression over loaded values (recursive, bounded).
-  std::function<RVal(IVal, int)> expr = [&](IVal i, int depth) -> RVal {
-    auto leaf = [&]() -> RVal {
-      Array* arr = arrays[rng.next_below(arrays.size())];
-      if (arr->rank() == 2) return kb.load(arr, {i, i});
-      return kb.load(arr, {i});
-    };
-    if (depth <= 0 || rng.next_bool(0.3)) return leaf();
-    const RVal lhs = expr(i, depth - 1);
-    const RVal rhs = expr(i, depth - 1);
-    switch (rng.next_below(6)) {
-    case 0: return lhs + rhs;
-    case 1: return lhs - rhs;
-    case 2: return lhs * rhs;
-    case 3: return lhs / (rhs + kb.real(9.0)); // divisor in [9.25, ...): safe
-    case 4: return kb.sqrt(kb.abs(lhs)) + rhs;
-    default: return kb.fmax(lhs, kb.fmin(rhs, kb.real(4.0)));
-    }
-  };
-
-  Array* dst = arrays[0];
-  const bool nested = rng.next_bool(0.5) && dst->rank() == 2;
-  if (nested) {
-    kb.for_loop("i", 0, n, [&](IVal i) {
-      kb.for_loop("j", 0, n, [&](IVal j) {
-        RVal v = expr(j, 2);
-        kb.if_then(i < j, [&] { kb.store(v, dst, {i, j}); });
-      });
-    });
-  } else {
-    kb.for_loop("i", 0, n, [&](IVal i) {
-      RVal v = expr(i, 3);
-      if (dst->rank() == 2)
-        kb.store(v, dst, {i, i});
-      else
-        kb.store(v, dst, {i});
-    });
-  }
-  out.function = kb.finish();
-  return out;
-}
 
 class FuzzPipeline : public ::testing::TestWithParam<int> {};
 
@@ -99,7 +30,8 @@ TEST_P(FuzzPipeline, WholeStackInvariants) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
   for (int trial = 0; trial < 10; ++trial) {
     ir::Module m;
-    GeneratedKernel k = generate(m, rng, trial);
+    const testing::GeneratedIr k = testing::generate_ir_kernel(
+        m, rng, {}, "fuzz" + std::to_string(trial));
 
     // Structural invariants.
     const ir::VerifyResult vr = ir::verify(*k.function);

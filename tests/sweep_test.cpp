@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -75,6 +77,61 @@ TEST(Sweep, DeterminismCheckPassesAndCacheHits) {
                         opt.platforms.size());
   EXPECT_EQ(r.stats.cache.hits, ilp_jobs);
   EXPECT_EQ(r.stats.cache.lookups, 2 * ilp_jobs);
+}
+
+/// Masks every JSON value with '#' while keeping keys, field order, and
+/// structure — the "shape" the golden file pins. Values (numbers, bools,
+/// string values, timings) vary run to run; the field order is the
+/// contract downstream report consumers parse against.
+std::string json_shape(const std::string& json) {
+  const std::string structural = "{}[]:,\n ";
+  std::string out;
+  std::size_t i = 0;
+  const auto skip_ws = [&](std::size_t p) {
+    while (p < json.size() && (json[p] == ' ' || json[p] == '\n')) ++p;
+    return p;
+  };
+  while (i < json.size()) {
+    const char c = json[i];
+    if (c == '"') {
+      std::size_t end = i + 1;
+      while (end < json.size() && json[end] != '"') ++end;
+      const std::size_t after = skip_ws(end + 1);
+      if (after < json.size() && json[after] == ':')
+        out.append(json, i, end - i + 1); // a key: keep it verbatim
+      else
+        out += '#'; // a string value: mask it
+      i = end + 1;
+    } else if (structural.find(c) != std::string::npos) {
+      out += c;
+      ++i;
+    } else {
+      out += '#'; // a number / bool token: mask the whole run
+      while (i < json.size() && structural.find(json[i]) == std::string::npos &&
+             json[i] != '"')
+        ++i;
+    }
+  }
+  return out;
+}
+
+TEST(Sweep, JsonReportShapeMatchesGolden) {
+  SweepOptions opt;
+  opt.kernels = {"trisolv"};
+  opt.configs = {"Fast"};
+  opt.platforms = {"Stm32"};
+  opt.include_taffo = false;
+  opt.threads = 1;
+  opt.check_determinism = false;
+  const std::string shape = json_shape(sweep_report_json(run_sweep(opt)));
+
+  std::ifstream is(LUIS_TEST_DATA_DIR "/golden/sweep_report_shape.txt");
+  ASSERT_TRUE(is.good()) << "missing tests/golden/sweep_report_shape.txt";
+  const std::string golden((std::istreambuf_iterator<char>(is)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(shape, golden)
+      << "sweep_report_json changed its field order or structure; if that "
+         "is intentional, regenerate tests/golden/sweep_report_shape.txt";
 }
 
 TEST(Sweep, JobOrderIsKernelMajorAndComplete) {

@@ -19,6 +19,22 @@
 //   luis sweep [options]                  batch-tune kernel x config x
 //                                         platform jobs on a thread pool
 //                                         and report per-stage statistics
+//   luis fuzz [options]                   property-based differential
+//                                         fuzzing of the solver, IR, and
+//                                         quantization layers
+//
+// fuzz options:
+//   --target ilp|ir|numrep|all   generator/oracle pairs to run (default all)
+//   --trials N            random trials per target (default 200)
+//   --seconds N           unbounded mode: fuzz for N wall-clock seconds
+//   --seed S              campaign base seed (default 1)
+//   --artifacts DIR       write minimized failing inputs here
+//                         (default fuzz-artifacts)
+//   --corpus DIR          also replay every .lp/.ir seed file in DIR
+//   --quiet               suppress progress lines on stderr
+// Every failure is shrunk to a minimal repro and written as an artifact
+// (.lp for solver models, .ir for IR programs); the exit status is
+// non-zero if any corpus file or random trial fails.
 //
 // sweep options:
 //   --kernels a,b,c       subset of PolyBench kernels (default: all 30)
@@ -84,6 +100,7 @@
 #include "polybench/polybench.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
+#include "testing/fuzz.hpp"
 
 using namespace luis;
 
@@ -653,6 +670,73 @@ int cmd_sweep(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_fuzz(const std::vector<std::string>& args) {
+  testing::CampaignOptions opt;
+  opt.artifacts_dir = "fuzz-artifacts";
+  opt.verbose = true;
+  std::string corpus_dir;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (a == "--target" && has_value) {
+      const std::string target = args[++i];
+      if (target == "ilp") {
+        opt.targets = {testing::FuzzTarget::Ilp};
+      } else if (target == "ir") {
+        opt.targets = {testing::FuzzTarget::Ir};
+      } else if (target == "numrep") {
+        opt.targets = {testing::FuzzTarget::Numrep};
+      } else if (target != "all") {
+        std::fprintf(stderr, "luis fuzz: unknown target '%s'\n", target.c_str());
+        return 2;
+      }
+    } else if (a == "--trials" && has_value) {
+      opt.trials = std::atol(args[++i].c_str());
+    } else if (a == "--seconds" && has_value) {
+      opt.seconds = std::atof(args[++i].c_str());
+    } else if (a == "--seed" && has_value) {
+      opt.seed = std::strtoull(args[++i].c_str(), nullptr, 0);
+    } else if (a == "--artifacts" && has_value) {
+      opt.artifacts_dir = args[++i];
+    } else if (a == "--corpus" && has_value) {
+      corpus_dir = args[++i];
+    } else if (a == "--quiet") {
+      opt.verbose = false;
+    } else {
+      std::fprintf(stderr, "luis fuzz: unknown option %s\n", a.c_str());
+      return usage();
+    }
+  }
+
+  int failures = 0;
+  if (!corpus_dir.empty()) {
+    const testing::CorpusResult corpus = testing::replay_corpus(corpus_dir);
+    if (!corpus.error.empty()) {
+      std::fprintf(stderr, "luis fuzz: %s\n", corpus.error.c_str());
+      return 1;
+    }
+    for (const auto& entry : corpus.entries) {
+      if (entry.result.ok) continue;
+      ++failures;
+      std::printf("corpus FAIL %s: %s\n", entry.path.c_str(),
+                  entry.result.message.c_str());
+    }
+    std::printf("corpus: %zu seed files, %d failing\n", corpus.entries.size(),
+                failures);
+  }
+
+  const testing::CampaignResult result = testing::run_campaign(opt);
+  std::printf("fuzz: %ld trials/target over %zu targets, %zu failures\n",
+              result.trials, opt.targets.size(), result.failures.size());
+  for (const testing::FuzzFailure& f : result.failures) {
+    std::printf("FAIL [%s] seed %016llx: %s\n", testing::to_string(f.target),
+                static_cast<unsigned long long>(f.seed), f.message.c_str());
+    if (!f.artifact_path.empty())
+      std::printf("  minimized repro written to %s\n", f.artifact_path.c_str());
+  }
+  return failures == 0 && result.ok() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -671,5 +755,6 @@ int main(int argc, char** argv) {
   if (cmd == "apply") return cmd_apply(args);
   if (cmd == "characterize") return cmd_characterize(args);
   if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "fuzz") return cmd_fuzz(args);
   return usage();
 }
