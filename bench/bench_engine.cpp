@@ -1,0 +1,113 @@
+// Interpretation throughput: bytecode VM vs. the reference tree-walker.
+//
+// Replays the sweep's interpretation pattern — every kernel is executed
+// repeatedly under several type assignments, as the (config x platform)
+// grid does — through both execution engines and reports the throughput
+// ratio. The VM runs with a shared ProgramCache, so after the first
+// repetition the compile phase is a key render + lookup, exactly like a
+// cached sweep.
+//
+//   bench_engine [--kernels a,b,c] [--reps N]
+//
+// Prints one line per (kernel, assignment) and an aggregate; the
+// aggregate speedup is the number quoted in docs/INTERP.md.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "interp/engine.hpp"
+#include "polybench/polybench.hpp"
+#include "support/string_utils.hpp"
+
+using namespace luis;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Case {
+  std::string label;
+  interp::TypeAssignment types;
+};
+
+std::vector<Case> assignment_cases(const ir::Function& f) {
+  std::vector<Case> cases;
+  cases.push_back({"binary64", {}});
+  cases.push_back(
+      {"binary32", interp::TypeAssignment::uniform(f, {numrep::kBinary32, 0})});
+  cases.push_back(
+      {"fix32.16", interp::TypeAssignment::uniform(f, {numrep::kFixed32, 16})});
+  return cases;
+}
+
+/// Runs `reps` executions through `engine` and returns the elapsed wall
+/// time. Aborts the bench on any failed run — a broken engine must not
+/// report a throughput number.
+double time_engine(const interp::ExecutionEngine& engine, const ir::Function& f,
+                   const interp::TypeAssignment& types,
+                   const interp::ArrayStore& inputs, int reps) {
+  const double t0 = now_seconds();
+  for (int r = 0; r < reps; ++r) {
+    interp::ArrayStore store = inputs;
+    const interp::RunResult run = engine.run(f, types, store);
+    if (!run.ok) {
+      std::fprintf(stderr, "bench_engine: %s failed on %s: %s\n", engine.name(),
+                   f.name().c_str(), run.error.c_str());
+      std::exit(1);
+    }
+  }
+  return now_seconds() - t0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> kernels = {"gemm", "atax", "bicg",
+                                      "mvt",  "syrk", "jacobi-2d"};
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--kernels" && i + 1 < argc) {
+      kernels = split_fields(argv[++i], ',');
+    } else if (a == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: bench_engine [--kernels a,b,c] [--reps N]\n");
+      return 2;
+    }
+  }
+
+  const interp::ReferenceEngine ref;
+  interp::ProgramCache cache;
+  const interp::VmEngine vm(&cache);
+
+  std::printf("%-14s %-10s %12s %12s %9s\n", "kernel", "types", "ref[ms]",
+              "vm[ms]", "speedup");
+  double ref_total = 0.0, vm_total = 0.0;
+  for (const std::string& name : kernels) {
+    ir::Module module;
+    const polybench::BuiltKernel kernel = polybench::build_kernel(name, module);
+    for (const Case& c : assignment_cases(*kernel.function)) {
+      const double t_ref =
+          time_engine(ref, *kernel.function, c.types, kernel.inputs, reps);
+      const double t_vm =
+          time_engine(vm, *kernel.function, c.types, kernel.inputs, reps);
+      ref_total += t_ref;
+      vm_total += t_vm;
+      std::printf("%-14s %-10s %12.2f %12.2f %8.2fx\n", name.c_str(),
+                  c.label.c_str(), t_ref * 1e3, t_vm * 1e3, t_ref / t_vm);
+    }
+  }
+  const interp::ProgramCache::Stats stats = cache.stats();
+  std::printf("\nprogram cache: %ld lookups, %ld hits, %ld insertions\n",
+              stats.lookups, stats.hits, stats.insertions);
+  std::printf("aggregate: ref %.2f s, vm %.2f s, speedup %.2fx\n", ref_total,
+              vm_total, ref_total / vm_total);
+  return 0;
+}

@@ -33,6 +33,7 @@ std::vector<KernelResult> run_grid(const GridOptions& opt) {
   sweep.solver_max_nodes = opt.solver_max_nodes;
   sweep.threads = opt.threads;
   sweep.verbose = opt.verbose;
+  sweep.engine = opt.engine;
   // The benches only consume the cell values; the determinism self-check
   // is covered by the sweep tests and `luis sweep`.
   sweep.check_determinism = false;

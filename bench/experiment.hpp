@@ -38,6 +38,9 @@ struct GridOptions {
   /// Worker threads for the underlying sweep driver (0 = hardware
   /// concurrency, 1 = serial). Results are identical at any setting.
   int threads = 0;
+  /// Execution engine for every interpretation in the grid ("vm" or
+  /// "ref"); results are bit-identical either way.
+  std::string engine = "vm";
 };
 
 /// Runs the grid on the parallel sweep driver (core::run_sweep) and

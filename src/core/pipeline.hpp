@@ -56,6 +56,12 @@ struct StageTimings {
   /// excluded from stage_sum().
   double model_build_seconds = 0.0;
   double solve_seconds = 0.0;
+  /// Interpretation time of the job's tuned-kernel execution, split by the
+  /// engine into bytecode compilation (zero on the reference engine) and
+  /// execution. Interpretation happens outside tune_kernel, so these are
+  /// not part of stage_sum() or total_seconds.
+  double interp_compile_seconds = 0.0;
+  double interp_execute_seconds = 0.0;
 
   /// Sum of the disjoint top-level stages (always <= total_seconds).
   double stage_sum() const {
@@ -72,6 +78,8 @@ struct StageTimings {
     total_seconds += o.total_seconds;
     model_build_seconds += o.model_build_seconds;
     solve_seconds += o.solve_seconds;
+    interp_compile_seconds += o.interp_compile_seconds;
+    interp_execute_seconds += o.interp_execute_seconds;
     return *this;
   }
 };

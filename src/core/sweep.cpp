@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "core/assignment_io.hpp"
@@ -60,6 +62,10 @@ struct KernelContext {
   std::vector<std::string> outputs;
   interp::ArrayStore reference;       ///< all-binary64 outputs
   interp::CostCounters base_counters; ///< all-binary64 execution profile
+  // Interpretation time of the baseline run (not attached to any job row;
+  // folded into the sweep's stage totals).
+  double base_compile_seconds = 0.0;
+  double base_execute_seconds = 0.0;
   // TAFFO greedy baseline — platform-blind, so computed once and priced
   // per platform when the job slots are filled.
   bool taffo_ok = false;
@@ -71,7 +77,8 @@ struct KernelContext {
   double taffo_mpe = 0.0;
 };
 
-void prepare_kernel(KernelContext& ctx, bool include_taffo) {
+void prepare_kernel(KernelContext& ctx, bool include_taffo,
+                    const interp::ExecutionEngine& engine) {
   ir::Module module;
   polybench::BuiltKernel kernel = polybench::build_kernel(ctx.name, module);
   ctx.inputs = kernel.inputs;
@@ -80,7 +87,9 @@ void prepare_kernel(KernelContext& ctx, bool include_taffo) {
   ctx.reference = kernel.inputs;
   interp::TypeAssignment binary64;
   const interp::RunResult base =
-      run_function(*kernel.function, binary64, ctx.reference);
+      engine.run(*kernel.function, binary64, ctx.reference);
+  ctx.base_compile_seconds = base.compile_seconds;
+  ctx.base_execute_seconds = base.execute_seconds;
   if (!base.ok) {
     ctx.error = ctx.name + " baseline failed: " + base.error;
     return;
@@ -101,7 +110,9 @@ void prepare_kernel(KernelContext& ctx, bool include_taffo) {
         assignment_to_text(*kernel.function, tuned.allocation.assignment);
     interp::ArrayStore out = kernel.inputs;
     const interp::RunResult run =
-        run_function(*kernel.function, tuned.allocation.assignment, out);
+        engine.run(*kernel.function, tuned.allocation.assignment, out);
+    ctx.taffo_timings.interp_compile_seconds += run.compile_seconds;
+    ctx.taffo_timings.interp_execute_seconds += run.execute_seconds;
     if (!run.ok) {
       ctx.taffo_error = ctx.name + " TAFFO run failed: " + run.error;
     } else {
@@ -119,7 +130,8 @@ void prepare_kernel(KernelContext& ctx, bool include_taffo) {
 /// assignment fully determines the execution).
 void run_ilp_job(const KernelContext& ctx, const platform::OpTimeTable& table,
                  const SweepOptions& opt, ilp::SolverCache* cache,
-                 bool execute, SweepJobResult& out) {
+                 const interp::ExecutionEngine& engine, bool execute,
+                 SweepJobResult& out) {
   ir::Module module;
   const ir::ParseResult parsed = ir::parse_function(module, ctx.ir_text);
   LUIS_ASSERT(parsed.ok(),
@@ -137,7 +149,9 @@ void run_ilp_job(const KernelContext& ctx, const platform::OpTimeTable& table,
   if (execute) {
     interp::ArrayStore store = ctx.inputs;
     const interp::RunResult run =
-        run_function(f, tuned.allocation.assignment, store);
+        engine.run(f, tuned.allocation.assignment, store);
+    out.timings.interp_compile_seconds = run.compile_seconds;
+    out.timings.interp_execute_seconds = run.execute_seconds;
     if (!run.ok) {
       out.error = ctx.name + "/" + out.config + " run failed: " + run.error;
       return;
@@ -155,10 +169,14 @@ void append_timings_json(std::string& out, const StageTimings& t) {
                        "\"allocation_seconds\":%.6g,"
                        "\"model_build_seconds\":%.6g,\"solve_seconds\":%.6g,"
                        "\"materialize_seconds\":%.6g,\"lint_seconds\":%.6g,"
+                       "\"interp_compile_seconds\":%.6g,"
+                       "\"interp_execute_seconds\":%.6g,"
                        "\"total_seconds\":%.6g}",
                        t.ir_seconds, t.vra_seconds, t.allocation_seconds,
                        t.model_build_seconds, t.solve_seconds,
-                       t.materialize_seconds, t.lint_seconds, t.total_seconds);
+                       t.materialize_seconds, t.lint_seconds,
+                       t.interp_compile_seconds, t.interp_execute_seconds,
+                       t.total_seconds);
 }
 
 } // namespace
@@ -195,12 +213,21 @@ SweepResult run_sweep(const SweepOptions& options) {
   ilp::SolverCache cache;
   ilp::SolverCache* cache_ptr = options.use_cache ? &cache : nullptr;
 
+  const std::optional<interp::EngineKind> engine_kind =
+      interp::parse_engine(options.engine);
+  if (!engine_kind) LUIS_FATAL("unknown engine " + options.engine);
+  // The program cache rides the same switch as the solver cache:
+  // use_cache=false must mean no shared state between jobs at all.
+  interp::ProgramCache program_cache;
+  const std::unique_ptr<interp::ExecutionEngine> engine = interp::make_engine(
+      *engine_kind, options.use_cache ? &program_cache : nullptr);
+
   // Phase 1: per-kernel setup (build, binary64 reference, IR rendering,
   // TAFFO baseline), parallel over kernels.
   std::vector<KernelContext> contexts(kernels.size());
   for (std::size_t i = 0; i < kernels.size(); ++i) contexts[i].name = kernels[i];
   support::parallel_for(contexts.size(), threads, [&](std::size_t i) {
-    prepare_kernel(contexts[i], options.include_taffo);
+    prepare_kernel(contexts[i], options.include_taffo, *engine);
     if (options.verbose)
       std::fprintf(stderr, "[sweep] %s prepared\n", contexts[i].name.c_str());
   });
@@ -217,6 +244,7 @@ SweepResult run_sweep(const SweepOptions& options) {
         job.kernel = kernels[ki];
         job.config = config;
         job.platform = platforms[pi];
+        job.engine = engine->name();
         ilp_jobs.push_back(result.jobs.size());
         result.jobs.push_back(std::move(job));
         ctx_of.push_back(&contexts[ki]);
@@ -227,6 +255,7 @@ SweepResult run_sweep(const SweepOptions& options) {
         job.kernel = kernels[ki];
         job.config = "TAFFO";
         job.platform = platforms[pi];
+        job.engine = engine->name();
         const KernelContext& ctx = contexts[ki];
         if (!ctx.ok) {
           job.error = ctx.error;
@@ -259,7 +288,8 @@ SweepResult run_sweep(const SweepOptions& options) {
       job.error = ctx.error;
       return;
     }
-    run_ilp_job(ctx, *table_of[j], options, cache_ptr, /*execute=*/true, job);
+    run_ilp_job(ctx, *table_of[j], options, cache_ptr, *engine,
+                /*execute=*/true, job);
     if (options.verbose)
       std::fprintf(stderr, "[sweep] %s/%s/%s %s\n", job.kernel.c_str(),
                    job.config.c_str(), job.platform.c_str(),
@@ -280,8 +310,8 @@ SweepResult run_sweep(const SweepOptions& options) {
       redo.kernel = job.kernel;
       redo.config = job.config;
       redo.platform = job.platform;
-      run_ilp_job(ctx, *table_of[j], options, cache_ptr, /*execute=*/false,
-                  redo);
+      run_ilp_job(ctx, *table_of[j], options, cache_ptr, *engine,
+                  /*execute=*/false, redo);
       const bool same = redo.assignment_text == job.assignment_text &&
                         redo.stats.objective == job.stats.objective &&
                         redo.stats.status == job.stats.status;
@@ -304,7 +334,15 @@ SweepResult run_sweep(const SweepOptions& options) {
     result.stats.solver_nodes += job.stats.nodes;
     result.stats.solver_iterations += job.stats.iterations;
   }
+  // Baseline (binary64 reference) interpretation time belongs to the sweep
+  // but to no job row; fold it into the totals here.
+  for (const KernelContext& ctx : contexts) {
+    result.stats.stage_totals.interp_compile_seconds += ctx.base_compile_seconds;
+    result.stats.stage_totals.interp_execute_seconds += ctx.base_execute_seconds;
+  }
+  result.stats.engine = engine->name();
   if (cache_ptr) result.stats.cache = cache_ptr->stats();
+  result.stats.program_cache = program_cache.stats();
   result.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -324,11 +362,18 @@ std::string sweep_summary_text(const SweepResult& result) {
                        t.ir_seconds, t.vra_seconds, t.allocation_seconds,
                        t.model_build_seconds, t.solve_seconds,
                        t.materialize_seconds, t.lint_seconds);
+  out += format_string("engine: %s; interpretation: compile %.2fs | "
+                       "execute %.2fs\n",
+                       s.engine.c_str(), t.interp_compile_seconds,
+                       t.interp_execute_seconds);
   out += format_string("solver: %ld nodes, %ld simplex iterations\n",
                        s.solver_nodes, s.solver_iterations);
   out += format_string("cache: %ld lookups, %ld hits (%.1f%%)\n",
                        s.cache.lookups, s.cache.hits,
                        100.0 * s.cache.hit_rate());
+  out += format_string("program cache: %ld lookups, %ld hits (%.1f%%)\n",
+                       s.program_cache.lookups, s.program_cache.hits,
+                       100.0 * s.program_cache.hit_rate());
   if (s.determinism_mismatches < 0)
     out += "determinism check: skipped\n";
   else if (s.determinism_mismatches == 0)
@@ -345,11 +390,13 @@ std::string sweep_report_json(const SweepResult& result) {
     const SweepJobResult& job = result.jobs[i];
     out += format_string(
         "    {\"kernel\":\"%s\",\"config\":\"%s\",\"platform\":\"%s\","
+        "\"engine\":\"%s\","
         "\"ok\":%s,\"speedup_percent\":%.6g,\"mpe\":%.6g,"
         "\"status\":\"%s\",\"objective\":%.17g,\"nodes\":%ld,"
         "\"iterations\":%ld,\"model_variables\":%zu,"
         "\"model_constraints\":%zu,\"timings\":",
         job.kernel.c_str(), job.config.c_str(), job.platform.c_str(),
+        job.engine.c_str(),
         job.ok ? "true" : "false", job.speedup_percent, job.mpe,
         ilp::to_string(job.stats.status), job.stats.objective, job.stats.nodes,
         job.stats.iterations, job.stats.model_variables,
@@ -370,6 +417,11 @@ std::string sweep_report_json(const SweepResult& result) {
                        "\"insertions\":%ld,\"hit_rate\":%.4f},",
                        s.cache.lookups, s.cache.hits, s.cache.insertions,
                        s.cache.hit_rate());
+  out += format_string("\"engine\":\"%s\",", s.engine.c_str());
+  out += format_string("\"program_cache\":{\"lookups\":%ld,\"hits\":%ld,"
+                       "\"insertions\":%ld,\"hit_rate\":%.4f},",
+                       s.program_cache.lookups, s.program_cache.hits,
+                       s.program_cache.insertions, s.program_cache.hit_rate());
   out += format_string("\"determinism_mismatches\":%d,\"stage_totals\":",
                        s.determinism_mismatches);
   append_timings_json(out, s.stage_totals);

@@ -24,6 +24,7 @@
 
 #include "core/pipeline.hpp"
 #include "ilp/solver_cache.hpp"
+#include "interp/engine.hpp"
 
 namespace luis::core {
 
@@ -36,8 +37,13 @@ struct SweepOptions {
   long solver_max_nodes = 3000;
   /// Worker threads; 0 = hardware concurrency, 1 = serial reference path.
   int threads = 0;
-  /// Share one solver result cache across all jobs.
+  /// Share one solver result cache across all jobs. Also controls the
+  /// VM engine's shared compiled-program cache (off = no shared state).
   bool use_cache = true;
+  /// Execution engine for every interpretation in the sweep: "vm" (the
+  /// bytecode engine, default) or "ref" (the tree-walking reference).
+  /// Results are bit-identical either way.
+  std::string engine = "vm";
   /// After the (possibly parallel) sweep, serially re-tune every ILP job
   /// and verify it reproduces the same assignment and objective.
   bool check_determinism = true;
@@ -54,6 +60,7 @@ struct SweepJobResult {
   double mpe = 0.0;             ///< vs. the all-binary64 outputs
   StageTimings timings;
   AllocationStats stats;
+  std::string engine; ///< resolved engine that executed this job
   /// Canonical serialization of the type assignment (assignment_io) — the
   /// artifact the determinism check compares.
   std::string assignment_text;
@@ -68,6 +75,10 @@ struct SweepStats {
   long solver_nodes = 0;
   long solver_iterations = 0;
   ilp::SolverCache::Stats cache; ///< zeros when the cache is disabled
+  std::string engine; ///< resolved engine name ("vm" or "ref")
+  /// Compiled-program cache of the VM engine; zeros on the reference
+  /// engine or with use_cache off.
+  interp::ProgramCache::Stats program_cache;
   /// -1 when the check is disabled; otherwise the number of jobs whose
   /// serial re-tune disagreed with the sweep result (0 = proven).
   int determinism_mismatches = -1;

@@ -1,0 +1,109 @@
+#include "interp/engine.hpp"
+
+#include <chrono>
+
+#include "support/diag.hpp"
+
+namespace luis::interp {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+} // namespace
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+  case EngineKind::Reference: return "ref";
+  case EngineKind::Vm: return "vm";
+  }
+  LUIS_UNREACHABLE("unknown engine kind");
+}
+
+std::optional<EngineKind> parse_engine(std::string_view name) {
+  if (name == "ref" || name == "reference") return EngineKind::Reference;
+  if (name == "vm") return EngineKind::Vm;
+  return std::nullopt;
+}
+
+std::shared_ptr<const CompiledProgram> ProgramCache::lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++stats_.hits;
+  return it->second;
+}
+
+void ProgramCache::insert(const std::string& key,
+                          std::shared_ptr<const CompiledProgram> program) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // First insert wins: concurrent compilers produced identical programs,
+  // but first-wins keeps later hits independent of scheduling.
+  if (entries_.emplace(key, std::move(program)).second) ++stats_.insertions;
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ProgramCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+RunResult ReferenceEngine::run(const ir::Function& f,
+                               const TypeAssignment& types, ArrayStore& store,
+                               const RunOptions& options) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult result = run_function(f, types, store, options);
+  result.execute_seconds = seconds_since(t0);
+  return result;
+}
+
+RunResult VmEngine::run(const ir::Function& f, const TypeAssignment& types,
+                        ArrayStore& store, const RunOptions& options) const {
+  CompileOptions copt;
+  copt.exact_fixed_arithmetic = options.exact_fixed_arithmetic;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const CompiledProgram> program;
+  if (cache_) {
+    const std::string key = program_cache_key(f, types, copt);
+    program = cache_->lookup(key);
+    if (!program) {
+      program = std::make_shared<const CompiledProgram>(
+          compile_program(f, types, copt));
+      cache_->insert(key, program);
+    }
+  } else {
+    program = std::make_shared<const CompiledProgram>(
+        compile_program(f, types, copt));
+  }
+  const double compile_seconds = seconds_since(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult result = run_program(*program, f, store, options);
+  result.execute_seconds = seconds_since(t1);
+  result.compile_seconds = compile_seconds;
+  return result;
+}
+
+std::unique_ptr<ExecutionEngine> make_engine(EngineKind kind,
+                                             ProgramCache* cache) {
+  if (kind == EngineKind::Vm) return std::make_unique<VmEngine>(cache);
+  return std::make_unique<ReferenceEngine>();
+}
+
+} // namespace luis::interp

@@ -37,24 +37,6 @@ std::string cost_class(const ConcreteType& type) {
 
 namespace {
 
-const char* op_name(Opcode op) {
-  switch (op) {
-  case Opcode::Add: return "add";
-  case Opcode::Sub: return "sub";
-  case Opcode::Mul: return "mul";
-  case Opcode::Div: return "div";
-  case Opcode::Rem: return "rem";
-  case Opcode::Neg: return "neg";
-  case Opcode::Abs: return "abs";
-  case Opcode::Sqrt: return "sqrt";
-  case Opcode::Exp: return "exp";
-  case Opcode::Pow: return "pow";
-  case Opcode::Min: return "min";
-  case Opcode::Max: return "max";
-  default: LUIS_UNREACHABLE("not a costed real op");
-  }
-}
-
 struct Slot {
   double real = 0.0;
   std::int64_t integer = 0;
@@ -250,7 +232,7 @@ private:
     default: LUIS_UNREACHABLE("covered above");
     }
     out.real = r.to_double();
-    if (opt_.count_costs) counters_.count_op(op_name(op), cost_class(ty));
+    if (opt_.count_costs) counters_.count_op(ir::opcode_name(op), cost_class(ty));
     return true;
   }
 
@@ -303,7 +285,7 @@ private:
       }
       out.real = numrep::quantize(ty, r);
       if (opt_.count_costs)
-        counters_.count_op(op_name(inst->opcode()), cost_class(ty));
+        counters_.count_op(ir::opcode_name(inst->opcode()), cost_class(ty));
       break;
     }
     case Opcode::Neg: case Opcode::Abs: case Opcode::Sqrt: case Opcode::Exp: {
@@ -318,7 +300,7 @@ private:
       }
       out.real = numrep::quantize(ty, r);
       if (opt_.count_costs)
-        counters_.count_op(op_name(inst->opcode()), cost_class(ty));
+        counters_.count_op(ir::opcode_name(inst->opcode()), cost_class(ty));
       break;
     }
     case Opcode::Cast: {

@@ -50,6 +50,12 @@ struct RunResult {
   /// when RunOptions::track_register_ranges is set; the basis of the
   /// dynamic-profiling range source (see vra::ranges_from_profile).
   std::map<const ir::Instruction*, std::pair<double, double>> register_ranges;
+  /// Wall-clock split of the run, filled by the ExecutionEngine wrappers
+  /// (see interp/engine.hpp): bytecode compilation (or program cache
+  /// lookup) vs. execution. The reference engine reports zero compile
+  /// time.
+  double compile_seconds = 0.0;
+  double execute_seconds = 0.0;
 };
 
 /// Array contents, indexed by array name. Input and output of a run.

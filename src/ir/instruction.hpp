@@ -38,6 +38,45 @@ enum class Opcode {
   Br, CondBr, Ret,
 };
 
+/// Canonical lowercase opcode spelling — the single table shared by the
+/// printer, the interpreter's cost-counter keys, and the bytecode
+/// disassembler.
+constexpr const char* opcode_name(Opcode op) {
+  switch (op) {
+  case Opcode::Add: return "add";
+  case Opcode::Sub: return "sub";
+  case Opcode::Mul: return "mul";
+  case Opcode::Div: return "div";
+  case Opcode::Rem: return "rem";
+  case Opcode::Neg: return "neg";
+  case Opcode::Abs: return "abs";
+  case Opcode::Sqrt: return "sqrt";
+  case Opcode::Exp: return "exp";
+  case Opcode::Pow: return "pow";
+  case Opcode::Min: return "min";
+  case Opcode::Max: return "max";
+  case Opcode::Cast: return "cast";
+  case Opcode::IntToReal: return "inttoreal";
+  case Opcode::Load: return "load";
+  case Opcode::Store: return "store";
+  case Opcode::IAdd: return "iadd";
+  case Opcode::ISub: return "isub";
+  case Opcode::IMul: return "imul";
+  case Opcode::IDiv: return "idiv";
+  case Opcode::IRem: return "irem";
+  case Opcode::IMin: return "imin";
+  case Opcode::IMax: return "imax";
+  case Opcode::ICmp: return "icmp";
+  case Opcode::FCmp: return "fcmp";
+  case Opcode::Select: return "select";
+  case Opcode::Phi: return "phi";
+  case Opcode::Br: return "br";
+  case Opcode::CondBr: return "condbr";
+  case Opcode::Ret: return "ret";
+  }
+  return "<invalid>";
+}
+
 const char* to_string(Opcode op);
 
 /// Comparison predicates (shared by ICmp and FCmp).

@@ -68,15 +68,16 @@ CheckResult run_ilp_trial(std::uint64_t seed, std::string* repro) {
   return result;
 }
 
-CheckResult run_ir_trial(std::uint64_t seed, std::string* repro) {
-  const auto check_under = [seed](const IrGenOptions& options,
-                                  std::string* text) {
+CheckResult run_ir_trial(std::uint64_t seed, interp::EngineKind engine,
+                         std::string* repro) {
+  const auto check_under = [seed, engine](const IrGenOptions& options,
+                                          std::string* text) {
     Rng rng(seed);
     ir::Module module;
     const GeneratedIr generated = generate_ir_kernel(module, rng, options);
     Rng type_rng(seed ^ kTypeSeedSalt);
-    const CheckResult result =
-        check_ir_instance(*generated.function, generated.inputs, type_rng);
+    const CheckResult result = check_ir_instance(
+        *generated.function, generated.inputs, type_rng, engine);
     if (text) *text = ir::print_function(*generated.function);
     return result;
   };
@@ -140,7 +141,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       CheckResult result;
       switch (target) {
       case FuzzTarget::Ilp: result = run_ilp_trial(seed, &repro); break;
-      case FuzzTarget::Ir: result = run_ir_trial(seed, &repro); break;
+      case FuzzTarget::Ir: result = run_ir_trial(seed, options.engine, &repro); break;
       case FuzzTarget::Numrep: result = run_numrep_trial(seed); break;
       }
       if (result.ok) continue;
@@ -171,7 +172,8 @@ bool CorpusResult::ok() const {
                      [](const Entry& e) { return e.result.ok; });
 }
 
-CorpusResult replay_corpus(const std::string& dir) {
+CorpusResult replay_corpus(const std::string& dir,
+                           interp::EngineKind engine) {
   CorpusResult out;
   std::error_code ec;
   std::vector<std::filesystem::path> paths;
@@ -212,7 +214,7 @@ CorpusResult replay_corpus(const std::string& dir) {
         const interp::ArrayStore inputs = synth_ir_inputs(*parsed.function);
         Rng type_rng(ilp::fnv1a64(path.filename().string()));
         entry.result =
-            check_ir_instance(*parsed.function, inputs, type_rng);
+            check_ir_instance(*parsed.function, inputs, type_rng, engine);
       }
     }
     out.entries.push_back(std::move(entry));

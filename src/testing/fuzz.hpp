@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "interp/engine.hpp"
 #include "support/rng.hpp"
 
 namespace luis::testing {
@@ -49,6 +50,10 @@ struct CampaignOptions {
   std::string artifacts_dir;
   /// Stop a target after this many distinct failures.
   int max_failures = 5;
+  /// Engine executing the IR oracle's runs. Either way the oracle also
+  /// runs the other engine differentially; flipping this exercises the VM
+  /// as the primary (e.g. on the round-tripped assignment path).
+  interp::EngineKind engine = interp::EngineKind::Reference;
   bool verbose = false; ///< progress lines on stderr
 };
 
@@ -84,6 +89,8 @@ struct CorpusResult {
   bool ok() const;
 };
 
-CorpusResult replay_corpus(const std::string& dir);
+CorpusResult replay_corpus(
+    const std::string& dir,
+    interp::EngineKind engine = interp::EngineKind::Reference);
 
 } // namespace luis::testing

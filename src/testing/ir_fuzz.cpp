@@ -155,7 +155,18 @@ interp::TypeAssignment random_type_assignment(const ir::Function& f, Rng& rng) {
 }
 
 CheckResult check_ir_instance(const ir::Function& f,
-                              const interp::ArrayStore& inputs, Rng& type_rng) {
+                              const interp::ArrayStore& inputs, Rng& type_rng,
+                              interp::EngineKind engine) {
+  const interp::ReferenceEngine reference_engine;
+  const interp::VmEngine vm_engine;
+  const bool primary_is_vm = engine == interp::EngineKind::Vm;
+  const interp::ExecutionEngine& primary =
+      primary_is_vm ? static_cast<const interp::ExecutionEngine&>(vm_engine)
+                    : reference_engine;
+  const interp::ExecutionEngine& secondary =
+      primary_is_vm ? static_cast<const interp::ExecutionEngine&>(
+                          reference_engine)
+                    : vm_engine;
   // 1. Structural invariants.
   const ir::VerifyResult vr = ir::verify(f);
   if (!vr.ok())
@@ -179,7 +190,7 @@ CheckResult check_ir_instance(const ir::Function& f,
   // 4. The binary64 reference execution succeeds and stays finite.
   interp::ArrayStore reference = inputs;
   const interp::TypeAssignment binary64;
-  const interp::RunResult ref_run = run_function(f, binary64, reference);
+  const interp::RunResult ref_run = primary.run(f, binary64, reference);
   if (!ref_run.ok)
     return CheckResult::fail("binary64 execution failed: " + ref_run.error);
   for (const auto& [name, buf] : reference)
@@ -193,8 +204,8 @@ CheckResult check_ir_instance(const ir::Function& f,
   // the textual round trip of both the IR and the assignment.
   const interp::TypeAssignment assignment = random_type_assignment(f, type_rng);
   interp::ArrayStore run1 = inputs, run2 = inputs;
-  const interp::RunResult r1 = run_function(f, assignment, run1);
-  const interp::RunResult r2 = run_function(f, assignment, run2);
+  const interp::RunResult r1 = primary.run(f, assignment, run1);
+  const interp::RunResult r2 = primary.run(f, assignment, run2);
   if (!r1.ok || !r2.ok)
     return CheckResult::fail("quantized execution failed: " +
                              (r1.ok ? r2.error : r1.error));
@@ -216,13 +227,30 @@ CheckResult check_ir_instance(const ir::Function& f,
         reloaded.error);
   interp::ArrayStore run3 = inputs;
   const interp::RunResult r3 =
-      run_function(*parsed.function, reloaded.assignment, run3);
+      primary.run(*parsed.function, reloaded.assignment, run3);
   if (!r3.ok)
     return CheckResult::fail("reparsed IR failed under reloaded assignment: " +
                              r3.error);
   if (!stores_bit_equal(run1, run3, &where))
     return CheckResult::fail(
         "reparsed IR under the reloaded assignment disagrees at @" + where);
+
+  // 6. Differential: the other engine must reproduce the quantized run bit
+  // for bit — outputs, verdict, step count, and cost counters.
+  interp::ArrayStore run_other = inputs;
+  const interp::RunResult ro = secondary.run(f, assignment, run_other);
+  if (ro.ok != r1.ok || ro.error != r1.error)
+    return CheckResult::fail("vm and reference engines disagree on the "
+                             "verdict: \"" +
+                             r1.error + "\" vs \"" + ro.error + "\"");
+  if (!stores_bit_equal(run1, run_other, &where))
+    return CheckResult::fail("vm and reference engines disagree at @" + where);
+  if (ro.steps != r1.steps)
+    return CheckResult::fail("vm and reference engines disagree on steps");
+  if (ro.counters.ops != r1.counters.ops ||
+      ro.counters.non_real_ops != r1.counters.non_real_ops)
+    return CheckResult::fail(
+        "vm and reference engines disagree in cost counters");
 
   return CheckResult::pass();
 }

@@ -17,6 +17,7 @@
 #include <functional>
 #include <string>
 
+#include "interp/engine.hpp"
 #include "interp/interpreter.hpp"
 #include "ir/function.hpp"
 #include "support/rng.hpp"
@@ -65,10 +66,15 @@ interp::TypeAssignment random_type_assignment(const ir::Function& f, Rng& rng);
 ///   5. a random quantized assignment runs deterministically (two runs are
 ///      bit-identical in outputs and cost counters), and re-running it on
 ///      the parsed-back text under the assignment_io round trip reproduces
-///      the same outputs bit-for-bit.
-/// `type_rng` drives property 5's assignment.
-CheckResult check_ir_instance(const ir::Function& f,
-                              const interp::ArrayStore& inputs, Rng& type_rng);
+///      the same outputs bit-for-bit;
+///   6. the VM and reference engines agree bit for bit on that assignment:
+///      outputs, ok/error, step count, and cost counters.
+/// `type_rng` drives property 5's assignment. `engine` selects which
+/// engine executes properties 4-5 (the other side of property 6 always
+/// runs too, so either choice keeps the differential).
+CheckResult check_ir_instance(
+    const ir::Function& f, const interp::ArrayStore& inputs, Rng& type_rng,
+    interp::EngineKind engine = interp::EngineKind::Reference);
 
 struct IrShrinkResult {
   IrGenOptions options;

@@ -1,0 +1,350 @@
+// Differential tests of the two execution engines (interp/engine.hpp).
+//
+// The VM is only useful if it is bit-identical to the reference
+// interpreter — same outputs, same step counts, same cost counters, same
+// diagnostics on every trap. These tests replay the regression seed
+// corpus and a set of purpose-built edge kernels (division by zero,
+// negative rem operands, non-finite intermediates, zero-iteration loops,
+// step-limit traps) through both engines and compare everything.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "interp/engine.hpp"
+#include "ir/kernel_builder.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "support/rng.hpp"
+
+namespace luis::interp {
+namespace {
+
+using ir::Array;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::RVal;
+using ir::ScalarCell;
+using numrep::ConcreteType;
+
+/// Deterministic inputs from the range annotations (same scheme as the
+/// CLI's `run` verb), so every engine sees the same bits.
+ArrayStore synth_inputs(const ir::Function& f, std::uint64_t seed) {
+  ArrayStore store;
+  Rng rng(seed);
+  for (const auto& arr : f.arrays()) {
+    double lo = 0.0, hi = 1.0;
+    if (arr->range_annotation()) {
+      lo = arr->range_annotation()->first;
+      hi = arr->range_annotation()->second;
+    }
+    auto& buf = store[arr->name()];
+    for (std::int64_t i = 0; i < arr->element_count(); ++i)
+      buf.push_back(rng.next_double(lo, hi));
+  }
+  return store;
+}
+
+bool buffers_bit_equal(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Runs `f` through both engines on copies of `inputs` and asserts that
+/// every observable agrees bit for bit. Returns the reference result.
+RunResult expect_engines_agree(const ir::Function& f,
+                               const TypeAssignment& types,
+                               const ArrayStore& inputs,
+                               const RunOptions& options = {}) {
+  const ReferenceEngine ref;
+  const VmEngine vm;
+  ArrayStore ref_store = inputs;
+  ArrayStore vm_store = inputs;
+  const RunResult a = ref.run(f, types, ref_store, options);
+  const RunResult b = vm.run(f, types, vm_store, options);
+
+  EXPECT_EQ(a.ok, b.ok) << "ref: " << a.error << " vm: " << b.error;
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.counters.ops, b.counters.ops);
+  EXPECT_EQ(a.counters.non_real_ops, b.counters.non_real_ops);
+  EXPECT_EQ(a.array_ranges, b.array_ranges);
+  EXPECT_EQ(a.register_ranges, b.register_ranges);
+
+  EXPECT_EQ(ref_store.size(), vm_store.size());
+  for (const auto& [name, buf] : ref_store) {
+    const auto it = vm_store.find(name);
+    if (it == vm_store.end()) {
+      ADD_FAILURE() << "array " << name << " missing from the vm store";
+      continue;
+    }
+    EXPECT_TRUE(buffers_bit_equal(buf, it->second))
+        << "array " << name << " differs between engines";
+  }
+  return a;
+}
+
+/// The assignments every differential case cycles through: the binary64
+/// default plus one uniform type per format class (float, small float,
+/// fixed, posit).
+std::vector<TypeAssignment> assignment_grid(const ir::Function& f) {
+  std::vector<TypeAssignment> grid;
+  grid.emplace_back(); // empty = all binary64
+  grid.push_back(TypeAssignment::uniform(f, {numrep::kBinary32, 0}));
+  grid.push_back(TypeAssignment::uniform(f, {numrep::kBfloat16, 0}));
+  grid.push_back(TypeAssignment::uniform(f, {numrep::kFixed32, 16}));
+  grid.push_back(TypeAssignment::uniform(f, {numrep::kPosit16, 0}));
+  return grid;
+}
+
+TEST(Engine, ParseNamesRoundTrip) {
+  EXPECT_EQ(parse_engine("vm"), EngineKind::Vm);
+  EXPECT_EQ(parse_engine("ref"), EngineKind::Reference);
+  EXPECT_EQ(parse_engine("reference"), EngineKind::Reference);
+  EXPECT_FALSE(parse_engine("jit").has_value());
+  EXPECT_STREQ(to_string(EngineKind::Vm), "vm");
+  EXPECT_STREQ(to_string(EngineKind::Reference), "ref");
+  EXPECT_STREQ(make_engine(EngineKind::Vm)->name(), "vm");
+  EXPECT_STREQ(make_engine(EngineKind::Reference)->name(), "ref");
+}
+
+TEST(Engine, CorpusSeedsBitIdenticalAcrossEngines) {
+  int replayed = 0;
+  for (int i = 1;; ++i) {
+    const std::string path = std::string(LUIS_TEST_DATA_DIR) +
+                             "/corpus/pipeline_seed_" + std::to_string(i) +
+                             ".ir";
+    std::ifstream is(path);
+    if (!is.good()) break;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+
+    ir::Module m;
+    const ir::ParseResult parsed = ir::parse_function(m, ss.str());
+    ASSERT_TRUE(parsed.ok()) << path << ": " << parsed.error;
+    ASSERT_TRUE(ir::verify(*parsed.function).ok()) << path;
+    const ArrayStore inputs =
+        synth_inputs(*parsed.function, 0x5EED0000u + static_cast<unsigned>(i));
+    for (const TypeAssignment& types : assignment_grid(*parsed.function))
+      expect_engines_agree(*parsed.function, types, inputs);
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 5) << "seed corpus missing from tests/corpus";
+}
+
+TEST(Engine, RealDivisionByZeroAgrees) {
+  ir::Module m;
+  KernelBuilder kb(m, "divzero");
+  Array* A = kb.array("A", {4}, -2.0, 2.0);
+  Array* B = kb.array("B", {4}, -100.0, 100.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) {
+    kb.store(kb.div(kb.load(A, {i}), kb.real(0.0)), B, {i});
+  });
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+  ArrayStore inputs;
+  inputs["A"] = {1.0, -1.0, 0.0, 2.5}; // inf, -inf, nan, inf
+  for (const TypeAssignment& types : assignment_grid(*f)) {
+    const RunResult r = expect_engines_agree(*f, types, inputs);
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+}
+
+TEST(Engine, IntegerDivisionAndRemByZeroAgree) {
+  // idiv/irem by zero are defined as 0 by the interpreter contract; both
+  // engines must produce that, not a trap.
+  const char* text = R"(func @intzero {
+  array @A[2] range [0.0, 8.0]
+entry:
+  %0 = idiv 7, 0
+  %1 = irem 7, 0
+  %2 = inttoreal %0
+  %3 = inttoreal %1
+  store %2, @A[0]
+  store %3, @A[1]
+  ret
+})";
+  ir::Module m;
+  const ir::ParseResult parsed = ir::parse_function(m, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const RunResult r =
+      expect_engines_agree(*parsed.function, {}, synth_inputs(*parsed.function, 1));
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(Engine, RemWithNegativeOperandsAgrees) {
+  ir::Module m;
+  KernelBuilder kb(m, "negrem");
+  Array* B = kb.array("B", {4}, -10.0, 10.0);
+  kb.store(kb.rem(kb.real(-7.5), kb.real(2.0)), B, {kb.idx(0)});
+  kb.store(kb.rem(kb.real(7.5), kb.real(-2.0)), B, {kb.idx(1)});
+  kb.store(kb.rem(kb.real(-7.5), kb.real(-2.0)), B, {kb.idx(2)});
+  kb.store(kb.rem(kb.real(-1.0), kb.real(0.0)), B, {kb.idx(3)}); // nan
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+  for (const TypeAssignment& types : assignment_grid(*f)) {
+    const RunResult r = expect_engines_agree(*f, types, synth_inputs(*f, 2));
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+}
+
+TEST(Engine, NonFiniteIntermediatesAgreeIncludingRanges) {
+  ir::Module m;
+  KernelBuilder kb(m, "nonfinite");
+  Array* B = kb.array("B", {3}, -1e30, 1e30);
+  kb.store(kb.exp(kb.real(800.0)), B, {kb.idx(0)});          // inf
+  kb.store(kb.sqrt(kb.real(-4.0)), B, {kb.idx(1)});          // nan
+  kb.store(kb.sub(kb.exp(kb.real(800.0)), kb.exp(kb.real(800.0))), B,
+           {kb.idx(2)});                                     // inf - inf = nan
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+  RunOptions opt;
+  opt.track_array_ranges = true;
+  opt.track_register_ranges = true;
+  const RunResult r = expect_engines_agree(*f, {}, synth_inputs(*f, 3), opt);
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(Engine, ZeroIterationLoopAgrees) {
+  ir::Module m;
+  KernelBuilder kb(m, "emptyloop");
+  Array* A = kb.array("A", {4}, 0.0, 1.0);
+  ScalarCell acc = kb.scalar("acc", 0.0, 8.0);
+  kb.set(acc, kb.real(0.0));
+  kb.for_loop("i", 0, 0, [&](IVal i) {
+    kb.set(acc, kb.get(acc) + kb.load(A, {i}));
+  });
+  kb.store(kb.get(acc), A, {kb.idx(0)});
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+  for (const TypeAssignment& types : assignment_grid(*f)) {
+    const RunResult r = expect_engines_agree(*f, types, synth_inputs(*f, 4));
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+}
+
+TEST(Engine, StepLimitTrapAgrees) {
+  ir::Module m;
+  KernelBuilder kb(m, "long");
+  Array* A = kb.array("A", {1}, 0.0, 1.0);
+  kb.for_loop("i", 0, 1000000,
+              [&](IVal) { kb.store(kb.real(1.0), A, {kb.idx(0)}); });
+  ir::Function* f = kb.finish();
+  RunOptions opt;
+  opt.max_steps = 1000;
+  const RunResult r = expect_engines_agree(*f, {}, synth_inputs(*f, 5), opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("step limit"), std::string::npos);
+  // Counters are only materialized on a successful ret.
+  EXPECT_TRUE(r.counters.ops.empty());
+}
+
+TEST(Engine, ExactFixedArithmeticAgrees) {
+  ir::Module m;
+  KernelBuilder kb(m, "exactfix");
+  Array* A = kb.array("A", {8}, 0.25, 4.0);
+  Array* B = kb.array("B", {8}, -32.0, 32.0);
+  kb.for_loop("i", 0, 8, [&](IVal i) {
+    RVal x = kb.load(A, {i});
+    kb.store(kb.div(kb.mul(x, x) + x - kb.real(0.5), kb.real(3.0)), B, {i});
+  });
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+  RunOptions opt;
+  opt.exact_fixed_arithmetic = true;
+  const ArrayStore inputs = synth_inputs(*f, 6);
+  const TypeAssignment fix = TypeAssignment::uniform(*f, {numrep::kFixed32, 12});
+  const RunResult r = expect_engines_agree(*f, fix, inputs, opt);
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(Engine, ProgramCacheHitsOnSecondRun) {
+  ir::Module m;
+  KernelBuilder kb(m, "cached");
+  Array* A = kb.array("A", {8}, 0.0, 1.0);
+  kb.for_loop("i", 0, 8, [&](IVal i) {
+    kb.store(kb.load(A, {i}) * kb.real(2.0), A, {i});
+  });
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+
+  ProgramCache cache;
+  const VmEngine vm(&cache);
+  const ReferenceEngine ref;
+  const ArrayStore inputs = synth_inputs(*f, 7);
+
+  ArrayStore s1 = inputs, s2 = inputs, s3 = inputs;
+  ASSERT_TRUE(vm.run(*f, {}, s1).ok);
+  ASSERT_TRUE(vm.run(*f, {}, s2).ok);
+  EXPECT_EQ(cache.stats().lookups, 2);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().insertions, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(buffers_bit_equal(s1.at("A"), s2.at("A")));
+
+  // A different assignment is a different program.
+  const TypeAssignment b32 = TypeAssignment::uniform(*f, {numrep::kBinary32, 0});
+  ASSERT_TRUE(vm.run(*f, b32, s3).ok);
+  EXPECT_EQ(cache.stats().insertions, 2);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Cached replay still matches the reference interpreter bit for bit.
+  ArrayStore sr = inputs, sv = inputs;
+  ASSERT_TRUE(ref.run(*f, b32, sr).ok);
+  ASSERT_TRUE(vm.run(*f, b32, sv).ok);
+  EXPECT_TRUE(buffers_bit_equal(sr.at("A"), sv.at("A")));
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().lookups, 0);
+}
+
+TEST(Engine, CacheKeySurvivesReparse) {
+  // Sweep jobs re-parse the same kernel text into private modules; the
+  // cache key must not depend on object identity.
+  const char* text = R"(func @twin {
+  array @A[4] range [0.0, 1.0]
+entry:
+  %0 = load @A[0]
+  %1 = mul %0, %0
+  store %1, @A[1]
+  ret
+})";
+  ir::Module m1, m2;
+  const ir::ParseResult p1 = ir::parse_function(m1, text);
+  const ir::ParseResult p2 = ir::parse_function(m2, text);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ProgramCache cache;
+  const VmEngine vm(&cache);
+  ArrayStore s1 = synth_inputs(*p1.function, 8);
+  ArrayStore s2 = s1;
+  ASSERT_TRUE(vm.run(*p1.function, {}, s1).ok);
+  ASSERT_TRUE(vm.run(*p2.function, {}, s2).ok);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().insertions, 1);
+}
+
+TEST(Engine, DisassembleSmoke) {
+  ir::Module m;
+  KernelBuilder kb(m, "disasm");
+  Array* A = kb.array("A", {4}, 0.0, 1.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) {
+    kb.store(kb.load(A, {i}) + kb.real(1.0), A, {i});
+  });
+  ir::Function* f = kb.finish();
+  const CompiledProgram program = compile_program(*f, {}, {});
+  const std::string text = disassemble(program);
+  EXPECT_NE(text.find("disasm"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+  EXPECT_GT(program.code.size(), 0u);
+  EXPECT_GT(program.num_regs, 0);
+}
+
+} // namespace
+} // namespace luis::interp

@@ -13,6 +13,8 @@
 //                                         saved assignment), report findings
 //   luis run <file.ir> [--type T]         execute with a uniform type and
 //                                         print per-array checksums
+//   luis disasm <file.ir> [--type T]      lower to bytecode and print the
+//                                         compiled program
 //   luis compile <file.lk> [-o out.ir]    compile kernel-language source
 //   luis apply <file.ir> <types.txt>      execute under a saved assignment
 //   luis characterize [-o t.optime]       measure this machine's op-times
@@ -23,6 +25,10 @@
 //                                         fuzzing of the solver, IR, and
 //                                         quantization layers
 //
+// run/apply options:
+//   --engine vm|ref       execution engine (default vm; results are
+//                         bit-identical, see docs/INTERP.md)
+//
 // fuzz options:
 //   --target ilp|ir|numrep|all   generator/oracle pairs to run (default all)
 //   --trials N            random trials per target (default 200)
@@ -31,6 +37,9 @@
 //   --artifacts DIR       write minimized failing inputs here
 //                         (default fuzz-artifacts)
 //   --corpus DIR          also replay every .lp/.ir seed file in DIR
+//   --engine vm|ref       primary engine for the IR differential oracle
+//                         (default ref; either way both engines run and
+//                         are compared bit for bit)
 //   --quiet               suppress progress lines on stderr
 // Every failure is shrunk to a minimal repro and written as an artifact
 // (.lp for solver models, .ir for IR programs); the exit status is
@@ -44,7 +53,11 @@
 //                         1 = serial reference path, same results)
 //   --max-nodes N         branch & bound node limit per solve (default 3000)
 //   --no-taffo            skip the greedy TAFFO baseline rows
-//   --no-cache            disable the shared solver result cache
+//   --engine vm|ref       execution engine for every interpretation
+//                         (default vm: compile once per (kernel,
+//                         assignment), cache the program)
+//   --no-cache            disable the shared solver result cache and the
+//                         vm engine's compiled-program cache
 //   --no-check            skip the serial determinism re-check
 //   --json <path>         also write the full per-job report as JSON
 //   --quiet               suppress per-kernel progress on stderr
@@ -91,6 +104,7 @@
 #include "frontend/parser.hpp"
 #include "core/pipeline.hpp"
 #include "core/sweep.hpp"
+#include "interp/engine.hpp"
 #include "ir/parser.hpp"
 #include "ir/passes.hpp"
 #include "ir/printer.hpp"
@@ -109,9 +123,18 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: luis <kernels|emit|compile|print|verify|ranges|tune|"
-               "lint|run|characterize|sweep> [args]\n(see the header of "
-               "tools/luis_cli.cpp for the full option list)\n");
+               "lint|run|disasm|characterize|sweep|fuzz> [args]\n(see the "
+               "header of tools/luis_cli.cpp for the full option list)\n");
   return 2;
+}
+
+/// Parses an --engine value; reports and returns nullopt on junk.
+std::optional<interp::EngineKind> engine_or_die(const std::string& name) {
+  const auto kind = interp::parse_engine(name);
+  if (!kind)
+    std::fprintf(stderr, "luis: unknown engine '%s' (want vm or ref)\n",
+                 name.c_str());
+  return kind;
 }
 
 std::optional<std::string> read_file(const std::string& path) {
@@ -499,6 +522,14 @@ int cmd_lint(const std::vector<std::string>& args) {
 
 int cmd_apply(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
+  interp::EngineKind engine_kind = interp::EngineKind::Vm;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--engine" && i + 1 < args.size()) {
+      const auto kind = engine_or_die(args[++i]);
+      if (!kind) return 2;
+      engine_kind = *kind;
+    }
+  }
   ir::Module module;
   ir::Function* f = parse_and_verify_or_die(module, args[0]);
   if (!f) return 1;
@@ -515,7 +546,8 @@ int cmd_apply(const std::vector<std::string>& args) {
     return 1;
   }
   interp::ArrayStore store = synth_inputs(*f);
-  const interp::RunResult run = run_function(*f, parsed.assignment, store);
+  const auto engine = interp::make_engine(engine_kind);
+  const interp::RunResult run = engine->run(*f, parsed.assignment, store);
   if (!run.ok) {
     std::fprintf(stderr, "luis: execution failed: %s\n", run.error.c_str());
     return 1;
@@ -526,6 +558,42 @@ int cmd_apply(const std::vector<std::string>& args) {
 }
 
 int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  numrep::ConcreteType type{numrep::kBinary64, 0};
+  interp::EngineKind engine_kind = interp::EngineKind::Vm;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--type" && i + 1 < args.size()) {
+      const auto fmt = numrep::parse_format(args[++i]);
+      if (!fmt) {
+        std::fprintf(stderr, "luis: unknown format '%s'\n", args[i].c_str());
+        return 2;
+      }
+      type.format = *fmt;
+      if (fmt->is_fixed()) type.frac_bits = fmt->width() / 2;
+    } else if (args[i] == "--engine" && i + 1 < args.size()) {
+      const auto kind = engine_or_die(args[++i]);
+      if (!kind) return 2;
+      engine_kind = *kind;
+    }
+  }
+  ir::Module module;
+  ir::Function* f = parse_and_verify_or_die(module, args[0]);
+  if (!f) return 1;
+  interp::ArrayStore store = synth_inputs(*f);
+  const interp::TypeAssignment types = interp::TypeAssignment::uniform(*f, type);
+  const auto engine = interp::make_engine(engine_kind);
+  const interp::RunResult run = engine->run(*f, types, store);
+  if (!run.ok) {
+    std::fprintf(stderr, "luis: execution failed: %s\n", run.error.c_str());
+    return 1;
+  }
+  std::printf("executed %ld steps (%ld real ops) in %s\n", run.steps,
+              run.counters.total_real_ops(), type.name().c_str());
+  print_array_summary(store);
+  return 0;
+}
+
+int cmd_disasm(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   numrep::ConcreteType type{numrep::kBinary64, 0};
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -542,16 +610,10 @@ int cmd_run(const std::vector<std::string>& args) {
   ir::Module module;
   ir::Function* f = parse_and_verify_or_die(module, args[0]);
   if (!f) return 1;
-  interp::ArrayStore store = synth_inputs(*f);
   const interp::TypeAssignment types = interp::TypeAssignment::uniform(*f, type);
-  const interp::RunResult run = run_function(*f, types, store);
-  if (!run.ok) {
-    std::fprintf(stderr, "luis: execution failed: %s\n", run.error.c_str());
-    return 1;
-  }
-  std::printf("executed %ld steps (%ld real ops) in %s\n", run.steps,
-              run.counters.total_real_ops(), type.name().c_str());
-  print_array_summary(store);
+  const interp::CompiledProgram program =
+      interp::compile_program(*f, types, {});
+  std::fputs(interp::disassemble(program).c_str(), stdout);
   return 0;
 }
 
@@ -625,6 +687,9 @@ int cmd_sweep(const std::vector<std::string>& args) {
       opt.solver_max_nodes = std::atol(args[++i].c_str());
     } else if (a == "--no-taffo") {
       opt.include_taffo = false;
+    } else if (a == "--engine" && has_value) {
+      opt.engine = args[++i];
+      if (!engine_or_die(opt.engine)) return 2;
     } else if (a == "--no-cache") {
       opt.use_cache = false;
     } else if (a == "--no-check") {
@@ -700,6 +765,10 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       opt.artifacts_dir = args[++i];
     } else if (a == "--corpus" && has_value) {
       corpus_dir = args[++i];
+    } else if (a == "--engine" && has_value) {
+      const auto kind = engine_or_die(args[++i]);
+      if (!kind) return 2;
+      opt.engine = *kind;
     } else if (a == "--quiet") {
       opt.verbose = false;
     } else {
@@ -710,7 +779,8 @@ int cmd_fuzz(const std::vector<std::string>& args) {
 
   int failures = 0;
   if (!corpus_dir.empty()) {
-    const testing::CorpusResult corpus = testing::replay_corpus(corpus_dir);
+    const testing::CorpusResult corpus =
+        testing::replay_corpus(corpus_dir, opt.engine);
     if (!corpus.error.empty()) {
       std::fprintf(stderr, "luis fuzz: %s\n", corpus.error.c_str());
       return 1;
@@ -751,6 +821,7 @@ int main(int argc, char** argv) {
   if (cmd == "tune") return cmd_tune(args);
   if (cmd == "lint") return cmd_lint(args);
   if (cmd == "run") return cmd_run(args);
+  if (cmd == "disasm") return cmd_disasm(args);
   if (cmd == "compile") return cmd_compile(args);
   if (cmd == "apply") return cmd_apply(args);
   if (cmd == "characterize") return cmd_characterize(args);
