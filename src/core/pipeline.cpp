@@ -4,6 +4,8 @@
 
 #include "core/cast_materializer.hpp"
 #include "ir/passes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace luis::core {
 namespace {
@@ -19,22 +21,42 @@ PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
                            const TuningConfig& config,
                            const PipelineOptions& options) {
   PipelineResult result;
+  obs::TraceSpan pipeline_span("pipeline.tune", "pipeline", [&] {
+    return obs::Args()
+        .str("function", f.name())
+        .str("platform", table.machine())
+        .done();
+  });
   const auto t0 = std::chrono::steady_clock::now();
 
-  if (options.optimize_ir) result.ir_changes = ir::run_default_pipeline(f);
+  {
+    obs::TraceSpan span("pipeline.ir_passes", "pipeline");
+    if (options.optimize_ir) result.ir_changes = ir::run_default_pipeline(f);
+  }
   // Stamp the IR pass before VRA starts: vra_seconds must cover only the
   // range analysis, not the optional IR cleanup that precedes it.
   const auto t_vra = std::chrono::steady_clock::now();
   result.timings.ir_seconds =
       std::chrono::duration<double>(t_vra - t0).count();
 
-  result.ranges = vra::analyze_ranges(f, options.vra);
+  {
+    obs::TraceSpan span("pipeline.vra", "pipeline");
+    result.ranges = vra::analyze_ranges(f, options.vra);
+  }
   result.timings.vra_seconds = seconds_since(t_vra);
 
   const auto t_alloc = std::chrono::steady_clock::now();
-  result.allocation = options.allocator == AllocatorKind::Ilp
-                          ? allocate_ilp(f, result.ranges, table, config)
-                          : allocate_greedy(f, result.ranges, config);
+  {
+    obs::TraceSpan span("pipeline.allocate", "pipeline", [&] {
+      return obs::Args()
+          .str("allocator",
+               options.allocator == AllocatorKind::Ilp ? "ilp" : "greedy")
+          .done();
+    });
+    result.allocation = options.allocator == AllocatorKind::Ilp
+                            ? allocate_ilp(f, result.ranges, table, config)
+                            : allocate_greedy(f, result.ranges, config);
+  }
   result.timings.allocation_seconds = seconds_since(t_alloc);
   result.timings.model_build_seconds =
       result.allocation.stats.model_build_seconds;
@@ -42,12 +64,14 @@ PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
 
   if (options.materialize_casts) {
     const auto t_mat = std::chrono::steady_clock::now();
+    obs::TraceSpan span("pipeline.materialize_casts", "pipeline");
     result.casts_inserted = materialize_casts(f, result.allocation.assignment);
     result.timings.materialize_seconds = seconds_since(t_mat);
   }
 
   if (options.lint != LintMode::Off) {
     const auto t_lint = std::chrono::steady_clock::now();
+    obs::TraceSpan span("pipeline.lint", "pipeline");
     // Materialized casts postdate the VRA pass; refresh the ranges so the
     // lint sees them (a cast carries its operand's range, not top).
     if (result.casts_inserted > 0)
@@ -65,6 +89,9 @@ PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
   }
 
   result.timings.total_seconds = seconds_since(t0);
+  obs::metrics().counter("pipeline.tunes").inc();
+  obs::metrics().histogram("pipeline.tune_seconds")
+      .observe(result.timings.total_seconds);
   return result;
 }
 

@@ -11,9 +11,13 @@
 #include "interp/interpreter.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/cost_model.hpp"
 #include "polybench/polybench.hpp"
 #include "support/diag.hpp"
+#include "support/json.hpp"
 #include "support/statistics.hpp"
 #include "support/string_utils.hpp"
 #include "support/thread_pool.hpp"
@@ -164,24 +168,49 @@ void run_ilp_job(const KernelContext& ctx, const platform::OpTimeTable& table,
   out.ok = true;
 }
 
-void append_timings_json(std::string& out, const StageTimings& t) {
-  out += format_string("{\"ir_seconds\":%.6g,\"vra_seconds\":%.6g,"
-                       "\"allocation_seconds\":%.6g,"
-                       "\"model_build_seconds\":%.6g,\"solve_seconds\":%.6g,"
-                       "\"materialize_seconds\":%.6g,\"lint_seconds\":%.6g,"
-                       "\"interp_compile_seconds\":%.6g,"
-                       "\"interp_execute_seconds\":%.6g,"
-                       "\"total_seconds\":%.6g}",
-                       t.ir_seconds, t.vra_seconds, t.allocation_seconds,
-                       t.model_build_seconds, t.solve_seconds,
-                       t.materialize_seconds, t.lint_seconds,
-                       t.interp_compile_seconds, t.interp_execute_seconds,
-                       t.total_seconds);
+void write_timings(JsonWriter& w, const StageTimings& t) {
+  w.begin_object();
+  w.key("ir_seconds");
+  w.value(t.ir_seconds, "%.6g");
+  w.key("vra_seconds");
+  w.value(t.vra_seconds, "%.6g");
+  w.key("allocation_seconds");
+  w.value(t.allocation_seconds, "%.6g");
+  w.key("model_build_seconds");
+  w.value(t.model_build_seconds, "%.6g");
+  w.key("solve_seconds");
+  w.value(t.solve_seconds, "%.6g");
+  w.key("materialize_seconds");
+  w.value(t.materialize_seconds, "%.6g");
+  w.key("lint_seconds");
+  w.value(t.lint_seconds, "%.6g");
+  w.key("interp_compile_seconds");
+  w.value(t.interp_compile_seconds, "%.6g");
+  w.key("interp_execute_seconds");
+  w.value(t.interp_execute_seconds, "%.6g");
+  w.key("total_seconds");
+  w.value(t.total_seconds, "%.6g");
+  w.end_object();
+}
+
+void write_cache_stats(JsonWriter& w, long lookups, long hits, long insertions,
+                       double hit_rate) {
+  w.begin_object();
+  w.key("lookups");
+  w.value(lookups);
+  w.key("hits");
+  w.value(hits);
+  w.key("insertions");
+  w.value(insertions);
+  w.key("hit_rate");
+  w.value(hit_rate, "%.4f");
+  w.end_object();
 }
 
 } // namespace
 
 SweepResult run_sweep(const SweepOptions& options) {
+  obs::TraceSpan sweep_span("sweep.run", "sweep");
   const auto t0 = std::chrono::steady_clock::now();
 
   std::vector<std::string> kernels = options.kernels;
@@ -224,13 +253,22 @@ SweepResult run_sweep(const SweepOptions& options) {
 
   // Phase 1: per-kernel setup (build, binary64 reference, IR rendering,
   // TAFFO baseline), parallel over kernels.
+  const LogLevel progress_level =
+      options.verbose ? LogLevel::Info : LogLevel::Debug;
   std::vector<KernelContext> contexts(kernels.size());
   for (std::size_t i = 0; i < kernels.size(); ++i) contexts[i].name = kernels[i];
-  support::parallel_for(contexts.size(), threads, [&](std::size_t i) {
-    prepare_kernel(contexts[i], options.include_taffo, *engine);
-    if (options.verbose)
-      std::fprintf(stderr, "[sweep] %s prepared\n", contexts[i].name.c_str());
-  });
+  {
+    obs::TraceSpan phase("sweep.prepare", "sweep", [&] {
+      return obs::Args().num("kernels", kernels.size()).done();
+    });
+    support::parallel_for(contexts.size(), threads, [&](std::size_t i) {
+      obs::TraceSpan span("sweep.prepare_kernel", "sweep", [&] {
+        return obs::Args().str("kernel", contexts[i].name).done();
+      });
+      prepare_kernel(contexts[i], options.include_taffo, *engine);
+      LUIS_LOG(progress_level, "[sweep] " + contexts[i].name + " prepared");
+    });
+  }
 
   // Job slots in their fixed kernel-major order.
   SweepResult result;
@@ -280,27 +318,39 @@ SweepResult run_sweep(const SweepOptions& options) {
   }
 
   // Phase 2: the ILP jobs, parallel over (kernel x platform x config).
-  support::parallel_for(ilp_jobs.size(), threads, [&](std::size_t i) {
-    const std::size_t j = ilp_jobs[i];
-    SweepJobResult& job = result.jobs[j];
-    const KernelContext& ctx = *ctx_of[j];
-    if (!ctx.ok) {
-      job.error = ctx.error;
-      return;
-    }
-    run_ilp_job(ctx, *table_of[j], options, cache_ptr, *engine,
-                /*execute=*/true, job);
-    if (options.verbose)
-      std::fprintf(stderr, "[sweep] %s/%s/%s %s\n", job.kernel.c_str(),
-                   job.config.c_str(), job.platform.c_str(),
-                   job.ok ? "ok" : "FAILED");
-  });
+  {
+    obs::TraceSpan phase("sweep.jobs", "sweep", [&] {
+      return obs::Args().num("jobs", ilp_jobs.size()).done();
+    });
+    support::parallel_for(ilp_jobs.size(), threads, [&](std::size_t i) {
+      const std::size_t j = ilp_jobs[i];
+      SweepJobResult& job = result.jobs[j];
+      const KernelContext& ctx = *ctx_of[j];
+      if (!ctx.ok) {
+        job.error = ctx.error;
+        return;
+      }
+      obs::TraceSpan span("sweep.job", "sweep", [&] {
+        return obs::Args()
+            .str("kernel", job.kernel)
+            .str("config", job.config)
+            .str("platform", job.platform)
+            .done();
+      });
+      run_ilp_job(ctx, *table_of[j], options, cache_ptr, *engine,
+                  /*execute=*/true, job);
+      LUIS_LOG(progress_level, "[sweep] " + job.kernel + "/" + job.config +
+                                   "/" + job.platform +
+                                   (job.ok ? " ok" : " FAILED"));
+    });
+  }
 
   // Determinism check: serially re-tune every ILP job and compare. The
   // re-solves hit the shared cache (same canonical model), so this is
   // cheap — and it is what proves a parallel sweep computed exactly what
   // the serial path would have.
   if (options.check_determinism) {
+    obs::TraceSpan phase("sweep.determinism_check", "sweep");
     int mismatches = 0;
     for (const std::size_t j : ilp_jobs) {
       const SweepJobResult& job = result.jobs[j];
@@ -317,10 +367,9 @@ SweepResult run_sweep(const SweepOptions& options) {
                         redo.stats.status == job.stats.status;
       if (!same) {
         ++mismatches;
-        if (options.verbose)
-          std::fprintf(stderr, "[sweep] determinism MISMATCH %s/%s/%s\n",
-                       job.kernel.c_str(), job.config.c_str(),
-                       job.platform.c_str());
+        // A mismatch is a real defect, not progress chatter: always warn.
+        LUIS_LOG_WARN("[sweep] determinism MISMATCH " + job.kernel + "/" +
+                      job.config + "/" + job.platform);
       }
     }
     result.stats.determinism_mismatches = mismatches;
@@ -346,6 +395,11 @@ SweepResult run_sweep(const SweepOptions& options) {
   result.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  obs::metrics().counter("sweep.runs").inc();
+  obs::metrics().counter("sweep.jobs").inc(result.stats.jobs);
+  obs::metrics().counter("sweep.failed_jobs").inc(result.stats.failed);
+  obs::metrics().set_gauge("sweep.last_wall_seconds",
+                           result.stats.wall_seconds);
   return result;
 }
 
@@ -385,48 +439,82 @@ std::string sweep_summary_text(const SweepResult& result) {
 }
 
 std::string sweep_report_json(const SweepResult& result) {
-  std::string out = "{\n  \"jobs\": [\n";
-  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
-    const SweepJobResult& job = result.jobs[i];
-    out += format_string(
-        "    {\"kernel\":\"%s\",\"config\":\"%s\",\"platform\":\"%s\","
-        "\"engine\":\"%s\","
-        "\"ok\":%s,\"speedup_percent\":%.6g,\"mpe\":%.6g,"
-        "\"status\":\"%s\",\"objective\":%.17g,\"nodes\":%ld,"
-        "\"iterations\":%ld,\"model_variables\":%zu,"
-        "\"model_constraints\":%zu,\"timings\":",
-        job.kernel.c_str(), job.config.c_str(), job.platform.c_str(),
-        job.engine.c_str(),
-        job.ok ? "true" : "false", job.speedup_percent, job.mpe,
-        ilp::to_string(job.stats.status), job.stats.objective, job.stats.nodes,
-        job.stats.iterations, job.stats.model_variables,
-        job.stats.model_constraints);
-    append_timings_json(out, job.timings);
-    out += "}";
-    if (i + 1 < result.jobs.size()) out += ",";
-    out += "\n";
+  JsonWriter w;
+  w.begin_object();
+  w.newline();
+  w.key("build");
+  w.raw_value(obs::build_info_json());
+  w.newline();
+  w.key("jobs");
+  w.begin_array();
+  w.newline();
+  for (const SweepJobResult& job : result.jobs) {
+    w.begin_object();
+    w.key("kernel");
+    w.value(job.kernel);
+    w.key("config");
+    w.value(job.config);
+    w.key("platform");
+    w.value(job.platform);
+    w.key("engine");
+    w.value(job.engine);
+    w.key("ok");
+    w.value(job.ok);
+    w.key("speedup_percent");
+    w.value(job.speedup_percent, "%.6g");
+    w.key("mpe");
+    w.value(job.mpe, "%.6g");
+    w.key("status");
+    w.value(ilp::to_string(job.stats.status));
+    w.key("objective");
+    w.value(job.stats.objective, "%.17g");
+    w.key("nodes");
+    w.value(job.stats.nodes);
+    w.key("iterations");
+    w.value(job.stats.iterations);
+    w.key("model_variables");
+    w.value(job.stats.model_variables);
+    w.key("model_constraints");
+    w.value(job.stats.model_constraints);
+    w.key("timings");
+    write_timings(w, job.timings);
+    w.end_object();
+    w.newline();
   }
+  w.end_array();
+  w.newline();
   const SweepStats& s = result.stats;
-  out += "  ],\n  \"summary\": {";
-  out += format_string("\"jobs\":%d,\"failed\":%d,\"threads\":%d,"
-                       "\"wall_seconds\":%.6g,\"solver_nodes\":%ld,"
-                       "\"solver_iterations\":%ld,",
-                       s.jobs, s.failed, s.threads, s.wall_seconds,
-                       s.solver_nodes, s.solver_iterations);
-  out += format_string("\"cache\":{\"lookups\":%ld,\"hits\":%ld,"
-                       "\"insertions\":%ld,\"hit_rate\":%.4f},",
-                       s.cache.lookups, s.cache.hits, s.cache.insertions,
-                       s.cache.hit_rate());
-  out += format_string("\"engine\":\"%s\",", s.engine.c_str());
-  out += format_string("\"program_cache\":{\"lookups\":%ld,\"hits\":%ld,"
-                       "\"insertions\":%ld,\"hit_rate\":%.4f},",
-                       s.program_cache.lookups, s.program_cache.hits,
-                       s.program_cache.insertions, s.program_cache.hit_rate());
-  out += format_string("\"determinism_mismatches\":%d,\"stage_totals\":",
-                       s.determinism_mismatches);
-  append_timings_json(out, s.stage_totals);
-  out += "}\n}\n";
-  return out;
+  w.key("summary");
+  w.begin_object();
+  w.key("jobs");
+  w.value(s.jobs);
+  w.key("failed");
+  w.value(s.failed);
+  w.key("threads");
+  w.value(s.threads);
+  w.key("wall_seconds");
+  w.value(s.wall_seconds, "%.6g");
+  w.key("solver_nodes");
+  w.value(s.solver_nodes);
+  w.key("solver_iterations");
+  w.value(s.solver_iterations);
+  w.key("cache");
+  write_cache_stats(w, s.cache.lookups, s.cache.hits, s.cache.insertions,
+                    s.cache.hit_rate());
+  w.key("engine");
+  w.value(s.engine);
+  w.key("program_cache");
+  write_cache_stats(w, s.program_cache.lookups, s.program_cache.hits,
+                    s.program_cache.insertions, s.program_cache.hit_rate());
+  w.key("determinism_mismatches");
+  w.value(s.determinism_mismatches);
+  w.key("stage_totals");
+  write_timings(w, s.stage_totals);
+  w.end_object();
+  w.newline();
+  w.end_object();
+  w.newline();
+  return w.take();
 }
 
 } // namespace luis::core

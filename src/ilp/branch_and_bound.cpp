@@ -9,6 +9,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/diag.hpp"
 
 namespace luis::ilp {
@@ -53,7 +55,14 @@ Solution solve_milp_uncached(const Model& model,
                              const BranchAndBoundOptions& opt) {
   if (!opt.presolve) return solve_milp_impl(model, opt);
 
+  obs::TraceSpan presolve_span("ilp.presolve", "ilp", [&] {
+    return obs::Args()
+        .num("variables", model.num_variables())
+        .num("constraints", model.constraints().size())
+        .done();
+  });
   const PresolvedModel pre = presolve(model);
+  presolve_span.end();
   if (pre.infeasible) {
     Solution sol;
     sol.status = SolveStatus::Infeasible;
@@ -84,6 +93,14 @@ Solution solve_milp_uncached(const Model& model,
 } // namespace
 
 Solution solve_milp(const Model& model, const BranchAndBoundOptions& opt) {
+  obs::TraceSpan span("ilp.solve", "ilp", [&] {
+    return obs::Args()
+        .num("variables", model.num_variables())
+        .num("constraints", model.constraints().size())
+        .boolean("cached", opt.cache != nullptr)
+        .done();
+  });
+  obs::metrics().counter("ilp.solves").inc();
   if (!opt.cache) return solve_milp_uncached(model, opt);
   const std::string key = canonical_model_key(model, opt);
   if (std::optional<Solution> hit = opt.cache->lookup(key)) return *hit;
@@ -95,6 +112,12 @@ Solution solve_milp(const Model& model, const BranchAndBoundOptions& opt) {
 namespace {
 
 Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
+  obs::TraceSpan bnb_span("ilp.bnb", "ilp", [&] {
+    return obs::Args()
+        .num("variables", model.num_variables())
+        .num("constraints", model.constraints().size())
+        .done();
+  });
   // Work in minimization sign internally.
   const double sign = model.objective_direction() == Direction::Minimize ? 1.0 : -1.0;
 
@@ -128,6 +151,15 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
     open.pop();
     if (node->bound >= incumbent_cost - 1e-12) continue; // pruned by bound
     ++nodes;
+    // Early nodes individually, later ones sampled: enough to see the
+    // search shape in a trace without drowning big solves in events.
+    if (obs::tracing_enabled() && (nodes <= 8 || nodes % 64 == 0))
+      obs::instant("bnb.node", "ilp",
+                   obs::Args()
+                       .num("node", nodes)
+                       .num("bound", sign * node->bound)
+                       .num("open", open.size())
+                       .done());
 
     Solution lp = solve_lp(model, opt.lp, node->overrides);
     iterations += lp.iterations;
@@ -154,6 +186,17 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
       incumbent.objective = lp.objective;
       incumbent.status = SolveStatus::Optimal;
       incumbent_cost = cost;
+      if (obs::tracing_enabled()) {
+        // Gap against the best bound still open (in minimization sign).
+        const double open_bound = open.empty() ? cost : open.top()->bound;
+        obs::instant("bnb.incumbent", "ilp",
+                     obs::Args()
+                         .num("node", nodes)
+                         .num("objective", lp.objective)
+                         .num("bound_gap", cost - std::min(open_bound,
+                                                           dropped_open_bound))
+                         .done());
+      }
       continue;
     }
 
@@ -193,6 +236,10 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
 
   incumbent.nodes = nodes;
   incumbent.iterations = iterations;
+  obs::metrics().counter("ilp.bnb.nodes").inc(nodes);
+  obs::metrics().counter("ilp.bnb.lp_iterations").inc(iterations);
+  obs::metrics().histogram("ilp.bnb.nodes_per_solve")
+      .observe(static_cast<double>(nodes));
   incumbent.best_bound = sign * std::min(best_open_bound, incumbent_cost);
   if (incumbent.status == SolveStatus::Optimal) {
     // Snap integer values that are within tolerance of an integer.

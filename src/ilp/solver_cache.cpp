@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "ilp/branch_and_bound.hpp"
+#include "obs/metrics.hpp"
 
 namespace luis::ilp {
 namespace {
@@ -75,6 +76,7 @@ std::uint64_t fnv1a64(const std::string& key) {
 
 std::optional<Solution> SolverCache::lookup(const std::string& key) {
   const std::uint64_t h = fnv1a64(key);
+  obs::metrics().counter("solver_cache.lookups").inc();
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.lookups;
   const auto it = entries_.find(h);
@@ -82,6 +84,7 @@ std::optional<Solution> SolverCache::lookup(const std::string& key) {
     for (const Entry& e : it->second) {
       if (e.key == key) {
         ++stats_.hits;
+        obs::metrics().counter("solver_cache.hits").inc();
         return e.solution;
       }
     }
@@ -98,6 +101,7 @@ void SolverCache::insert(const std::string& key, const Solution& solution) {
   }
   bucket.push_back(Entry{key, solution});
   ++stats_.insertions;
+  obs::metrics().counter("solver_cache.insertions").inc();
 }
 
 SolverCache::Stats SolverCache::stats() const {

@@ -254,6 +254,7 @@ private:
   void compile_terminator(const ir::BasicBlock* from, const Instruction* inst) {
     BInst bi;
     bi.op = inst->opcode();
+    bi.src = reg(inst);
     switch (inst->opcode()) {
     case Opcode::Ret:
       bi.kind = BInst::Kind::Ret;
@@ -280,6 +281,7 @@ private:
     BInst bi;
     bi.op = inst->opcode();
     bi.dst = reg(inst);
+    bi.src = bi.dst;
     const ConcreteType ty = types_.of(inst);
     switch (inst->opcode()) {
     case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
@@ -517,6 +519,14 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
   std::vector<long> counts(p.counter_keys.size(), 0);
   long non_real = 0;
 
+  // Per-pc execution profile (hot-spot attribution, see obs/profile.hpp).
+  VmProfile* const prof = opt.vm_profile;
+  if (prof) {
+    prof->instr_executions.assign(p.code.size(), 0);
+    prof->edge_applications.assign(p.edges.size(), 0);
+    prof->select_real_first.assign(p.code.size(), 0);
+  }
+
   const auto fetch_real = [&](const RealArg& a) {
     double v = a.reg >= 0 ? regs[static_cast<std::size_t>(a.reg)].real : a.imm;
     if (a.cast_counter >= 0) ++counts[static_cast<std::size_t>(a.cast_counter)];
@@ -558,6 +568,7 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
       result.error = p.messages[static_cast<std::size_t>(e.trap_msg)];
       return false;
     }
+    if (prof) ++prof->edge_applications[static_cast<std::size_t>(id)];
     for (std::int32_t i = 0; i < e.count; ++i) {
       const PhiMove& m = p.moves[static_cast<std::size_t>(e.start + i)];
       if (m.is_real)
@@ -594,6 +605,7 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
       result.error = "step limit exceeded";
       return result;
     }
+    if (prof) ++prof->instr_executions[static_cast<std::size_t>(pc)];
     switch (bi.kind) {
     case BInst::Kind::Arith2: {
       const double a = fetch_real(bi.a);
@@ -694,6 +706,7 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
       break;
     case BInst::Kind::SelectReal: {
       const bool c = regs[static_cast<std::size_t>(bi.cond)].boolean;
+      if (prof && c) ++prof->select_real_first[static_cast<std::size_t>(pc)];
       const double v = fetch_real(c ? bi.a : bi.b);
       regs[static_cast<std::size_t>(bi.dst)].real = v;
       ++non_real;

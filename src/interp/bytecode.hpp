@@ -110,6 +110,11 @@ struct BInst {
   std::int32_t target0 = -1, target1 = -1; ///< block ids
   std::int32_t edge0 = -1, edge1 = -1;     ///< indices into edges
   std::int32_t trap_msg = -1;
+  /// Source instruction ordinal (block order, phis and terminators
+  /// included — the same ordinal as the register slot). -1 for synthetic
+  /// instructions (fall-through traps). Lets the profiler map pc-level
+  /// execution counts back to IR lines.
+  std::int32_t src = -1;
 };
 
 struct BlockInfo {

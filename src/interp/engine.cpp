@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/diag.hpp"
 
 namespace luis::interp {
@@ -31,11 +33,13 @@ std::optional<EngineKind> parse_engine(std::string_view name) {
 
 std::shared_ptr<const CompiledProgram> ProgramCache::lookup(
     const std::string& key) {
+  obs::metrics().counter("program_cache.lookups").inc();
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.lookups;
   const auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   ++stats_.hits;
+  obs::metrics().counter("program_cache.hits").inc();
   return it->second;
 }
 
@@ -44,7 +48,10 @@ void ProgramCache::insert(const std::string& key,
   std::lock_guard<std::mutex> lock(mutex_);
   // First insert wins: concurrent compilers produced identical programs,
   // but first-wins keeps later hits independent of scheduling.
-  if (entries_.emplace(key, std::move(program)).second) ++stats_.insertions;
+  if (entries_.emplace(key, std::move(program)).second) {
+    ++stats_.insertions;
+    obs::metrics().counter("program_cache.insertions").inc();
+  }
 }
 
 ProgramCache::Stats ProgramCache::stats() const {
@@ -66,9 +73,15 @@ void ProgramCache::clear() {
 RunResult ReferenceEngine::run(const ir::Function& f,
                                const TypeAssignment& types, ArrayStore& store,
                                const RunOptions& options) const {
+  obs::TraceSpan span("ref.execute", "engine", [&] {
+    return obs::Args().str("function", f.name()).done();
+  });
   const auto t0 = std::chrono::steady_clock::now();
   RunResult result = run_function(f, types, store, options);
   result.execute_seconds = seconds_since(t0);
+  obs::metrics().counter("engine.ref.runs").inc();
+  obs::metrics().histogram("engine.ref.execute_seconds")
+      .observe(result.execute_seconds);
   return result;
 }
 
@@ -79,24 +92,44 @@ RunResult VmEngine::run(const ir::Function& f, const TypeAssignment& types,
 
   const auto t0 = std::chrono::steady_clock::now();
   std::shared_ptr<const CompiledProgram> program;
-  if (cache_) {
-    const std::string key = program_cache_key(f, types, copt);
-    program = cache_->lookup(key);
-    if (!program) {
+  bool cache_hit = false;
+  {
+    obs::TraceSpan span("vm.compile", "engine", [&] {
+      return obs::Args().str("function", f.name()).done();
+    });
+    if (cache_) {
+      const std::string key = program_cache_key(f, types, copt);
+      program = cache_->lookup(key);
+      cache_hit = program != nullptr;
+      if (!program) {
+        program = std::make_shared<const CompiledProgram>(
+            compile_program(f, types, copt));
+        cache_->insert(key, program);
+      }
+    } else {
       program = std::make_shared<const CompiledProgram>(
           compile_program(f, types, copt));
-      cache_->insert(key, program);
     }
-  } else {
-    program = std::make_shared<const CompiledProgram>(
-        compile_program(f, types, copt));
   }
   const double compile_seconds = seconds_since(t0);
 
   const auto t1 = std::chrono::steady_clock::now();
-  RunResult result = run_program(*program, f, store, options);
+  RunResult result;
+  {
+    obs::TraceSpan span("vm.execute", "engine", [&] {
+      return obs::Args()
+          .str("function", f.name())
+          .boolean("cache_hit", cache_hit)
+          .done();
+    });
+    result = run_program(*program, f, store, options);
+  }
   result.execute_seconds = seconds_since(t1);
   result.compile_seconds = compile_seconds;
+  obs::metrics().counter("engine.vm.runs").inc();
+  obs::metrics().histogram("engine.vm.compile_seconds").observe(compile_seconds);
+  obs::metrics().histogram("engine.vm.execute_seconds")
+      .observe(result.execute_seconds);
   return result;
 }
 

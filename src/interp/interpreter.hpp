@@ -61,6 +61,23 @@ struct RunResult {
 /// Array contents, indexed by array name. Input and output of a run.
 using ArrayStore = std::map<std::string, std::vector<double>>;
 
+/// Execution-count profile of one VM run, indexed by compiled-program
+/// position (see interp/bytecode.hpp). The VM fills it when
+/// RunOptions::vm_profile is set; the reference interpreter ignores it.
+/// obs::build_hotspot_report prices these counts with a platform op-time
+/// table and maps them back to source instructions — the attribution is
+/// exact: the per-instruction costs sum to the run's simulated_time.
+struct VmProfile {
+  /// Times each program counter executed (index: pc into code).
+  std::vector<long> instr_executions;
+  /// Times each phi edge was applied (index: edge id), including the
+  /// function-entry edge.
+  std::vector<long> edge_applications;
+  /// For SelectReal pcs: executions that chose the true-side operand
+  /// (whose fetch may bill a different cast than the false side).
+  std::vector<long> select_real_first;
+};
+
 struct RunOptions {
   long max_steps = 500'000'000;
   bool count_costs = true;
@@ -72,6 +89,10 @@ struct RunOptions {
   /// unit in the last place; the exact path is bit-faithful to what
   /// TAFFO-generated integer code computes.
   bool exact_fixed_arithmetic = false;
+  /// When set, the VM engine records per-pc execution counts here (the
+  /// vectors are sized and zeroed by run_program). Ignored by the
+  /// reference engine.
+  VmProfile* vm_profile = nullptr;
 };
 
 /// Executes `f` under `types`. `store` provides the initial contents of

@@ -1,0 +1,29 @@
+// Build-info stamping: which binary produced this artifact?
+//
+// The values are baked in at CMake configure time (git describe, build
+// type, sanitizer mode, compiler) and embedded in the header of every
+// trace, metrics, and sweep JSON document, plus the `luis version` verb —
+// so a report can always be traced back to the exact build that wrote it.
+#pragma once
+
+#include <string>
+
+namespace luis::obs {
+
+struct BuildInfo {
+  const char* git_describe; ///< `git describe --always --dirty`, or "unknown"
+  const char* build_type;   ///< CMAKE_BUILD_TYPE
+  const char* sanitizer;    ///< LUIS_SANITIZE value ("OFF", "address", ...)
+  const char* compiler;     ///< compiler id + version
+};
+
+const BuildInfo& build_info();
+
+/// The stamp as a JSON object, e.g.
+/// {"git":"0ac02f8","build_type":"RelWithDebInfo","sanitizer":"OFF",...}.
+std::string build_info_json();
+
+/// One-line human-readable stamp (the `luis version` output).
+std::string version_string();
+
+} // namespace luis::obs

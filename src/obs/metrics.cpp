@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/build_info.hpp"
+#include "support/json.hpp"
+#include "support/string_utils.hpp"
+
+namespace luis::obs {
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = data_.max = v;
+  } else {
+    data_.min = std::min(data_.min, v);
+    data_.max = std::max(data_.max, v);
+  }
+  ++data_.count;
+  data_.sum += v;
+  int i = 0;
+  double bound = kFirstUpperBound;
+  while (i < kBuckets - 1 && v > bound) {
+    bound *= kGrowth;
+    ++i;
+  }
+  ++data_.buckets[i];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+double Histogram::upper_bound(int i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  double bound = kFirstUpperBound;
+  for (int k = 0; k < i; ++k) bound *= kGrowth;
+  return bound;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out += "# build ";
+  out += version_string();
+  out += '\n';
+  for (const auto& [name, c] : counters_)
+    out += format_string("counter   %-40s %ld\n", name.c_str(), c->value());
+  for (const auto& [name, g] : gauges_)
+    out += format_string("gauge     %-40s %.6g\n", name.c_str(), g->value());
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    out += format_string(
+        "histogram %-40s count=%ld sum=%.6g mean=%.6g min=%.6g max=%.6g\n",
+        name.c_str(), s.count, s.sum, s.mean(), s.min, s.max);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.newline();
+  w.key("build");
+  w.raw_value(build_info_json());
+  w.newline();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name);
+    w.value(c->value());
+  }
+  w.end_object();
+  w.newline();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name);
+    w.value(g->value(), "%.17g");
+  }
+  w.end_object();
+  w.newline();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(s.count);
+    w.key("sum");
+    w.value(s.sum, "%.17g");
+    w.key("mean");
+    w.value(s.mean(), "%.17g");
+    w.key("min");
+    w.value(s.min, "%.17g");
+    w.key("max");
+    w.value(s.max, "%.17g");
+    w.key("buckets");
+    w.begin_array();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (s.buckets[i] == 0) continue;
+      w.begin_object();
+      w.key("le");
+      w.value(Histogram::upper_bound(i), "%.6g");
+      w.key("count");
+      w.value(s.buckets[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.newline();
+  w.end_object();
+  w.newline();
+  return w.take();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+} // namespace luis::obs

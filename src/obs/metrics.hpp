@@ -1,0 +1,103 @@
+// Metrics: one process-wide registry of named counters, gauges, and
+// histograms, replacing the scattered ad-hoc Stats structs (solver cache,
+// program cache, engine counters) with a single uniform dump (text and
+// JSON, both carrying the build stamp).
+//
+// Counters and gauges are single atomics — cheap enough to stay on in
+// production paths. Histograms take a short per-histogram lock. Name
+// lookup (counter()/gauge()/histogram()) locks the registry map, so hot
+// paths should resolve their instrument once and keep the reference;
+// instruments have stable addresses for the registry's lifetime.
+//
+// The registry is instantiable (unit tests use private instances); the
+// instrumented subsystems use the process-global metrics().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace luis::obs {
+
+class Counter {
+public:
+  void inc(long n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void set(long n) { v_.store(n, std::memory_order_relaxed); }
+  long value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<long> v_{0};
+};
+
+class Gauge {
+public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Exponential-bucket histogram for positive samples (durations, counts).
+/// Bucket i covers (base^(i-1), base^i] * smallest; fixed 4x buckets from
+/// 1e-7 keep the layout platform-independent and allocation-free.
+class Histogram {
+public:
+  static constexpr int kBuckets = 24;
+  static constexpr double kFirstUpperBound = 1e-7;
+  static constexpr double kGrowth = 4.0;
+
+  void observe(double v);
+
+  struct Snapshot {
+    long count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    long buckets[kBuckets] = {};
+    double mean() const { return count > 0 ? sum / count : 0.0; }
+  };
+  Snapshot snapshot() const;
+
+  /// Inclusive upper bound of bucket `i` (the last bucket is +inf).
+  static double upper_bound(int i);
+
+private:
+  mutable std::mutex mutex_;
+  Snapshot data_;
+};
+
+class MetricsRegistry {
+public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Convenience for one-shot publication: gauge(name).set(v).
+  void set_gauge(std::string_view name, double v) { gauge(name).set(v); }
+
+  /// Sorted-by-name dumps. JSON: {"build":...,"counters":{...},
+  /// "gauges":{...},"histograms":{...}}.
+  std::string to_text() const;
+  std::string to_json() const;
+
+  /// Drops every registered instrument (invalidates held references —
+  /// only for test isolation).
+  void reset();
+
+private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-global registry the instrumented subsystems report into.
+MetricsRegistry& metrics();
+
+} // namespace luis::obs

@@ -1,0 +1,116 @@
+#include "support/json.hpp"
+
+#include "support/diag.hpp"
+#include "support/string_utils.hpp"
+
+namespace luis {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\t': out += "\\t"; break;
+    case '\r': out += "\\r"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20)
+        out += format_string("\\u%04x", static_cast<unsigned>(c));
+      else
+        out += c;
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  if (stack_.empty()) return; // top-level document value
+  Frame& f = stack_.back();
+  if (f.scope == Scope::Object) {
+    LUIS_ASSERT(f.expecting_value, "JsonWriter: object value without a key");
+    f.expecting_value = false;
+    return; // key() already placed the comma
+  }
+  if (f.has_items) out_ += ',';
+  f.has_items = true;
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  stack_.push_back({Scope::Object, false, false});
+}
+
+void JsonWriter::end_object() {
+  LUIS_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Object &&
+                  !stack_.back().expecting_value,
+              "JsonWriter: unbalanced end_object");
+  stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  stack_.push_back({Scope::Array, false, false});
+}
+
+void JsonWriter::end_array() {
+  LUIS_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Array,
+              "JsonWriter: unbalanced end_array");
+  stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  LUIS_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Object &&
+                  !stack_.back().expecting_value,
+              "JsonWriter: key() outside an object slot");
+  Frame& f = stack_.back();
+  if (f.has_items) out_ += ',';
+  f.has_items = true;
+  f.expecting_value = true;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_for_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool b) {
+  comma_for_value();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value(long v) {
+  comma_for_value();
+  out_ += format_string("%ld", v);
+}
+
+void JsonWriter::value(std::size_t v) {
+  comma_for_value();
+  out_ += format_string("%zu", v);
+}
+
+void JsonWriter::value(double v, const char* fmt) {
+  comma_for_value();
+  out_ += format_string(fmt, v);
+}
+
+void JsonWriter::raw_value(std::string_view json) {
+  comma_for_value();
+  out_ += json;
+}
+
+void JsonWriter::newline() { out_ += '\n'; }
+
+void JsonWriter::indent(int n) { out_.append(static_cast<std::size_t>(n), ' '); }
+
+} // namespace luis

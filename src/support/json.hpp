@@ -1,0 +1,74 @@
+// Minimal JSON emission shared by every report generator in LUIS: the
+// sweep report, the trace-event sink, and the metrics dump all render
+// through this writer instead of hand-rolled string appends.
+//
+// The writer tracks the container stack and inserts commas itself, so a
+// generator cannot produce structurally invalid JSON, and every string
+// value goes through json_escape() — the historical sweep report
+// interpolated names with %s and would have emitted broken JSON for any
+// name containing a quote or backslash.
+//
+// Output is compact by default; newline() inserts a line break between
+// tokens (legal anywhere whitespace is) so reports can stay diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace luis {
+
+/// Escapes `text` for use inside a JSON string literal: quote, backslash,
+/// and control characters (the latter as \n, \t, \r or \u00XX).
+std::string json_escape(std::string_view text);
+
+class JsonWriter {
+public:
+  /// Starts a value at the current position: objects, arrays, scalars.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key (escaped). Must be inside an object; the next
+  /// emitted value is the key's value.
+  void key(std::string_view k);
+
+  void value(std::string_view s); ///< escaped string value
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(long v);
+  void value(int v) { value(static_cast<long>(v)); }
+  void value(std::size_t v);
+  /// Doubles take a printf format so reports keep their established
+  /// precision conventions (%.6g timings, %.17g objectives, ...).
+  void value(double v, const char* fmt = "%.17g");
+
+  /// Emits pre-rendered JSON as a value (the caller guarantees validity).
+  void raw_value(std::string_view json);
+
+  /// Inserts a newline between tokens (purely cosmetic).
+  void newline();
+  /// Inserts `n` spaces between tokens (purely cosmetic).
+  void indent(int n);
+
+  /// The document rendered so far. Call when every container is closed.
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+private:
+  void comma_for_value();
+
+  enum class Scope : unsigned char { Object, Array };
+  struct Frame {
+    Scope scope;
+    bool has_items = false;
+    bool expecting_value = false; ///< object: key() seen, value pending
+  };
+
+  std::string out_;
+  std::vector<Frame> stack_;
+};
+
+} // namespace luis

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 #include "support/string_utils.hpp"
@@ -152,6 +153,45 @@ TEST(StringUtils, FormatAndPad) {
   EXPECT_EQ(pad_left("ab", 4), "  ab");
   EXPECT_EQ(pad_right("ab", 4), "ab  ");
   EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+TEST(Json, EscapeHandlesQuotesBackslashesAndControls) {
+  // The historical sweep report interpolated names with %s and emitted
+  // broken JSON for exactly these inputs.
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(Json, WriterEmitsNestedContainersWithCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("tri\"solv");
+  w.key("jobs");
+  w.begin_array();
+  w.value(1L);
+  w.value(2.5, "%.1f");
+  w.value(true);
+  w.end_array();
+  w.key("nested");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"tri\\\"solv\",\"jobs\":[1,2.5,true],\"nested\":{}}");
+}
+
+TEST(Json, WriterRawValueAndCosmetics) {
+  JsonWriter w;
+  w.begin_array();
+  w.raw_value("{\"pre\":1}");
+  w.newline();
+  w.value(2L);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[{\"pre\":1}\n,2]");
 }
 
 } // namespace

@@ -24,6 +24,28 @@
 //   luis fuzz [options]                   property-based differential
 //                                         fuzzing of the solver, IR, and
 //                                         quantization layers
+//   luis profile <file.ir> [options]      execute on the VM with per-
+//                                         instruction counting and print
+//                                         a ranked hot-spot report (the
+//                                         per-line costs sum exactly to
+//                                         the run's simulated time)
+//   luis version                          print the build stamp
+//
+// global options (any verb, see docs/OBSERVABILITY.md):
+//   --trace-out FILE      record spans across the pipeline, solver, sweep
+//                         workers, and VM, and write a Chrome trace-event
+//                         JSON file (open in Perfetto / chrome://tracing)
+//   --metrics-out FILE    write the process metrics registry as JSON
+//   --log-level L         error|warn|info|debug (default info)
+//
+// profile options:
+//   --platform P          op-time table pricing the report (as in tune)
+//   --platform-file F     saved characterization instead of a named one
+//   --type T              uniform representation to run under
+//                         (default binary64)
+//   --assignment F        profile under a saved type assignment instead
+//   --top N               rows to print (default 20, 0 = all)
+//   --json FILE           also write the full report as JSON
 //
 // run/apply options:
 //   --engine vm|ref       execution engine (default vm; results are
@@ -89,6 +111,8 @@
 //
 // Every verb that parses IR verifies it and exits non-zero on verifier
 // errors, so the tool is usable as a pre-commit check.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -109,9 +133,14 @@
 #include "ir/passes.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/microbench.hpp"
 #include "polybench/polybench.hpp"
+#include "support/diag.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
 #include "testing/fuzz.hpp"
@@ -122,8 +151,10 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: luis <kernels|emit|compile|print|verify|ranges|tune|"
-               "lint|run|disasm|characterize|sweep|fuzz> [args]\n(see the "
+               "usage: luis [--trace-out F] [--metrics-out F] [--log-level L] "
+               "<kernels|emit|compile|print|verify|ranges|tune|"
+               "lint|run|disasm|characterize|sweep|fuzz|profile|version> "
+               "[args]\n(see the "
                "header of tools/luis_cli.cpp for the full option list)\n");
   return 2;
 }
@@ -807,12 +838,152 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   return failures == 0 && result.ok() ? 0 : 1;
 }
 
-} // namespace
+int cmd_profile(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string path = args[0];
+  std::string platform_name = "Stm32", assignment_path, json_path;
+  numrep::ConcreteType type{numrep::kBinary64, 0};
+  std::size_t top = 20;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return ++i < args.size() ? args[i] : std::string();
+    };
+    if (a == "--platform") {
+      platform_name = next();
+    } else if (a == "--platform-file") {
+      platform_name = "@" + next();
+    } else if (a == "--type") {
+      const std::string name = next();
+      const auto fmt = numrep::parse_format(name);
+      if (!fmt) {
+        std::fprintf(stderr, "luis: unknown format '%s'\n", name.c_str());
+        return 2;
+      }
+      type.format = *fmt;
+      if (fmt->is_fixed()) type.frac_bits = fmt->width() / 2;
+    } else if (a == "--assignment") {
+      assignment_path = next();
+    } else if (a == "--top") {
+      top = static_cast<std::size_t>(std::atol(next().c_str()));
+    } else if (a == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr, "luis profile: unknown option %s\n", a.c_str());
+      return usage();
+    }
+  }
 
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  platform::OpTimeTable storage;
+  const platform::OpTimeTable* table = resolve_platform(platform_name, storage);
+  if (!table) return 2;
+
+  ir::Module module;
+  ir::Function* f = parse_and_verify_or_die(module, path);
+  if (!f) return 1;
+
+  interp::TypeAssignment types = interp::TypeAssignment::uniform(*f, type);
+  if (!assignment_path.empty()) {
+    const auto text = read_file(assignment_path);
+    if (!text) {
+      std::fprintf(stderr, "luis: cannot read %s\n", assignment_path.c_str());
+      return 1;
+    }
+    const core::AssignmentParseResult parsed =
+        core::assignment_from_text(*f, *text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "luis: %s: %s\n", assignment_path.c_str(),
+                   parsed.error.c_str());
+      return 1;
+    }
+    types = parsed.assignment;
+  }
+
+  const interp::CompiledProgram program = interp::compile_program(*f, types, {});
+  interp::ArrayStore store = synth_inputs(*f);
+  interp::VmProfile profile;
+  interp::RunOptions ropt;
+  ropt.vm_profile = &profile;
+  const interp::RunResult run = interp::run_program(program, *f, store, ropt);
+  if (!run.ok) {
+    std::fprintf(stderr, "luis: execution failed: %s\n", run.error.c_str());
+    return 1;
+  }
+
+  const obs::HotSpotReport report =
+      obs::build_hotspot_report(program, *f, profile, *table);
+  std::fputs(obs::hotspot_text(report, top).c_str(), stdout);
+
+  // The report's attribution is exact by construction; cross-check it
+  // against the cost model so a drift between the two is loud, not silent.
+  const double simulated = platform::simulated_time(run.counters, *table);
+  const double drift = std::abs(report.total_cost - simulated);
+  if (drift > 1e-9 * std::max(1.0, std::abs(simulated))) {
+    std::fprintf(stderr,
+                 "luis profile: attribution drift: report %.17g vs "
+                 "simulated %.17g\n",
+                 report.total_cost, simulated);
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "luis profile: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    os << obs::hotspot_json(report);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_version() {
+  std::printf("%s\n", obs::version_string().c_str());
+  return 0;
+}
+
+/// Extracts the process-global observability flags (usable with any verb)
+/// from the raw argument list, leaving the verb and its own options in
+/// `rest`. Returns false (after reporting) on a malformed value.
+bool extract_global_flags(const std::vector<std::string>& all,
+                          std::vector<std::string>& rest,
+                          std::string& trace_path, std::string& metrics_path) {
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const std::string& a = all[i];
+    auto value_of = [&](const char* flag, std::string& out) {
+      const std::string eq = std::string(flag) + "=";
+      if (a.compare(0, eq.size(), eq) == 0) {
+        out = a.substr(eq.size());
+        return true;
+      }
+      if (a == flag && i + 1 < all.size()) {
+        out = all[++i];
+        return true;
+      }
+      return false;
+    };
+    std::string level;
+    if (value_of("--trace-out", trace_path)) continue;
+    if (value_of("--metrics-out", metrics_path)) continue;
+    if (value_of("--log-level", level)) {
+      const auto parsed = parse_log_level(level);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "luis: unknown log level '%s' (want error|warn|info|"
+                     "debug)\n",
+                     level.c_str());
+        return false;
+      }
+      set_log_level(*parsed);
+      continue;
+    }
+    rest.push_back(a);
+  }
+  return true;
+}
+
+int run_command(const std::string& cmd, const std::vector<std::string>& args) {
   if (cmd == "kernels") return cmd_kernels();
   if (cmd == "emit") return cmd_emit(args);
   if (cmd == "print") return cmd_print(args);
@@ -827,5 +998,45 @@ int main(int argc, char** argv) {
   if (cmd == "characterize") return cmd_characterize(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "fuzz") return cmd_fuzz(args);
+  if (cmd == "profile") return cmd_profile(args);
+  if (cmd == "version") return cmd_version();
   return usage();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> all(argv + 1, argv + argc);
+  std::vector<std::string> rest;
+  std::string trace_path, metrics_path;
+  if (!extract_global_flags(all, rest, trace_path, metrics_path)) return 2;
+  if (rest.empty()) return usage();
+  const std::string cmd = rest[0];
+  const std::vector<std::string> args(rest.begin() + 1, rest.end());
+
+  if (!trace_path.empty()) obs::trace().start();
+  const int rc = run_command(cmd, args);
+
+  if (!trace_path.empty()) {
+    obs::trace().stop();
+    if (!obs::trace().write_file(trace_path)) {
+      std::fprintf(stderr, "luis: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return rc != 0 ? rc : 1;
+    }
+    std::fprintf(stderr, "luis: wrote %zu trace events to %s\n",
+                 obs::trace().event_count(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (os) {
+      os << obs::metrics().to_json();
+      std::fprintf(stderr, "luis: wrote metrics to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "luis: cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      return rc != 0 ? rc : 1;
+    }
+  }
+  return rc;
 }

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validates a LUIS Chrome trace-event file.
+
+Checks that the file is valid JSON in the trace-event "JSON object format",
+that every duration (B) event has a matching end (E) on the same thread,
+that per-thread timestamps are monotonic, and optionally that spans from a
+minimum number of distinct worker threads are present (--min-threads).
+
+Exit status 0 on a valid trace, 1 otherwise. Used by the observability CI
+job and the cli_trace_validates smoke test.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print("validate_trace: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace JSON file to validate")
+    ap.add_argument("--min-threads", type=int, default=1,
+                    help="require duration events from at least this many "
+                         "distinct threads (default 1)")
+    ap.add_argument("--require-name", action="append", default=[],
+                    help="require at least one event with this name "
+                         "(repeatable)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot parse %s: %s" % (args.trace, e))
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+    if "build" not in doc:
+        fail("missing build stamp")
+
+    stacks = defaultdict(list)       # tid -> stack of open B names
+    last_ts = {}                     # tid -> last seen timestamp
+    names = set()
+    duration_tids = set()
+    for i, ev in enumerate(events):
+        for field in ("ph", "ts", "pid", "tid", "name"):
+            if field not in ev:
+                fail("event %d missing %r: %r" % (i, field, ev))
+        ph, tid, ts = ev["ph"], ev["tid"], ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail("event %d has bad ts %r" % (i, ts))
+        if tid in last_ts and ts < last_ts[tid]:
+            fail("event %d: ts %r goes backwards on tid %r" % (i, ts, tid))
+        last_ts[tid] = ts
+        names.add(ev["name"])
+        if ph == "B":
+            stacks[tid].append(ev["name"])
+            duration_tids.add(tid)
+        elif ph == "E":
+            if not stacks[tid]:
+                fail("event %d: E %r with no open B on tid %r"
+                     % (i, ev["name"], tid))
+            stacks[tid].pop()
+        elif ph == "i":
+            if ev.get("s") not in (None, "t", "p", "g"):
+                fail("event %d: bad instant scope %r" % (i, ev.get("s")))
+        else:
+            fail("event %d: unexpected phase %r" % (i, ph))
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail("tid %r ends with unclosed spans: %s" % (tid, stack))
+    if len(duration_tids) < args.min_threads:
+        fail("duration events on %d thread(s), need >= %d"
+             % (len(duration_tids), args.min_threads))
+    for name in args.require_name:
+        if name not in names:
+            fail("required event name %r never appears" % name)
+
+    print("validate_trace: OK: %d events, %d threads, %d distinct names"
+          % (len(events), len(duration_tids), len(names)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
