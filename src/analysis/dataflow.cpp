@@ -1,0 +1,94 @@
+#include "analysis/dataflow.hpp"
+
+#include <set>
+
+namespace luis::analysis {
+
+bool Loop::contains(const ir::BasicBlock* bb) const {
+  return std::find(blocks.begin(), blocks.end(), bb) != blocks.end();
+}
+
+std::vector<std::size_t> LoopInfo::containing(const ir::BasicBlock* bb) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < loops.size(); ++i)
+    if (loops[i].contains(bb)) out.push_back(i);
+  // Innermost first: in a reducible CFG nested loops are ordered by block
+  // count (the inner loop's body is a strict subset of the outer's).
+  std::sort(out.begin(), out.end(), [this](std::size_t a, std::size_t b) {
+    return loops[a].blocks.size() < loops[b].blocks.size();
+  });
+  return out;
+}
+
+namespace {
+
+/// Iterative DFS collecting back edges (edges to a block still on the DFS
+/// stack). For reducible CFGs — everything the structured builders emit —
+/// the target of a back edge is the natural-loop header.
+void find_back_edges(
+    const ir::Function& f,
+    std::vector<std::pair<const ir::BasicBlock*, const ir::BasicBlock*>>& out) {
+  if (!f.entry()) return;
+  std::set<const ir::BasicBlock*> visited;
+  std::set<const ir::BasicBlock*> on_stack;
+  struct Frame {
+    const ir::BasicBlock* bb;
+    std::vector<ir::BasicBlock*> succs;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({f.entry(), f.entry()->successors()});
+  visited.insert(f.entry());
+  on_stack.insert(f.entry());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.succs.size()) {
+      on_stack.erase(frame.bb);
+      stack.pop_back();
+      continue;
+    }
+    const ir::BasicBlock* succ = frame.succs[frame.next++];
+    if (on_stack.count(succ)) {
+      out.emplace_back(frame.bb, succ); // latch -> header
+    } else if (!visited.count(succ)) {
+      visited.insert(succ);
+      on_stack.insert(succ);
+      stack.push_back({succ, succ->successors()});
+    }
+  }
+}
+
+} // namespace
+
+LoopInfo LoopInfo::compute(const ir::Function& f) {
+  LoopInfo info;
+  std::vector<std::pair<const ir::BasicBlock*, const ir::BasicBlock*>> edges;
+  find_back_edges(f, edges);
+
+  // Natural loop of a back edge latch->header: header plus every block that
+  // reaches the latch without passing through the header. Multiple latches
+  // with the same header merge into one loop.
+  std::map<const ir::BasicBlock*, std::set<const ir::BasicBlock*>> bodies;
+  for (const auto& [latch, header] : edges) {
+    std::set<const ir::BasicBlock*>& body = bodies[header];
+    body.insert(header);
+    std::vector<const ir::BasicBlock*> work;
+    if (body.insert(latch).second) work.push_back(latch);
+    while (!work.empty()) {
+      const ir::BasicBlock* bb = work.back();
+      work.pop_back();
+      for (ir::BasicBlock* pred : f.predecessors(bb))
+        if (body.insert(pred).second) work.push_back(pred);
+    }
+  }
+
+  for (const auto& [header, body] : bodies) {
+    Loop loop;
+    loop.header = header;
+    loop.blocks.assign(body.begin(), body.end());
+    info.loops.push_back(std::move(loop));
+  }
+  return info;
+}
+
+} // namespace luis::analysis

@@ -1,0 +1,242 @@
+// Forward-dataflow / abstract-interpretation framework over the SSA IR.
+//
+// The LUIS pipeline keeps growing analyses that iterate transfer functions
+// over basic blocks to a fixpoint — value range analysis first, the static
+// rounding-error analysis next, and every per-format soundness gate the
+// ROADMAP format axis will need after that. This header factors the
+// fixpoint engine out once: a forward worklist over blocks, per-domain
+// transfer functions, join semantics at phis and memory, and pass-indexed
+// widening, parameterized by an abstract *domain*.
+//
+// A Domain supplies (duck-typed; see vra::RangeDomain and
+// analysis::ErrorDomain for the two in-tree clients):
+//
+//   using Value = ...;                       // the abstract value
+//   void seed(State& state);                 // initial entries (arrays, ...)
+//   std::optional<Value> constant(const ir::Value*) const;
+//                                            // abstract value of literals
+//   void transfer(const ir::Instruction*, const Reader&, Effects<Value>&);
+//   Value join(const Value&, const Value&) const;
+//   Value widen(const ir::Value* target, const Value& old, const Value& grown,
+//               int pass);
+//   bool equal(const Value&, const Value&) const;
+//
+// A transfer reads operands through the Reader (std::nullopt = bottom, the
+// not-yet-visited optimistic element) and emits *effects*: an Assign effect
+// replaces the target's value (exact re-evaluation, may shrink), a Join
+// effect merges into it (phis, integer cycles, stores into arrays). Join
+// effects that still grow after `widen_after` passes go through the
+// domain's widening operator. A transfer that saw a bottom operand calls
+// poison() and is retried automatically once the operand gets a value.
+//
+// The engine runs block sweeps in program order but skips blocks none of
+// whose inputs changed — observationally identical to full round-robin
+// passes (a skipped block would recompute exactly what it produced last
+// time) while doing work proportional to the actual change frontier.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace luis::analysis {
+
+struct DataflowOptions {
+  /// Hard cap on block sweeps; a run that exhausts it did not converge.
+  int max_passes = 50;
+  /// Join effects that grow on a pass >= this one are widened.
+  int widen_after = 10;
+};
+
+struct DataflowStats {
+  /// Block sweeps executed (including the final clean sweep).
+  int passes = 0;
+  /// Transfer functions evaluated.
+  long transfers = 0;
+  /// Join updates that went through the widening operator.
+  long widenings = 0;
+  /// True when a fixpoint was reached within max_passes.
+  bool converged = false;
+};
+
+/// How an effect combines with the target's current abstract value.
+enum class UpdateKind {
+  Assign, ///< replace: the transfer result is exact and may shrink
+  Join,   ///< merge via the domain's join (and widen when growing late)
+};
+
+/// The updates one transfer-function evaluation wants to apply.
+template <typename Value>
+class Effects {
+public:
+  struct Effect {
+    const ir::Value* target;
+    Value value;
+    UpdateKind kind;
+  };
+
+  /// Replace `target`'s value (registers: exact function of the operands).
+  void assign(const ir::Value* target, Value value) {
+    effects_.push_back({target, std::move(value), UpdateKind::Assign});
+  }
+  /// Merge into `target`'s value (phis, integer cycles, array stores).
+  void join(const ir::Value* target, Value value) {
+    effects_.push_back({target, std::move(value), UpdateKind::Join});
+  }
+  /// A strict operand was bottom: drop every effect and retry later.
+  void poison() { poisoned_ = true; }
+
+  bool poisoned() const { return poisoned_; }
+  const std::vector<Effect>& effects() const { return effects_; }
+
+private:
+  std::vector<Effect> effects_;
+  bool poisoned_ = false;
+};
+
+template <typename Domain>
+class ForwardDataflow {
+public:
+  using Value = typename Domain::Value;
+  using State = std::map<const ir::Value*, Value>;
+  using Reader = std::function<std::optional<Value>(const ir::Value*)>;
+
+  ForwardDataflow(const ir::Function& f, Domain& domain,
+                  const DataflowOptions& options)
+      : f_(f), domain_(domain), options_(options) {}
+
+  /// Runs to a fixpoint (or the pass cap) and returns the statistics; the
+  /// final abstract state is available via state().
+  DataflowStats run() {
+    domain_.seed(state_);
+    index_blocks();
+
+    const std::size_t num_blocks = f_.blocks().size();
+    // Sweep a block on pass p iff dirty_until_[b] >= p; everything starts
+    // dirty for pass 0.
+    dirty_until_.assign(num_blocks, 0);
+
+    const Reader read = [this](const ir::Value* v) -> std::optional<Value> {
+      const auto it = state_.find(v);
+      if (it != state_.end()) return it->second;
+      return domain_.constant(v);
+    };
+
+    DataflowStats stats;
+    for (int pass = 0; pass < options_.max_passes; ++pass) {
+      pass_ = pass;
+      widen_phase_ = pass >= options_.widen_after;
+      bool swept = false;
+      for (std::size_t bi = 0; bi < num_blocks; ++bi) {
+        if (dirty_until_[bi] < pass) continue;
+        swept = true;
+        block_ = bi;
+        for (const auto& inst : f_.blocks()[bi]->instructions()) {
+          ++stats.transfers;
+          Effects<Value> fx;
+          domain_.transfer(inst.get(), read, fx);
+          if (fx.poisoned()) continue;
+          for (const auto& e : fx.effects()) apply(e, stats);
+        }
+      }
+      if (!swept) {
+        stats.converged = true;
+        break;
+      }
+      ++stats.passes;
+    }
+    return stats;
+  }
+
+  State& state() { return state_; }
+  const State& state() const { return state_; }
+
+private:
+  void index_blocks() {
+    block_of_.clear();
+    users_.clear();
+    for (std::size_t bi = 0; bi < f_.blocks().size(); ++bi) {
+      for (const auto& inst : f_.blocks()[bi]->instructions()) {
+        for (const ir::Value* op : inst->operands()) {
+          std::vector<std::size_t>& blocks = users_[op];
+          if (blocks.empty() || blocks.back() != bi) blocks.push_back(bi);
+        }
+      }
+      block_of_[f_.blocks()[bi].get()] = bi;
+    }
+  }
+
+  /// A value changed while sweeping block `block_`: blocks reading it later
+  /// in this sweep see the new value live; earlier (or the current) ones
+  /// must be reswept next pass.
+  void mark_users(const ir::Value* v) {
+    const auto it = users_.find(v);
+    if (it == users_.end()) return;
+    for (const std::size_t u : it->second)
+      dirty_until_[u] = std::max(dirty_until_[u], u > block_ ? pass_ : pass_ + 1);
+  }
+
+  void apply(const typename Effects<Value>::Effect& e, DataflowStats& stats) {
+    const auto it = state_.find(e.target);
+    if (it == state_.end()) {
+      state_.emplace(e.target, e.value);
+      mark_users(e.target);
+      return;
+    }
+    if (e.kind == UpdateKind::Assign) {
+      if (domain_.equal(it->second, e.value)) return;
+      it->second = e.value;
+      mark_users(e.target);
+      return;
+    }
+    Value merged = domain_.join(it->second, e.value);
+    if (domain_.equal(merged, it->second)) return;
+    if (widen_phase_) {
+      merged = domain_.widen(e.target, it->second, merged, pass_);
+      ++stats.widenings;
+      // A widening operator may *absorb* the growth (return the old value
+      // unchanged — e.g. a budgeted post-fixpoint bound that already covers
+      // it). Re-marking users would keep them dirty forever.
+      if (domain_.equal(merged, it->second)) return;
+    }
+    it->second = std::move(merged);
+    mark_users(e.target);
+  }
+
+  const ir::Function& f_;
+  Domain& domain_;
+  DataflowOptions options_;
+  State state_;
+  std::map<const ir::BasicBlock*, std::size_t> block_of_;
+  std::map<const ir::Value*, std::vector<std::size_t>> users_;
+  std::vector<int> dirty_until_;
+  int pass_ = 0;
+  std::size_t block_ = 0;
+  bool widen_phase_ = false;
+};
+
+// --- Natural-loop structure (shared by clients that need trip bounds). ---
+
+/// One natural loop: a header plus every block on a path from a latch back
+/// to the header. Computed from DFS back edges; LUIS CFGs come out of the
+/// structured KernelBuilder (or the structured frontend) and are reducible.
+struct Loop {
+  const ir::BasicBlock* header = nullptr;
+  std::vector<const ir::BasicBlock*> blocks; ///< includes the header
+  bool contains(const ir::BasicBlock* bb) const;
+};
+
+struct LoopInfo {
+  std::vector<Loop> loops;
+
+  /// Indices (into loops) of every loop containing `bb`, innermost first.
+  std::vector<std::size_t> containing(const ir::BasicBlock* bb) const;
+
+  static LoopInfo compute(const ir::Function& f);
+};
+
+} // namespace luis::analysis

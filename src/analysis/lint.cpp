@@ -15,6 +15,11 @@ void check_fixed_point_overflow(const LintContext&, DiagnosticEngine&);
 void check_precision_loss_casts(const LintContext&, DiagnosticEngine&);
 void check_redundant_casts(const LintContext&, DiagnosticEngine&);
 void check_range_escape(const LintContext&, DiagnosticEngine&);
+// Implemented in checks_error.cpp (need a LintContext with an ErrorMap).
+void check_error_budget(const LintContext&, DiagnosticEngine&);
+void check_error_dominated(const LintContext&, DiagnosticEngine&);
+void check_cancellation(const LintContext&, DiagnosticEngine&);
+void check_phi_imbalance(const LintContext&, DiagnosticEngine&);
 
 namespace {
 
@@ -26,6 +31,10 @@ constexpr LintPass kPasses[] = {
     {"precision-loss-cast", "L005", check_precision_loss_casts},
     {"redundant-cast", "L006", check_redundant_casts},
     {"range-escape", "L007", check_range_escape},
+    {"error-budget-exceeded", "L008", check_error_budget},
+    {"error-dominated-output", "L009", check_error_dominated},
+    {"catastrophic-cancellation", "L010", check_cancellation},
+    {"phi-error-imbalance", "L011", check_phi_imbalance},
 };
 
 } // namespace
@@ -58,10 +67,14 @@ std::string LintContext::describe(const ir::Value* value) const {
 DiagnosticEngine run_lint(const ir::Function& function,
                           const interp::TypeAssignment& assignment,
                           const vra::RangeMap& ranges,
-                          const LintOptions& options) {
-  LintContext context{function, assignment, ranges, options,
+                          const LintOptions& options, const ErrorMap* errors) {
+  LintContext context{function,
+                      assignment,
+                      ranges,
+                      options,
                       ir::number_instructions(function),
-                      ir::compute_uses(function)};
+                      ir::compute_uses(function),
+                      errors};
   DiagnosticEngine engine;
   const auto& disabled = options.disabled_codes;
   for (const LintPass& pass : kPasses) {

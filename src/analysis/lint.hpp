@@ -20,9 +20,21 @@
 //   L006  redundant-cast            identity cast or cancelling cast pair
 //   L007  range-escape              VRA range exceeds the format's range
 //
+// The error-aware rules (checks_error.cpp) additionally consult the static
+// error-bound analysis (analysis/error_bounds.hpp) when the caller supplies
+// one; without an ErrorMap they are silently skipped:
+//
+//   L008  error-budget-exceeded     certified output error above the budget
+//   L009  error-dominated-output    certified error swamps the value scale
+//   L010  catastrophic-cancellation subtraction cancels leading bits of
+//                                   operands that carry rounding error
+//   L011  phi-error-imbalance       join paths with wildly different
+//                                   certified precision
+//
 // See docs/LINT.md for the full catalog with examples and fixes.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <span>
 #include <string>
@@ -36,6 +48,8 @@
 
 namespace luis::analysis {
 
+class ErrorMap;
+
 struct LintOptions {
   /// L005 trips when a single cast drops more than this many guaranteed
   /// fractional bits (IEBW over the operand's range).
@@ -44,6 +58,19 @@ struct LintOptions {
   /// representation mismatch — including at stores — is a hard error
   /// because no later stage will reconcile it.
   bool casts_materialized = false;
+  /// L008: certified relative-error budget for stored-to arrays. The
+  /// default (infinity) disables the check; `luis check --max-rel-error`
+  /// and the CLI lint flag set it.
+  double max_rel_error = std::numeric_limits<double>::infinity();
+  /// L009: an output array whose certified absolute error reaches this
+  /// fraction of its value scale carries no trustworthy bits.
+  double error_dominated_ratio = 1.0;
+  /// L010 trips when a subtraction cancels at least this many leading
+  /// magnitude bits of error-carrying operands.
+  int cancellation_bits = 16;
+  /// L011 trips when two non-constant phi inputs' certified errors differ
+  /// by at least this many bits.
+  int imbalance_bits = 20;
   /// Codes to suppress entirely (e.g. {"L006"}).
   std::vector<std::string> disabled_codes;
 };
@@ -59,6 +86,9 @@ struct LintContext {
   std::map<const ir::Instruction*, int> ids;
   /// Def -> uses map (ir::compute_uses).
   std::map<const ir::Value*, std::vector<ir::Use>> uses;
+  /// Certified error bounds for the error-aware rules (L008–L011), or
+  /// nullptr when the caller did not run the error analysis.
+  const ErrorMap* errors = nullptr;
 
   /// "%12 (mul) in body", "@A", "const 2.5" — never dereferences pointers
   /// outside the function.
@@ -77,10 +107,13 @@ std::span<const LintPass> lint_passes();
 
 /// Runs every registered pass (minus `options.disabled_codes`) and returns
 /// the collected diagnostics. Deterministic: passes run in registry order
-/// and walk the function in program order.
+/// and walk the function in program order. Pass the ErrorMap from
+/// analyze_errors to enable the error-aware rules (L008–L011); they are
+/// skipped when `errors` is null.
 DiagnosticEngine run_lint(const ir::Function& function,
                           const interp::TypeAssignment& assignment,
                           const vra::RangeMap& ranges,
-                          const LintOptions& options = {});
+                          const LintOptions& options = {},
+                          const ErrorMap* errors = nullptr);
 
 } // namespace luis::analysis

@@ -41,7 +41,10 @@ PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
 
   {
     obs::TraceSpan span("pipeline.vra", "pipeline");
-    result.ranges = vra::analyze_ranges(f, options.vra);
+    analysis::DataflowStats vra_stats;
+    result.ranges = vra::analyze_ranges(f, options.vra, &vra_stats);
+    obs::metrics().counter("vra.fixpoint_passes").inc(vra_stats.passes);
+    obs::metrics().counter("vra.widenings").inc(vra_stats.widenings);
   }
   result.timings.vra_seconds = seconds_since(t_vra);
 
@@ -69,20 +72,32 @@ PipelineResult tune_kernel(ir::Function& f, const platform::OpTimeTable& table,
     result.timings.materialize_seconds = seconds_since(t_mat);
   }
 
+  // Materialized casts postdate the VRA pass; refresh the ranges so the
+  // downstream analyses see them (a cast carries its operand's range, not
+  // top).
+  if (result.casts_inserted > 0 &&
+      (options.analyze_errors || options.lint != LintMode::Off))
+    result.ranges = vra::analyze_ranges(f, options.vra);
+
+  if (options.analyze_errors) {
+    const auto t_err = std::chrono::steady_clock::now();
+    result.errors = analysis::analyze_errors(f, result.allocation.assignment,
+                                             result.ranges,
+                                             options.error_options);
+    result.timings.error_seconds = seconds_since(t_err);
+  }
+
   if (options.lint != LintMode::Off) {
     const auto t_lint = std::chrono::steady_clock::now();
     obs::TraceSpan span("pipeline.lint", "pipeline");
-    // Materialized casts postdate the VRA pass; refresh the ranges so the
-    // lint sees them (a cast carries its operand's range, not top).
-    if (result.casts_inserted > 0)
-      result.ranges = vra::analyze_ranges(f, options.vra);
     analysis::LintOptions lint_options = options.lint_options;
     lint_options.casts_materialized = options.materialize_casts;
     // Deliberately lints the allocator's raw output: a load whose entry
     // disagrees with its array is an allocator bug L003 must surface, not
     // something to normalize away.
-    result.lint = analysis::run_lint(f, result.allocation.assignment,
-                                     result.ranges, lint_options);
+    result.lint = analysis::run_lint(
+        f, result.allocation.assignment, result.ranges, lint_options,
+        options.analyze_errors ? &result.errors.errors : nullptr);
     result.timings.lint_seconds = seconds_since(t_lint);
     if (options.lint == LintMode::Error && result.lint.has_errors())
       result.lint_ok = false;

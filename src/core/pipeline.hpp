@@ -7,6 +7,7 @@
 // compilation-overhead experiment (Section V-B) consumes.
 #pragma once
 
+#include "analysis/error_bounds.hpp"
 #include "analysis/lint.hpp"
 #include "core/config.hpp"
 #include "core/ilp_allocator.hpp"
@@ -37,6 +38,12 @@ struct PipelineOptions {
   /// too).
   LintMode lint = LintMode::Off;
   analysis::LintOptions lint_options;
+  /// Run the static error-bound analysis over the allocator's output
+  /// (analysis/error_bounds.hpp). The certified bounds land in
+  /// PipelineResult::errors and feed the error-aware lint rules
+  /// (L008–L011) when the lint stage is also enabled.
+  bool analyze_errors = false;
+  analysis::ErrorBoundsOptions error_options;
 };
 
 /// Wall-clock seconds per pipeline stage. Each stage is measured from the
@@ -48,6 +55,7 @@ struct StageTimings {
   double vra_seconds = 0.0;         ///< value range analysis only
   double allocation_seconds = 0.0;  ///< model build + solve (or greedy scan)
   double materialize_seconds = 0.0; ///< cast materialization
+  double error_seconds = 0.0;       ///< static error-bound analysis
   double lint_seconds = 0.0;        ///< precision lint (incl. range refresh)
   double total_seconds = 0.0;       ///< whole tune_kernel call
   /// Sub-stages of allocation, sourced from AllocationStats: ILP model
@@ -66,7 +74,7 @@ struct StageTimings {
   /// Sum of the disjoint top-level stages (always <= total_seconds).
   double stage_sum() const {
     return ir_seconds + vra_seconds + allocation_seconds +
-           materialize_seconds + lint_seconds;
+           materialize_seconds + error_seconds + lint_seconds;
   }
 
   StageTimings& operator+=(const StageTimings& o) {
@@ -74,6 +82,7 @@ struct StageTimings {
     vra_seconds += o.vra_seconds;
     allocation_seconds += o.allocation_seconds;
     materialize_seconds += o.materialize_seconds;
+    error_seconds += o.error_seconds;
     lint_seconds += o.lint_seconds;
     total_seconds += o.total_seconds;
     model_build_seconds += o.model_build_seconds;
@@ -90,6 +99,8 @@ struct PipelineResult {
   int ir_changes = 0; ///< rewrites made by the optional cleanup passes
   StageTimings timings;
   int casts_inserted = 0;
+  /// Certified error bounds (empty unless PipelineOptions::analyze_errors).
+  analysis::ErrorAnalysisResult errors;
   /// Lint findings (empty when PipelineOptions::lint is Off).
   analysis::DiagnosticEngine lint;
   /// False iff lint ran in Error mode and found error-severity diagnostics.

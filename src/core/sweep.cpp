@@ -82,6 +82,7 @@ struct KernelContext {
 };
 
 void prepare_kernel(KernelContext& ctx, bool include_taffo,
+                    const vra::VraOptions& vra_options,
                     const interp::ExecutionEngine& engine) {
   ir::Module module;
   polybench::BuiltKernel kernel = polybench::build_kernel(ctx.name, module);
@@ -104,6 +105,7 @@ void prepare_kernel(KernelContext& ctx, bool include_taffo,
   if (include_taffo) {
     PipelineOptions popt;
     popt.allocator = AllocatorKind::Greedy;
+    popt.vra = vra_options;
     const PipelineResult tuned =
         tune_kernel(*kernel.function,
                     platform::stm32_table(), // unused by greedy
@@ -144,7 +146,8 @@ void run_ilp_job(const KernelContext& ctx, const platform::OpTimeTable& table,
 
   TuningConfig config = config_by_name(out.config, opt.solver_max_nodes);
   config.solver.cache = cache;
-  const PipelineOptions popt;
+  PipelineOptions popt;
+  popt.vra = opt.vra;
   const PipelineResult tuned = tune_kernel(f, table, config, popt);
   out.timings = tuned.timings;
   out.stats = tuned.allocation.stats;
@@ -182,6 +185,8 @@ void write_timings(JsonWriter& w, const StageTimings& t) {
   w.value(t.solve_seconds, "%.6g");
   w.key("materialize_seconds");
   w.value(t.materialize_seconds, "%.6g");
+  w.key("error_seconds");
+  w.value(t.error_seconds, "%.6g");
   w.key("lint_seconds");
   w.value(t.lint_seconds, "%.6g");
   w.key("interp_compile_seconds");
@@ -265,7 +270,7 @@ SweepResult run_sweep(const SweepOptions& options) {
       obs::TraceSpan span("sweep.prepare_kernel", "sweep", [&] {
         return obs::Args().str("kernel", contexts[i].name).done();
       });
-      prepare_kernel(contexts[i], options.include_taffo, *engine);
+      prepare_kernel(contexts[i], options.include_taffo, options.vra, *engine);
       LUIS_LOG(progress_level, "[sweep] " + contexts[i].name + " prepared");
     });
   }
@@ -390,6 +395,7 @@ SweepResult run_sweep(const SweepOptions& options) {
     result.stats.stage_totals.interp_execute_seconds += ctx.base_execute_seconds;
   }
   result.stats.engine = engine->name();
+  result.stats.vra = options.vra;
   if (cache_ptr) result.stats.cache = cache_ptr->stats();
   result.stats.program_cache = program_cache.stats();
   result.stats.wall_seconds =
@@ -503,6 +509,17 @@ std::string sweep_report_json(const SweepResult& result) {
                     s.cache.hit_rate());
   w.key("engine");
   w.value(s.engine);
+  w.key("vra");
+  w.begin_object();
+  w.key("max_passes");
+  w.value(s.vra.max_passes);
+  w.key("widen_after");
+  w.value(s.vra.widen_after);
+  w.key("clamp");
+  w.value(s.vra.clamp, "%.17g");
+  w.key("join_stores");
+  w.value(s.vra.join_stores);
+  w.end_object();
   w.key("program_cache");
   write_cache_stats(w, s.program_cache.lookups, s.program_cache.hits,
                     s.program_cache.insertions, s.program_cache.hit_rate());

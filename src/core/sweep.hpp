@@ -47,6 +47,9 @@ struct SweepOptions {
   /// After the (possibly parallel) sweep, serially re-tune every ILP job
   /// and verify it reproduces the same assignment and objective.
   bool check_determinism = true;
+  /// VRA fixpoint knobs, applied to every job's pipeline and recorded in
+  /// the JSON report (so a sweep is reproducible from its own artifact).
+  vra::VraOptions vra;
   bool verbose = false; ///< per-kernel progress lines on stderr
 };
 
@@ -82,6 +85,8 @@ struct SweepStats {
   /// -1 when the check is disabled; otherwise the number of jobs whose
   /// serial re-tune disagreed with the sweep result (0 = proven).
   int determinism_mismatches = -1;
+  /// The VRA knobs every job ran under (echoed into the JSON report).
+  vra::VraOptions vra;
 };
 
 struct SweepResult {

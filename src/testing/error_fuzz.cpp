@@ -1,0 +1,83 @@
+#include "testing/error_fuzz.hpp"
+
+#include <cmath>
+
+#include "analysis/error_bounds.hpp"
+#include "support/string_utils.hpp"
+#include "testing/ir_fuzz.hpp"
+#include "vra/range_analysis.hpp"
+
+namespace luis::testing {
+
+namespace {
+
+bool all_finite(const interp::ArrayStore& store) {
+  for (const auto& [name, buf] : store)
+    for (double v : buf)
+      if (!std::isfinite(v)) return false;
+  return true;
+}
+
+} // namespace
+
+CheckResult check_error_bounds_instance(const ir::Function& f,
+                                        const interp::ArrayStore& inputs,
+                                        Rng& type_rng,
+                                        interp::EngineKind engine) {
+  const auto exec = interp::make_engine(engine);
+
+  // The binary64 reference run stands in for the exact execution; its own
+  // distance to exactness is certified below and added to the budget.
+  interp::ArrayStore reference = inputs;
+  const interp::TypeAssignment binary64;
+  const interp::RunResult ref_run = exec->run(f, binary64, reference);
+  if (!ref_run.ok || !all_finite(reference))
+    return CheckResult::pass(); // not this oracle's property (ir target's)
+
+  const interp::TypeAssignment assignment = random_type_assignment(f, type_rng);
+  interp::ArrayStore quantized = inputs;
+  const interp::RunResult quant_run = exec->run(f, assignment, quantized);
+  if (!quant_run.ok)
+    return CheckResult::fail("quantized execution failed: " + quant_run.error);
+
+  // join_stores makes the certificate self-contained: the only trusted
+  // inputs are the array annotations, which the generator draws the input
+  // data from.
+  vra::VraOptions vra_options;
+  vra_options.join_stores = true;
+  const vra::RangeMap ranges = vra::analyze_ranges(f, vra_options);
+  const analysis::ErrorAnalysisResult certified =
+      analysis::analyze_errors(f, assignment, ranges);
+  const analysis::ErrorAnalysisResult reference_err =
+      analysis::analyze_errors(f, binary64, ranges);
+
+  // A non-finite quantized value voids the finite-run side condition that
+  // float-format caps certify under; unconditional bounds still apply, but
+  // a measured |quantized - reference| is not even well defined here.
+  if (!all_finite(quantized))
+    return CheckResult::pass();
+
+  for (const auto& arr : f.arrays()) {
+    const double bound = certified.errors.of(arr.get()) +
+                         reference_err.errors.of(arr.get());
+    if (!std::isfinite(bound)) continue; // no claim made
+    const auto qit = quantized.find(arr->name());
+    const auto rit = reference.find(arr->name());
+    if (qit == quantized.end() || rit == reference.end() ||
+        qit->second.size() != rit->second.size())
+      return CheckResult::fail("engine dropped or resized array @" +
+                               arr->name());
+    for (std::size_t i = 0; i < qit->second.size(); ++i) {
+      const double measured = std::abs(qit->second[i] - rit->second[i]);
+      if (measured > bound)
+        return CheckResult::fail(format_string(
+            "certified bound violated at @%s[%zu]: measured %.17g > "
+            "certified %.17g (assignment %s)",
+            arr->name().c_str(), i, measured, bound,
+            assignment.of(arr.get()).name().c_str()));
+    }
+  }
+  return CheckResult::pass();
+}
+
+} // namespace luis::testing

@@ -1,0 +1,37 @@
+// Soundness fuzzing for the static rounding-error analysis.
+//
+// The oracle pits the certificate against reality: for a random kernel and
+// a random quantized type assignment, the measured deviation of the
+// quantized run from the binary64 reference run must never exceed the
+// statically certified bound. The comparison is made rigorous by also
+// certifying the reference run itself — analyze_errors under an
+// all-binary64 assignment bounds |reference - exact|, so
+//
+//   |quantized - reference| <= err(assignment) + err(binary64)
+//
+// holds for every sound analysis, with no empirical slack factor. A trial
+// whose quantized run produces non-finite values is checked only where the
+// certificate is unconditional: float-format caps carry the finite-run
+// side condition (ErrorAnalysisResult::assumes_finite_run), which such a
+// run voids by construction.
+#pragma once
+
+#include "interp/engine.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/function.hpp"
+#include "support/rng.hpp"
+#include "testing/fuzz.hpp"
+
+namespace luis::testing {
+
+/// The error-bounds property: run the kernel under binary64 and under a
+/// random quantized assignment drawn from `type_rng`, certify both with
+/// analyze_ranges (join_stores) + analyze_errors, and check every array
+/// element's measured |quantized - reference| against the summed bounds.
+/// Unbounded (infinite) certificates pass trivially — the analysis never
+/// claims anything about them. `engine` selects the executing engine.
+CheckResult check_error_bounds_instance(
+    const ir::Function& f, const interp::ArrayStore& inputs, Rng& type_rng,
+    interp::EngineKind engine = interp::EngineKind::Reference);
+
+} // namespace luis::testing

@@ -13,6 +13,7 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "support/string_utils.hpp"
+#include "testing/error_fuzz.hpp"
 #include "testing/ilp_fuzz.hpp"
 #include "testing/ir_fuzz.hpp"
 #include "testing/numrep_fuzz.hpp"
@@ -24,6 +25,7 @@ const char* to_string(FuzzTarget target) {
   case FuzzTarget::Ilp: return "ilp";
   case FuzzTarget::Ir: return "ir";
   case FuzzTarget::Numrep: return "numrep";
+  case FuzzTarget::ErrorBounds: return "error";
   }
   return "<invalid>";
 }
@@ -98,6 +100,31 @@ CheckResult run_numrep_trial(std::uint64_t seed) {
   return check_numrep_trial(rng);
 }
 
+CheckResult run_error_trial(std::uint64_t seed, interp::EngineKind engine,
+                            std::string* repro) {
+  const auto check_under = [seed, engine](const IrGenOptions& options,
+                                          std::string* text) {
+    Rng rng(seed);
+    ir::Module module;
+    const GeneratedIr generated = generate_ir_kernel(module, rng, options);
+    Rng type_rng(seed ^ kTypeSeedSalt);
+    const CheckResult result = check_error_bounds_instance(
+        *generated.function, generated.inputs, type_rng, engine);
+    if (text) *text = ir::print_function(*generated.function);
+    return result;
+  };
+  const CheckResult result = check_under(IrGenOptions{}, nullptr);
+  if (!result.ok && repro) {
+    const auto still_fails = [&check_under](const IrGenOptions& candidate) {
+      return !check_under(candidate, nullptr).ok;
+    };
+    const IrGenOptions smallest =
+        shrink_ir_options(IrGenOptions{}, still_fails).options;
+    check_under(smallest, repro);
+  }
+  return result;
+}
+
 std::string write_artifact(const std::string& dir, FuzzTarget target,
                            std::uint64_t seed, const std::string& text) {
   if (dir.empty() || text.empty()) return {};
@@ -125,7 +152,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     return elapsed.count() >= options.seconds;
   };
 
-  std::vector<int> failures_per_target(3, 0);
+  std::vector<int> failures_per_target(4, 0);
   for (long trial = 0;; ++trial) {
     if (options.seconds > 0.0) {
       if (out_of_budget()) break;
@@ -143,6 +170,9 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       case FuzzTarget::Ilp: result = run_ilp_trial(seed, &repro); break;
       case FuzzTarget::Ir: result = run_ir_trial(seed, options.engine, &repro); break;
       case FuzzTarget::Numrep: result = run_numrep_trial(seed); break;
+      case FuzzTarget::ErrorBounds:
+        result = run_error_trial(seed, options.engine, &repro);
+        break;
       }
       if (result.ok) continue;
       ++failures_per_target[static_cast<int>(target)];

@@ -31,7 +31,7 @@ struct CheckResult {
   static CheckResult fail(std::string message) { return {false, std::move(message)}; }
 };
 
-enum class FuzzTarget { Ilp, Ir, Numrep };
+enum class FuzzTarget { Ilp, Ir, Numrep, ErrorBounds };
 
 const char* to_string(FuzzTarget target);
 
@@ -40,7 +40,8 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t trial);
 
 struct CampaignOptions {
   std::vector<FuzzTarget> targets = {FuzzTarget::Ilp, FuzzTarget::Ir,
-                                     FuzzTarget::Numrep};
+                                     FuzzTarget::Numrep,
+                                     FuzzTarget::ErrorBounds};
   /// Stop after this many trials per target (ignored when `seconds` > 0).
   long trials = 200;
   /// Unbounded mode: keep going until the wall-clock budget is spent.

@@ -1,6 +1,7 @@
 #include "vra/interval.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "support/string_utils.hpp"
 
@@ -88,6 +89,13 @@ Interval iv_max(const Interval& a, const Interval& b) {
 }
 
 Interval iv_join(const Interval& a, const Interval& b) {
+  // A NaN endpoint means "unknown"; std::min/max would silently drop it
+  // (they return the other argument), shrinking the join. Widen instead —
+  // iv_clamp downstream turns the infinities into the top element.
+  if (std::isnan(a.lo) || std::isnan(b.lo) || std::isnan(a.hi) ||
+      std::isnan(b.hi))
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
   return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
 }
 

@@ -2,7 +2,9 @@
 
 #include <optional>
 
+#include "analysis/dataflow.hpp"
 #include "support/diag.hpp"
+#include "support/string_utils.hpp"
 
 namespace luis::vra {
 
@@ -26,138 +28,134 @@ Interval RangeMap::of(const ir::Value* value) const {
 
 namespace {
 
-class Analyzer {
+/// The interval domain, expressed as a client of the shared forward
+/// dataflow framework (analysis/dataflow.hpp). Real registers use Assign
+/// effects (their range is an exact function of the operand ranges and may
+/// shrink on re-evaluation); integer registers, phis, and store-joined
+/// arrays use Join effects, which the framework widens once the pass count
+/// passes widen_after.
+class RangeDomain {
 public:
-  Analyzer(const ir::Function& f, const VraOptions& opt) : f_(f), opt_(opt) {
-    map_.set_top_magnitude(opt.clamp);
-  }
+  using Value = Interval;
+  using Reader = analysis::ForwardDataflow<RangeDomain>::Reader;
 
-  RangeMap run() {
-    // Seed arrays from annotations.
+  RangeDomain(const ir::Function& f, const VraOptions& opt) : f_(f), opt_(opt) {}
+
+  void seed(std::map<const ir::Value*, Interval>& state) {
     for (const auto& arr : f_.arrays()) {
       if (arr->range_annotation()) {
-        map_.set(arr.get(), iv_clamp({arr->range_annotation()->first,
-                                      arr->range_annotation()->second},
-                                     opt_.clamp));
+        state.emplace(arr.get(), iv_clamp({arr->range_annotation()->first,
+                                           arr->range_annotation()->second},
+                                          opt_.clamp));
       } else {
-        map_.set(arr.get(), Interval::top(opt_.clamp));
+        // Loads treat the annotation as authoritative, so a missing one
+        // silently degrades every dependent range (and error bound) to top.
+        LUIS_LOG_WARN(format_string(
+            "vra: array @%s has no range annotation; assuming [-%g, %g]",
+            arr->name().c_str(), opt_.clamp, opt_.clamp));
+        state.emplace(arr.get(), Interval::top(opt_.clamp));
       }
     }
+  }
 
-    for (int pass = 0; pass < opt_.max_passes; ++pass) {
-      changed_ = false;
-      widen_ = pass >= opt_.widen_after;
-      for (const auto& bb : f_.blocks())
-        for (const auto& inst : bb->instructions()) transfer(inst.get());
-      if (!changed_) break;
+  std::optional<Interval> constant(const ir::Value* v) const {
+    switch (v->kind()) {
+    case ir::Value::Kind::ConstReal:
+      return Interval::point(static_cast<const ir::ConstReal*>(v)->value());
+    case ir::Value::Kind::ConstInt:
+      return Interval::point(
+          static_cast<double>(static_cast<const ir::ConstInt*>(v)->value()));
+    default:
+      return std::nullopt;
     }
-    return std::move(map_);
   }
 
-private:
-  /// Operand range during the fixpoint: constants are points, seeded and
-  /// already-computed values read the map, and not-yet-visited registers
-  /// are bottom (nullopt) so the optimistic iteration can start tight.
-  std::optional<Interval> in_opt(const ir::Value* v) const {
-    if (v->is_constant() || map_.has(v)) return map_.of(v);
-    return std::nullopt;
+  Interval join(const Interval& a, const Interval& b) const {
+    return iv_join(a, b);
   }
 
-  /// Strict operand read: bottom operands poison the transfer (sets the
-  /// poisoned_ flag and returns a dummy).
-  Interval in(const ir::Value* v) {
-    const auto iv = in_opt(v);
-    if (!iv) {
-      poisoned_ = true;
-      return Interval{};
-    }
-    return *iv;
+  Interval widen(const ir::Value*, const Interval& old_iv,
+                 const Interval& grown, int /*pass*/) const {
+    return iv_widen(old_iv, grown, opt_.clamp);
   }
 
-  void update(const ir::Value* v, Interval next) {
-    if (poisoned_) return; // a bottom operand: try again next pass
-    next = iv_clamp(next, opt_.clamp);
-    if (!map_.has(v)) {
-      map_.set(v, next);
-      changed_ = true;
-      return;
-    }
-    const Interval old = map_.of(v);
-    Interval merged = iv_join(old, next);
-    if (merged == old) return;
-    if (widen_) merged = iv_widen(old, merged, opt_.clamp);
-    map_.set(v, merged);
-    changed_ = true;
-  }
+  bool equal(const Interval& a, const Interval& b) const { return a == b; }
 
-  /// Replaces (rather than joins) the range of a register: real data flow
-  /// through registers is a pure function of the operand ranges, so the
-  /// transfer result is exact and re-evaluation must be able to shrink it.
-  void assign(const ir::Value* v, Interval next) {
-    if (poisoned_) return; // a bottom operand: try again next pass
-    next = iv_clamp(next, opt_.clamp);
-    if (map_.has(v) && map_.of(v) == next) return;
-    map_.set(v, next);
-    changed_ = true;
-  }
-
-  void transfer(const Instruction* inst) {
+  void transfer(const Instruction* inst, const Reader& read,
+                analysis::Effects<Interval>& fx) {
     const double huge = opt_.clamp;
-    poisoned_ = false;
+    bool poisoned = false;
+    const auto in = [&](const ir::Value* v) -> Interval {
+      const std::optional<Interval> iv = read(v);
+      if (!iv) {
+        poisoned = true;
+        return Interval{};
+      }
+      return *iv;
+    };
+    const auto assign = [&](Interval next) {
+      if (poisoned) fx.poison();
+      else fx.assign(inst, iv_clamp(next, opt_.clamp));
+    };
+    const auto join_into = [&](const ir::Value* target, Interval next) {
+      if (poisoned) fx.poison();
+      else fx.join(target, iv_clamp(next, opt_.clamp));
+    };
+
     switch (inst->opcode()) {
     case Opcode::Add:
-      assign(inst, iv_add(in(inst->operand(0)), in(inst->operand(1))));
+      assign(iv_add(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::Sub:
-      assign(inst, iv_sub(in(inst->operand(0)), in(inst->operand(1))));
+      assign(iv_sub(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::Mul:
-      assign(inst, iv_mul(in(inst->operand(0)), in(inst->operand(1))));
+      assign(iv_mul(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::Div:
-      assign(inst, iv_div(in(inst->operand(0)), in(inst->operand(1)), huge));
+      assign(iv_div(in(inst->operand(0)), in(inst->operand(1)), huge));
       break;
     case Opcode::Rem:
-      assign(inst, iv_rem(in(inst->operand(0)), in(inst->operand(1))));
+      assign(iv_rem(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::Neg:
-      assign(inst, iv_neg(in(inst->operand(0))));
+      assign(iv_neg(in(inst->operand(0))));
       break;
     case Opcode::Abs:
-      assign(inst, iv_abs(in(inst->operand(0))));
+      assign(iv_abs(in(inst->operand(0))));
       break;
     case Opcode::Sqrt:
-      assign(inst, iv_sqrt(in(inst->operand(0))));
+      assign(iv_sqrt(in(inst->operand(0))));
       break;
     case Opcode::Exp:
-      assign(inst, iv_exp(in(inst->operand(0)), huge));
+      assign(iv_exp(in(inst->operand(0)), huge));
       break;
     case Opcode::Pow:
-      assign(inst, iv_pow(in(inst->operand(0)), in(inst->operand(1)), huge));
+      assign(iv_pow(in(inst->operand(0)), in(inst->operand(1)), huge));
       break;
     case Opcode::Min:
-      assign(inst, iv_min(in(inst->operand(0)), in(inst->operand(1))));
+      assign(iv_min(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::Max:
-      assign(inst, iv_max(in(inst->operand(0)), in(inst->operand(1))));
+      assign(iv_max(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::Cast:
     case Opcode::IntToReal:
-      assign(inst, in(inst->operand(0)));
+      assign(in(inst->operand(0)));
       break;
     case Opcode::Load:
       // The array annotation is authoritative for loaded values.
-      assign(inst, in(inst->operand(0)));
+      assign(in(inst->operand(0)));
       break;
     case Opcode::Store:
       if (opt_.join_stores)
-        update(inst->operand(1), in(inst->operand(0)));
+        join_into(inst->operand(1), in(inst->operand(0)));
       break;
     case Opcode::Select: {
       if (inst->type() == ScalarType::Real)
-        assign(inst, iv_join(in(inst->operand(1)), in(inst->operand(2))));
+        assign(iv_join(in(inst->operand(1)), in(inst->operand(2))));
       else if (inst->type() == ScalarType::Int)
-        update(inst, iv_join(in(inst->operand(1)), in(inst->operand(2))));
+        join_into(inst, iv_join(in(inst->operand(1)), in(inst->operand(2))));
       break;
     }
     case Opcode::Phi: {
@@ -166,33 +164,33 @@ private:
       // edge on the first pass) are bottom and do not contribute.
       std::optional<Interval> acc;
       for (std::size_t i = 0; i < inst->num_operands(); ++i) {
-        const auto iv = in_opt(inst->operand(i));
+        const auto iv = read(inst->operand(i));
         if (!iv) continue;
         acc = acc ? iv_join(*acc, *iv) : *iv;
       }
-      if (acc) update(inst, *acc);
+      if (acc) join_into(inst, *acc);
       return;
     }
     case Opcode::IAdd:
-      update(inst, iv_add(in(inst->operand(0)), in(inst->operand(1))));
+      join_into(inst, iv_add(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::ISub:
-      update(inst, iv_sub(in(inst->operand(0)), in(inst->operand(1))));
+      join_into(inst, iv_sub(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::IMul:
-      update(inst, iv_mul(in(inst->operand(0)), in(inst->operand(1))));
+      join_into(inst, iv_mul(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::IDiv:
-      update(inst, iv_div(in(inst->operand(0)), in(inst->operand(1)), huge));
+      join_into(inst, iv_div(in(inst->operand(0)), in(inst->operand(1)), huge));
       break;
     case Opcode::IRem:
-      update(inst, iv_rem(in(inst->operand(0)), in(inst->operand(1))));
+      join_into(inst, iv_rem(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::IMin:
-      update(inst, iv_min(in(inst->operand(0)), in(inst->operand(1))));
+      join_into(inst, iv_min(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::IMax:
-      update(inst, iv_max(in(inst->operand(0)), in(inst->operand(1))));
+      join_into(inst, iv_max(in(inst->operand(0)), in(inst->operand(1))));
       break;
     case Opcode::ICmp:
     case Opcode::FCmp:
@@ -203,18 +201,27 @@ private:
     }
   }
 
+private:
   const ir::Function& f_;
   const VraOptions& opt_;
-  RangeMap map_;
-  bool changed_ = false;
-  bool widen_ = false;
-  bool poisoned_ = false;
 };
 
 } // namespace
 
-RangeMap analyze_ranges(const ir::Function& f, const VraOptions& options) {
-  return Analyzer(f, options).run();
+RangeMap analyze_ranges(const ir::Function& f, const VraOptions& options,
+                        analysis::DataflowStats* stats) {
+  RangeDomain domain(f, options);
+  analysis::DataflowOptions df;
+  df.max_passes = options.max_passes;
+  df.widen_after = options.widen_after;
+  analysis::ForwardDataflow<RangeDomain> engine(f, domain, df);
+  const analysis::DataflowStats run_stats = engine.run();
+  if (stats) *stats = run_stats;
+
+  RangeMap map;
+  map.set_top_magnitude(options.clamp);
+  for (const auto& [value, interval] : engine.state()) map.set(value, interval);
+  return map;
 }
 
 } // namespace luis::vra

@@ -19,6 +19,10 @@
 #include "ir/function.hpp"
 #include "vra/interval.hpp"
 
+namespace luis::analysis {
+struct DataflowStats;
+} // namespace luis::analysis
+
 namespace luis::vra {
 
 struct VraOptions {
@@ -48,7 +52,9 @@ private:
 };
 
 /// Runs the analysis over `f`. Every Real instruction and every array has
-/// an entry in the result.
-RangeMap analyze_ranges(const ir::Function& f, const VraOptions& options = {});
+/// an entry in the result. When `stats` is non-null the fixpoint statistics
+/// (passes, transfers, widenings, convergence) are written there.
+RangeMap analyze_ranges(const ir::Function& f, const VraOptions& options = {},
+                        analysis::DataflowStats* stats = nullptr);
 
 } // namespace luis::vra

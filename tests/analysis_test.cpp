@@ -90,7 +90,7 @@ constexpr ConcreteType kF32{numrep::kBinary32, 0};
 // Registry and clean-run baseline.
 // ---------------------------------------------------------------------------
 
-TEST(LintRegistry, SevenPassesWithUniqueStableCodes) {
+TEST(LintRegistry, ElevenPassesWithUniqueStableCodes) {
   std::set<std::string> codes;
   for (const LintPass& pass : lint_passes()) {
     ASSERT_NE(pass.name, nullptr);
@@ -98,9 +98,10 @@ TEST(LintRegistry, SevenPassesWithUniqueStableCodes) {
     EXPECT_TRUE(codes.insert(pass.codes).second)
         << pass.codes << " registered twice";
   }
-  EXPECT_EQ(codes.size(), 7u);
+  EXPECT_EQ(codes.size(), 11u);
   EXPECT_TRUE(codes.count("L001"));
   EXPECT_TRUE(codes.count("L007"));
+  EXPECT_TRUE(codes.count("L011"));
 }
 
 TEST(Lint, CompleteUniformAssignmentIsClean) {

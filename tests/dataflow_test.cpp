@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/dataflow.hpp"
+#include "ir/kernel_builder.hpp"
+
+namespace luis::analysis {
+namespace {
+
+using ir::Array;
+using ir::Instruction;
+using ir::IVal;
+using ir::KernelBuilder;
+using ir::Opcode;
+using ir::ScalarType;
+
+// A deliberately tiny domain for exercising the engine itself: each value
+// carries a "depth" counter. Loads read their array, real arithmetic takes
+// the max over Real operands, and stores join depth+1 into the array — so a
+// loop that reads and rewrites the same array grows by one per sweep and
+// must be stopped by widening.
+struct DepthDomain {
+  using Value = double;
+  using State = ForwardDataflow<DepthDomain>::State;
+  using Reader = ForwardDataflow<DepthDomain>::Reader;
+
+  const ir::Function& f;
+  double clamp;
+  long widen_calls = 0;
+
+  void seed(State& state) {
+    for (const auto& arr : f.arrays()) state.emplace(arr.get(), 0.0);
+  }
+  std::optional<Value> constant(const ir::Value* v) const {
+    return v->is_constant() ? std::optional<Value>(0.0) : std::nullopt;
+  }
+  void transfer(const Instruction* inst, const Reader& read,
+                Effects<Value>& fx) {
+    switch (inst->opcode()) {
+      case Opcode::Load: {
+        const auto v = read(inst->operand(0));
+        if (!v) return fx.poison();
+        fx.assign(inst, *v);
+        return;
+      }
+      case Opcode::Store: {
+        const auto v = read(inst->operand(0));
+        if (!v) return fx.poison();
+        fx.join(inst->operand(1), *v + 1.0);
+        return;
+      }
+      default:
+        if (inst->type() != ScalarType::Real) return;
+        Value depth = 0.0;
+        for (const ir::Value* op : inst->operands()) {
+          const auto v = read(op);
+          if (!v) return fx.poison();
+          depth = std::max(depth, *v);
+        }
+        fx.assign(inst, depth);
+        return;
+    }
+  }
+  Value join(const Value& a, const Value& b) const { return std::max(a, b); }
+  Value widen(const ir::Value*, const Value& old_v, const Value& grown, int) {
+    ++widen_calls;
+    return std::min(std::max(old_v, grown), clamp);
+  }
+  bool equal(const Value& a, const Value& b) const { return a == b; }
+};
+
+/// B[i] = A[i] over 8 elements — no join target ever re-grows.
+ir::Function* build_copy(ir::Module& m) {
+  KernelBuilder kb(m, "copy");
+  Array* A = kb.array("A", {8}, 0.0, 1.0);
+  Array* B = kb.array("B", {8}, 0.0, 1.0);
+  kb.for_loop("i", 0, 8, [&](IVal i) { kb.store(kb.load(A, {i}), B, {i}); });
+  return kb.finish();
+}
+
+/// B[i] = B[i] + A[i] — the store feeds its own load, growing every sweep.
+ir::Function* build_feedback(ir::Module& m) {
+  KernelBuilder kb(m, "feedback");
+  Array* A = kb.array("A", {8}, 0.0, 1.0);
+  Array* B = kb.array("B", {8}, 0.0, 8.0);
+  kb.for_loop("i", 0, 8, [&](IVal i) {
+    kb.store(kb.load(B, {i}) + kb.load(A, {i}), B, {i});
+  });
+  return kb.finish();
+}
+
+TEST(Effects, RecordsAndPoisons) {
+  Effects<double> fx;
+  EXPECT_FALSE(fx.poisoned());
+  fx.assign(nullptr, 1.0);
+  fx.join(nullptr, 2.0);
+  ASSERT_EQ(fx.effects().size(), 2u);
+  EXPECT_EQ(fx.effects()[0].kind, UpdateKind::Assign);
+  EXPECT_EQ(fx.effects()[1].kind, UpdateKind::Join);
+  fx.poison();
+  EXPECT_TRUE(fx.poisoned());
+}
+
+TEST(ForwardDataflow, ConvergesWithoutWideningOnAcyclicFlow) {
+  ir::Module m;
+  ir::Function* f = build_copy(m);
+  DepthDomain domain{*f, 100.0};
+  ForwardDataflow<DepthDomain> engine(*f, domain, DataflowOptions{});
+  const DataflowStats stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GT(stats.transfers, 0);
+  EXPECT_EQ(stats.widenings, 0);
+  EXPECT_EQ(domain.widen_calls, 0);
+  // One store hop: depth 1 at B.
+  EXPECT_EQ(engine.state().at(f->arrays()[1].get()), 1.0);
+}
+
+TEST(ForwardDataflow, GrowingJoinIsWidenedToTheClamp) {
+  ir::Module m;
+  ir::Function* f = build_feedback(m);
+  // Growth is +1 per sweep, so the clamp must be reachable within the
+  // pass budget for the widening to stabilize the state.
+  DepthDomain domain{*f, 20.0};
+  DataflowOptions options;
+  options.widen_after = 3;
+  options.max_passes = 50;
+  ForwardDataflow<DepthDomain> engine(*f, domain, options);
+  const DataflowStats stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GT(stats.widenings, 0);
+  EXPECT_GT(domain.widen_calls, 0);
+  EXPECT_EQ(engine.state().at(f->arrays()[1].get()), 20.0);
+}
+
+// Regression: a widening operator that *absorbs* growth (returns the old
+// value unchanged) must not re-mark the target's users — that kept the loop
+// dirty forever and burned the whole pass budget without converging.
+TEST(ForwardDataflow, AbsorbedWideningStillConverges) {
+  ir::Module m;
+  ir::Function* f = build_feedback(m);
+  DepthDomain domain{*f, 5.0}; // clamp hit long before the pass cap
+  DataflowOptions options;
+  options.widen_after = 2;
+  options.max_passes = 50;
+  ForwardDataflow<DepthDomain> engine(*f, domain, options);
+  const DataflowStats stats = engine.run();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(stats.passes, options.max_passes);
+  EXPECT_EQ(engine.state().at(f->arrays()[1].get()), 5.0);
+}
+
+TEST(ForwardDataflow, PassCapReportsNonConvergence) {
+  ir::Module m;
+  ir::Function* f = build_feedback(m);
+  DepthDomain domain{*f, 1e18};
+  DataflowOptions options;
+  options.widen_after = 1000; // never widen
+  options.max_passes = 6;
+  ForwardDataflow<DepthDomain> engine(*f, domain, options);
+  const DataflowStats stats = engine.run();
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.passes, 6);
+}
+
+TEST(LoopInfo, FindsNestedLoopsInnermostFirst) {
+  ir::Module m;
+  KernelBuilder kb(m, "nest");
+  Array* B = kb.array("B", {4, 4}, 0.0, 1.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) {
+    kb.for_loop("j", 0, 4,
+                [&](IVal j) { kb.store(kb.real(1.0), B, {i, j}); });
+  });
+  ir::Function* f = kb.finish();
+
+  const LoopInfo info = LoopInfo::compute(*f);
+  ASSERT_EQ(info.loops.size(), 2u);
+  for (const Loop& loop : info.loops) {
+    ASSERT_NE(loop.header, nullptr);
+    EXPECT_TRUE(loop.contains(loop.header));
+  }
+
+  const ir::BasicBlock* store_block = nullptr;
+  for (const auto& bb : f->blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->opcode() == Opcode::Store) store_block = bb.get();
+  ASSERT_NE(store_block, nullptr);
+
+  const std::vector<std::size_t> nest = info.containing(store_block);
+  ASSERT_EQ(nest.size(), 2u);
+  const Loop& inner = info.loops[nest[0]];
+  const Loop& outer = info.loops[nest[1]];
+  EXPECT_LT(inner.blocks.size(), outer.blocks.size());
+  EXPECT_TRUE(outer.contains(inner.header));
+  EXPECT_FALSE(inner.contains(outer.header));
+
+  // The entry block sits outside both loops.
+  EXPECT_TRUE(info.containing(f->blocks().front().get()).empty());
+}
+
+} // namespace
+} // namespace luis::analysis

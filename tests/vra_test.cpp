@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ir/kernel_builder.hpp"
 #include "support/rng.hpp"
@@ -60,6 +61,74 @@ TEST(Interval, WidenAndClamp) {
   EXPECT_EQ(iv_widen(Interval{0, 1}, Interval{-1, 1}, 100), (Interval{-100, 1}));
   EXPECT_EQ(iv_widen(Interval{0, 1}, Interval{0, 1}, 100), (Interval{0, 1}));
   EXPECT_EQ(iv_clamp(Interval{-1e40, 1e40}, 1e30), Interval::top(1e30));
+}
+
+// A NaN endpoint means "unknown". std::min/max silently drop a NaN argument
+// (they return the other one), so a naive join would *shrink* the hull —
+// the join must widen to infinity instead and let iv_clamp produce top.
+TEST(Interval, JoinIsNaNSafe) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const Interval known{-1.0, 2.0};
+  for (const Interval poisoned :
+       {Interval{nan, 2.0}, Interval{-1.0, nan}, Interval{nan, nan}}) {
+    for (const Interval j :
+         {iv_join(known, poisoned), iv_join(poisoned, known)}) {
+      EXPECT_EQ(j.lo, -inf);
+      EXPECT_EQ(j.hi, inf);
+    }
+  }
+  // NaN-free joins still take the exact hull.
+  EXPECT_EQ(iv_join(known, Interval{5.0, 6.0}), (Interval{-1.0, 6.0}));
+}
+
+TEST(Interval, ClampMapsNaNEndpointsToTop) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(iv_clamp(Interval{nan, nan}, 1e6), Interval::top(1e6));
+  EXPECT_EQ(iv_clamp(Interval{nan, 0.5}, 1e6), (Interval{-1e6, 0.5}));
+  EXPECT_EQ(iv_clamp(Interval{0.5, nan}, 1e6), (Interval{0.5, 1e6}));
+}
+
+TEST(Interval, MulSignGridSurvivesClampSaturation) {
+  // All four sign corners of a product that overflows the clamp magnitude
+  // must land on top after iv_clamp, whichever corner is extreme.
+  const double big = 1e20;
+  for (const Interval a : {Interval{big, 2 * big}, Interval{-2 * big, -big},
+                           Interval{-big, big}}) {
+    for (const Interval b : {Interval{big, 2 * big},
+                             Interval{-2 * big, -big}}) {
+      const Interval p = iv_clamp(iv_mul(a, b), 1e30);
+      EXPECT_GE(p.lo, -1e30);
+      EXPECT_LE(p.hi, 1e30);
+      EXPECT_TRUE(p.lo == -1e30 || p.hi == 1e30) << p.to_string();
+    }
+  }
+  // Sign grid stays exact when nothing saturates.
+  EXPECT_EQ(iv_mul(Interval{-2, 3}, Interval{-5, 4}), (Interval{-15, 12}));
+  EXPECT_EQ(iv_mul(Interval{-2, -1}, Interval{-5, -4}), (Interval{4, 10}));
+}
+
+TEST(Interval, PointIntervalsThroughJoinAndWiden) {
+  const Interval point{2.5, 2.5};
+  EXPECT_EQ(iv_join(point, point), point);
+  // A stable point never widens; a moved point widens only the moved side.
+  EXPECT_EQ(iv_widen(point, point, 100), point);
+  EXPECT_EQ(iv_widen(point, Interval{2.5, 3.0}, 100), (Interval{2.5, 100}));
+  EXPECT_EQ(iv_widen(point, Interval{2.0, 2.5}, 100), (Interval{-100, 2.5}));
+  EXPECT_EQ(iv_mul(point, point), (Interval{6.25, 6.25}));
+  EXPECT_EQ(iv_abs(Interval{-2.5, -2.5}), point);
+}
+
+TEST(Interval, JoinAndWidenHandleInfiniteEndpoints) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(iv_join(Interval{-inf, 0.0}, Interval{0.0, inf}),
+            (Interval{-inf, inf}));
+  // Widening an infinite growth direction lands on the bound, and the
+  // stable direction is left untouched.
+  EXPECT_EQ(iv_widen(Interval{0, 1}, Interval{0, inf}, 100),
+            (Interval{0, 100}));
+  EXPECT_EQ(iv_widen(Interval{0, 1}, Interval{-inf, inf}, 100),
+            (Interval{-100, 100}));
 }
 
 // Property: interval arithmetic is sound — f(x, y) lands inside the

@@ -11,6 +11,11 @@
 //   luis lint <file.ir> [options]         run the pipeline and the precision
 //                                         lint over its output (or over a
 //                                         saved assignment), report findings
+//   luis check <file.ir> [options]        statically certify worst-case
+//                                         rounding-error bounds for the
+//                                         pipeline's allocation (or a saved
+//                                         assignment); exits non-zero when
+//                                         --max-rel-error is exceeded
 //   luis run <file.ir> [--type T]         execute with a uniform type and
 //                                         print per-array checksums
 //   luis disasm <file.ir> [--type T]      lower to bytecode and print the
@@ -52,7 +57,10 @@
 //                         bit-identical, see docs/INTERP.md)
 //
 // fuzz options:
-//   --target ilp|ir|numrep|all   generator/oracle pairs to run (default all)
+//   --target ilp|ir|numrep|error|all
+//                         generator/oracle pairs to run (default all);
+//                         `error` checks measured quantized-vs-reference
+//                         deviation against the static certified bound
 //   --trials N            random trials per target (default 200)
 //   --seconds N           unbounded mode: fuzz for N wall-clock seconds
 //   --seed S              campaign base seed (default 1)
@@ -89,6 +97,25 @@
 // tune also accepts --platform-file <t.optime> to tune against a saved
 // characterization (the paper's cross-compilation workflow).
 //
+// VRA fixpoint knobs (tune, lint, check, sweep; recorded in the sweep and
+// check JSON reports):
+//   --vra-max-passes N    fixpoint sweep cap (default 50)
+//   --vra-widen-after N   sweeps before widening engages (default 10)
+//   --vra-clamp X         range clamp / "don't know" magnitude (default 1e30)
+//   --join-stores         flow store ranges back into arrays (annotation
+//                         checking mode; check uses it for self-contained
+//                         certificates)
+//
+// check options (plus --platform/--platform-file/--config/--types/--literal/
+// --optimize and the VRA knobs above):
+//   --assignment <types.txt>    certify a saved assignment instead of
+//                               running the allocator
+//   --max-rel-error X           fail (exit 1) when any output array's
+//                               certified relative bound exceeds X
+//   --format text|json          stdout format (default text)
+//   --json FILE                 also write the full certificate (with the
+//                               build stamp) to FILE
+//
 // tune options:
 //   --platform Stm32|Raspberry|Intel|AMD|host     (default Stm32)
 //   --config Fast|Balanced|Precise                (default Balanced)
@@ -107,7 +134,11 @@
 //   --materialize               materialize casts first, then lint
 //   --format text|json          report format (default text)
 //   --threshold N               L005 guaranteed-IEBW drop threshold
+//   --max-rel-error X           L008 certified relative-error budget
 //   --werror                    exit non-zero on warnings too
+// lint always runs the static error-bound analysis, so the error-aware
+// rules (L008-L011, see docs/ANALYSIS.md) fire alongside the structural
+// ones.
 //
 // Every verb that parses IR verifies it and exits non-zero on verifier
 // errors, so the tool is usable as a pre-commit check.
@@ -117,11 +148,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/error_bounds.hpp"
 #include "analysis/lint.hpp"
 #include "core/assignment_io.hpp"
 #include "core/cast_materializer.hpp"
@@ -141,6 +175,7 @@
 #include "platform/microbench.hpp"
 #include "polybench/polybench.hpp"
 #include "support/diag.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
 #include "testing/fuzz.hpp"
@@ -153,7 +188,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: luis [--trace-out F] [--metrics-out F] [--log-level L] "
                "<kernels|emit|compile|print|verify|ranges|tune|"
-               "lint|run|disasm|characterize|sweep|fuzz|profile|version> "
+               "lint|check|run|disasm|characterize|sweep|fuzz|profile|version> "
                "[args]\n(see the "
                "header of tools/luis_cli.cpp for the full option list)\n");
   return 2;
@@ -406,6 +441,14 @@ int cmd_tune(const std::vector<std::string>& args) {
       options.lint = core::LintMode::Error;
     } else if (a == "--types") {
       if (!parse_types_list(next(), config)) return 2;
+    } else if (a == "--vra-max-passes") {
+      options.vra.max_passes = std::atoi(next().c_str());
+    } else if (a == "--vra-widen-after") {
+      options.vra.widen_after = std::atoi(next().c_str());
+    } else if (a == "--vra-clamp") {
+      options.vra.clamp = std::atof(next().c_str());
+    } else if (a == "--join-stores") {
+      options.vra.join_stores = true;
     } else {
       std::fprintf(stderr, "luis: unknown option '%s'\n", a.c_str());
       return 2;
@@ -495,10 +538,20 @@ int cmd_lint(const std::vector<std::string>& args) {
       format = next();
     } else if (a == "--threshold") {
       lint_options.precision_loss_threshold = std::atoi(next().c_str());
+    } else if (a == "--max-rel-error") {
+      lint_options.max_rel_error = std::atof(next().c_str());
     } else if (a == "--werror") {
       werror = true;
     } else if (a == "--types") {
       if (!parse_types_list(next(), config)) return 2;
+    } else if (a == "--vra-max-passes") {
+      options.vra.max_passes = std::atoi(next().c_str());
+    } else if (a == "--vra-widen-after") {
+      options.vra.widen_after = std::atoi(next().c_str());
+    } else if (a == "--vra-clamp") {
+      options.vra.clamp = std::atof(next().c_str());
+    } else if (a == "--join-stores") {
+      options.vra.join_stores = true;
     } else {
       std::fprintf(stderr, "luis: unknown option '%s'\n", a.c_str());
       return 2;
@@ -529,8 +582,11 @@ int cmd_lint(const std::vector<std::string>& args) {
                    parsed.error.c_str());
       return 1;
     }
-    const vra::RangeMap ranges = vra::analyze_ranges(*f);
-    engine = analysis::run_lint(*f, parsed.assignment, ranges, lint_options);
+    const vra::RangeMap ranges = vra::analyze_ranges(*f, options.vra);
+    const analysis::ErrorAnalysisResult errors =
+        analysis::analyze_errors(*f, parsed.assignment, ranges);
+    engine = analysis::run_lint(*f, parsed.assignment, ranges, lint_options,
+                                &errors.errors);
   } else {
     platform::OpTimeTable storage;
     const platform::OpTimeTable* table =
@@ -539,6 +595,7 @@ int cmd_lint(const std::vector<std::string>& args) {
     options.materialize_casts = materialize;
     options.lint = core::LintMode::Error;
     options.lint_options = lint_options;
+    options.analyze_errors = true;
     const core::PipelineResult tuned =
         core::tune_kernel(*f, *table, config, options);
     engine = tuned.lint;
@@ -548,6 +605,252 @@ int cmd_lint(const std::vector<std::string>& args) {
                               : engine.to_text().c_str(),
              stdout);
   if (engine.has_errors() || (werror && engine.has_warnings())) return 1;
+  return 0;
+}
+
+/// `luis check`: static rounding-error certification. Runs the pipeline
+/// (or loads a saved assignment), then the error-bound analysis, and
+/// reports a certified worst-case absolute/relative bound per array. With
+/// --max-rel-error the exit status enforces the budget on output arrays.
+int cmd_check(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string path = args[0];
+  std::string platform_name = "Stm32", config_name = "Balanced";
+  std::string assignment_path, json_path, format = "text";
+  double max_rel_error = std::numeric_limits<double>::infinity();
+  core::TuningConfig config = core::TuningConfig::balanced();
+  core::PipelineOptions options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return ++i < args.size() ? args[i] : std::string();
+    };
+    if (a == "--platform") {
+      platform_name = next();
+    } else if (a == "--platform-file") {
+      platform_name = "@" + next();
+    } else if (a == "--config") {
+      config_name = next();
+    } else if (a == "--literal") {
+      config.literal_model = true;
+    } else if (a == "--optimize") {
+      options.optimize_ir = true;
+    } else if (a == "--assignment") {
+      assignment_path = next();
+    } else if (a == "--max-rel-error") {
+      max_rel_error = std::atof(next().c_str());
+    } else if (a == "--format") {
+      format = next();
+    } else if (a == "--json") {
+      json_path = next();
+    } else if (a == "--types") {
+      if (!parse_types_list(next(), config)) return 2;
+    } else if (a == "--vra-max-passes") {
+      options.vra.max_passes = std::atoi(next().c_str());
+    } else if (a == "--vra-widen-after") {
+      options.vra.widen_after = std::atoi(next().c_str());
+    } else if (a == "--vra-clamp") {
+      options.vra.clamp = std::atof(next().c_str());
+    } else if (a == "--join-stores") {
+      options.vra.join_stores = true;
+    } else {
+      std::fprintf(stderr, "luis: unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "luis: unknown check format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (!apply_config_preset(config_name, config)) return 2;
+
+  ir::Module module;
+  ir::Function* f = parse_and_verify_or_die(module, path);
+  if (!f) return 1;
+
+  interp::TypeAssignment assignment;
+  vra::RangeMap ranges;
+  analysis::ErrorAnalysisResult errors;
+  std::string source = "pipeline";
+  if (!assignment_path.empty()) {
+    source = "assignment";
+    const auto text = read_file(assignment_path);
+    if (!text) {
+      std::fprintf(stderr, "luis: cannot read %s\n", assignment_path.c_str());
+      return 1;
+    }
+    const core::AssignmentParseResult parsed =
+        core::assignment_from_text(*f, *text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "luis: %s: %s\n", assignment_path.c_str(),
+                   parsed.error.c_str());
+      return 1;
+    }
+    assignment = parsed.assignment;
+    ranges = vra::analyze_ranges(*f, options.vra);
+    errors = analysis::analyze_errors(*f, assignment, ranges);
+  } else {
+    platform::OpTimeTable storage;
+    const platform::OpTimeTable* table =
+        resolve_platform(platform_name, storage);
+    if (!table) return 2;
+    options.analyze_errors = true;
+    const core::PipelineResult tuned =
+        core::tune_kernel(*f, *table, config, options);
+    assignment = tuned.allocation.assignment;
+    ranges = tuned.ranges;
+    errors = tuned.errors;
+  }
+
+  // The caller observes the arrays the kernel writes; those are the
+  // values the certificate (and the budget) is about.
+  std::set<const ir::Value*> outputs;
+  for (const auto& bb : f->blocks())
+    for (const auto& inst : bb->instructions())
+      if (inst->opcode() == ir::Opcode::Store)
+        outputs.insert(inst->operand(1));
+
+  double worst_rel = 0.0;
+  bool all_outputs_finite = true, budget_ok = true;
+  for (const auto& arr : f->arrays()) {
+    if (outputs.count(arr.get()) == 0) continue;
+    const double abs = errors.errors.of(arr.get());
+    const double rel = errors.relative(arr.get(), ranges);
+    worst_rel = std::max(worst_rel, rel);
+    if (!std::isfinite(abs)) all_outputs_finite = false;
+    if (rel > max_rel_error) budget_ok = false;
+  }
+
+  const auto error_value = [](JsonWriter& w, double v) {
+    if (std::isfinite(v)) w.value(v, "%.17g");
+    else w.value("unbounded");
+  };
+  JsonWriter w;
+  w.begin_object();
+  w.newline();
+  w.key("build");
+  w.raw_value(obs::build_info_json());
+  w.newline();
+  w.key("function");
+  w.value(f->name());
+  w.key("source");
+  w.value(source);
+  w.key("config");
+  w.value(config.name);
+  w.newline();
+  w.key("vra");
+  w.begin_object();
+  w.key("max_passes");
+  w.value(options.vra.max_passes);
+  w.key("widen_after");
+  w.value(options.vra.widen_after);
+  w.key("clamp");
+  w.value(options.vra.clamp, "%.17g");
+  w.key("join_stores");
+  w.value(options.vra.join_stores);
+  w.end_object();
+  w.newline();
+  w.key("error_analysis");
+  w.begin_object();
+  w.key("passes");
+  w.value(errors.stats.passes);
+  w.key("transfers");
+  w.value(errors.stats.transfers);
+  w.key("widenings");
+  w.value(errors.stats.widenings);
+  w.key("converged");
+  w.value(errors.stats.converged);
+  w.key("divergent_control");
+  w.value(errors.divergent_control);
+  w.key("capped_bounds");
+  w.value(errors.capped_bounds);
+  w.key("assumes_finite_run");
+  w.value(errors.assumes_finite_run);
+  w.end_object();
+  w.newline();
+  w.key("max_rel_error");
+  if (std::isfinite(max_rel_error)) w.value(max_rel_error, "%.17g");
+  else w.raw_value("null");
+  w.newline();
+  w.key("arrays");
+  w.begin_array();
+  for (const auto& arr : f->arrays()) {
+    const vra::Interval range = ranges.of(arr.get());
+    w.newline();
+    w.indent(2);
+    w.begin_object();
+    w.key("name");
+    w.value(arr->name());
+    w.key("type");
+    w.value(assignment.of(arr.get()).name());
+    w.key("output");
+    w.value(outputs.count(arr.get()) > 0);
+    w.key("lo");
+    w.value(range.lo, "%.17g");
+    w.key("hi");
+    w.value(range.hi, "%.17g");
+    w.key("abs_error");
+    error_value(w, errors.errors.of(arr.get()));
+    w.key("rel_error");
+    error_value(w, errors.relative(arr.get(), ranges));
+    w.end_object();
+  }
+  w.newline();
+  w.end_array();
+  w.newline();
+  w.key("worst_output_rel_error");
+  error_value(w, worst_rel);
+  w.key("certified");
+  w.value(all_outputs_finite);
+  w.key("budget_ok");
+  w.value(budget_ok);
+  w.newline();
+  w.end_object();
+  w.newline();
+
+  if (format == "json") {
+    std::fputs(w.str().c_str(), stdout);
+  } else {
+    std::printf("check: %s (%s, %s), error analysis %s in %d passes "
+                "(%ld widenings)%s%s\n",
+                f->name().c_str(), source.c_str(), config.name.c_str(),
+                errors.stats.converged ? "converged" : "NOT CONVERGED",
+                errors.stats.passes, errors.stats.widenings,
+                errors.divergent_control ? ", divergent control flow" : "",
+                errors.assumes_finite_run ? ", assumes finite run" : "");
+    if (errors.capped_bounds > 0)
+      std::printf("  %ld bound(s) saturated at the representation cap\n",
+                  errors.capped_bounds);
+    for (const auto& arr : f->arrays()) {
+      const vra::Interval range = ranges.of(arr.get());
+      std::printf("  @%-10s %-14s range [%-11.6g, %-11.6g] abs %-12.6g "
+                  "rel %-12.6g%s\n",
+                  arr->name().c_str(),
+                  assignment.of(arr.get()).name().c_str(), range.lo, range.hi,
+                  errors.errors.of(arr.get()),
+                  errors.relative(arr.get(), ranges),
+                  outputs.count(arr.get()) ? "  (output)" : "");
+    }
+    std::printf("worst output rel error: %g%s\n", worst_rel,
+                all_outputs_finite ? "" : " (UNBOUNDED)");
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "luis check: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    os << w.str();
+    if (format != "json") std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!budget_ok) {
+    std::fprintf(stderr,
+                 "luis check: certified relative error %g exceeds budget %g\n",
+                 worst_rel, max_rel_error);
+    return 1;
+  }
   return 0;
 }
 
@@ -727,6 +1030,14 @@ int cmd_sweep(const std::vector<std::string>& args) {
       opt.check_determinism = false;
     } else if (a == "--json" && has_value) {
       json_path = args[++i];
+    } else if (a == "--vra-max-passes" && has_value) {
+      opt.vra.max_passes = std::atoi(args[++i].c_str());
+    } else if (a == "--vra-widen-after" && has_value) {
+      opt.vra.widen_after = std::atoi(args[++i].c_str());
+    } else if (a == "--vra-clamp" && has_value) {
+      opt.vra.clamp = std::atof(args[++i].c_str());
+    } else if (a == "--join-stores") {
+      opt.vra.join_stores = true;
     } else if (a == "--quiet") {
       opt.verbose = false;
     } else {
@@ -782,6 +1093,8 @@ int cmd_fuzz(const std::vector<std::string>& args) {
         opt.targets = {testing::FuzzTarget::Ir};
       } else if (target == "numrep") {
         opt.targets = {testing::FuzzTarget::Numrep};
+      } else if (target == "error") {
+        opt.targets = {testing::FuzzTarget::ErrorBounds};
       } else if (target != "all") {
         std::fprintf(stderr, "luis fuzz: unknown target '%s'\n", target.c_str());
         return 2;
@@ -991,6 +1304,7 @@ int run_command(const std::string& cmd, const std::vector<std::string>& args) {
   if (cmd == "ranges") return cmd_ranges(args);
   if (cmd == "tune") return cmd_tune(args);
   if (cmd == "lint") return cmd_lint(args);
+  if (cmd == "check") return cmd_check(args);
   if (cmd == "run") return cmd_run(args);
   if (cmd == "disasm") return cmd_disasm(args);
   if (cmd == "compile") return cmd_compile(args);
