@@ -146,6 +146,12 @@ void run_ilp_job(const KernelContext& ctx, const platform::OpTimeTable& table,
 
   TuningConfig config = config_by_name(out.config, opt.solver_max_nodes);
   config.solver.cache = cache;
+  // Neighboring presets (same kernel/platform structure, different
+  // objective weights) reuse each other's root bases — but only when the
+  // solve order is deterministic, i.e. an explicitly serial sweep. Under
+  // parallelism the pool's contents depend on job completion order, which
+  // would break the parallel == serial bit-identity guarantee.
+  config.solver.share_basis = cache != nullptr && opt.threads == 1;
   PipelineOptions popt;
   popt.vra = opt.vra;
   const PipelineResult tuned = tune_kernel(f, table, config, popt);

@@ -1,6 +1,7 @@
 #include "ilp/branch_and_bound.hpp"
 
 #include "ilp/presolve.hpp"
+#include "ilp/revised_simplex.hpp"
 #include "ilp/solver_cache.hpp"
 
 #include <algorithm>
@@ -19,12 +20,61 @@ namespace {
 struct Node {
   std::vector<BoundsOverride> overrides;
   double bound = 0.0; // parent LP objective, in minimization sign
+  /// Parent's final LP basis (revised core): the child re-solve starts
+  /// dual feasible and typically finishes in a handful of pivots.
+  Basis basis;
+  // Branching bookkeeping for pseudo-cost updates.
+  int branch_var = -1;        ///< variable branched on to create this node
+  bool branch_up = false;     ///< true: x >= ceil(v); false: x <= floor(v)
+  double branch_frac = 0.0;   ///< fractional distance moved by the branch
 };
 
 struct NodeOrder {
   bool operator()(const std::shared_ptr<Node>& a,
                   const std::shared_ptr<Node>& b) const {
     return a->bound > b->bound; // best (smallest) bound first
+  }
+};
+
+/// Per-variable pseudo-costs: average objective degradation per unit of
+/// fractional distance, kept separately for the up and down branches.
+struct PseudoCosts {
+  std::vector<double> up_sum, down_sum;
+  std::vector<long> up_count, down_count;
+
+  explicit PseudoCosts(std::size_t n)
+      : up_sum(n, 0.0), down_sum(n, 0.0), up_count(n, 0), down_count(n, 0) {}
+
+  void record(const Node& node, double child_cost) {
+    if (node.branch_var < 0) return;
+    const auto j = static_cast<std::size_t>(node.branch_var);
+    const double degrade = std::max(0.0, child_cost - node.bound) /
+                           std::max(node.branch_frac, 1e-6);
+    if (node.branch_up) {
+      up_sum[j] += degrade;
+      ++up_count[j];
+    } else {
+      down_sum[j] += degrade;
+      ++down_count[j];
+    }
+  }
+
+  /// Estimated per-unit degradation in a direction; variables without
+  /// history borrow `fallback` (the global average).
+  double estimate(std::size_t j, bool up, double fallback) const {
+    const long n = up ? up_count[j] : down_count[j];
+    if (n == 0) return fallback;
+    return (up ? up_sum[j] : down_sum[j]) / static_cast<double>(n);
+  }
+
+  double global_average() const {
+    double sum = 0.0;
+    long n = 0;
+    for (std::size_t j = 0; j < up_sum.size(); ++j) {
+      sum += up_sum[j] + down_sum[j];
+      n += up_count[j] + down_count[j];
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 1.0;
   }
 };
 
@@ -41,6 +91,34 @@ int most_fractional(const Model& model, const std::vector<double>& values,
     if (dist > tol && frac_dist > best_dist) {
       best = static_cast<int>(j);
       best_dist = frac_dist;
+    }
+  }
+  return best;
+}
+
+/// Pseudo-cost selection: maximize the product of the estimated up and
+/// down degradations (the classic reliability-branching score). Variables
+/// without history effectively score by fractionality via the fallback.
+int select_pseudo_cost(const Model& model, const std::vector<double>& values,
+                       double tol, const PseudoCosts& pc) {
+  const double fallback = pc.global_average();
+  int best = -1;
+  double best_score = -1.0;
+  double best_frac = 0.0;
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    if (model.variables()[j].kind == VarKind::Continuous) continue;
+    const double v = values[j];
+    if (std::abs(v - std::round(v)) <= tol) continue;
+    const double f_down = v - std::floor(v);
+    const double f_up = std::ceil(v) - v;
+    const double score = std::max(f_down * pc.estimate(j, false, fallback), 1e-12) *
+                         std::max(f_up * pc.estimate(j, true, fallback), 1e-12);
+    const double frac = std::min(f_down, f_up);
+    if (score > best_score + 1e-15 ||
+        (score > best_score - 1e-15 && frac > best_frac + 1e-12)) {
+      best = static_cast<int>(j);
+      best_score = score;
+      best_frac = frac;
     }
   }
   return best;
@@ -121,6 +199,25 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
   // Work in minimization sign internally.
   const double sign = model.objective_direction() == Direction::Minimize ? 1.0 : -1.0;
 
+  // Derived tolerances (see the option docs): everything that compares a
+  // bound against the incumbent uses prune_tol; everything that checks a
+  // branch against variable bounds uses child_tol. Both default to the LP
+  // core's own accuracy instead of unrelated hardcoded constants.
+  const double prune_tol =
+      opt.prune_tolerance >= 0.0 ? opt.prune_tolerance : opt.lp.tolerance;
+  const double child_tol = opt.child_bound_tolerance >= 0.0
+                               ? opt.child_bound_tolerance
+                               : std::max(1e-9, opt.lp.tolerance);
+
+  const bool revised = opt.lp.core == LpCore::Revised;
+  SparseColumns cols;
+  if (revised) cols = model.sparse_columns();
+  // Structural basis pool: objective-free key, so presets that only differ
+  // in objective weights land on the same entry.
+  const std::string basis_key =
+      (revised && opt.share_basis && opt.cache) ? structural_model_key(model)
+                                                : std::string();
+
   Solution incumbent;
   incumbent.status = SolveStatus::Infeasible;
   double incumbent_cost = kInfinity;
@@ -128,28 +225,47 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
   long nodes = 0;
   long iterations = 0;
   bool hit_limit = false;
-  // Tightest bound among nodes abandoned because their LP relaxation hit
-  // the iteration limit. Their subtrees are unexplored, so their parent
-  // bounds must stay in the proven-bound computation or best_bound (and
-  // the reported gap) overstate what the search actually proved.
+  // Tightest bound among nodes abandoned unexplored — because their LP
+  // relaxation hit the iteration limit, or because the node limit fired
+  // with the open queue still populated. Their subtrees are unexplored, so
+  // their parent bounds must stay in the proven-bound computation or
+  // best_bound (and the reported gap) overstate what the search proved.
   double dropped_open_bound = kInfinity;
+
+  PseudoCosts pseudo(model.num_variables());
 
   std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
                       NodeOrder>
       open;
   auto root = std::make_shared<Node>();
   root->bound = -kInfinity;
+  if (!basis_key.empty()) {
+    if (std::optional<Basis> warm = opt.cache->lookup_basis(basis_key))
+      root->basis = std::move(*warm);
+  }
   open.push(std::move(root));
 
   bool any_unbounded = false;
   while (!open.empty()) {
     if (nodes >= opt.max_nodes) {
       hit_limit = true;
+      // Every node still open is abandoned unexplored: fold the tightest
+      // of their bounds into the dropped-bound accounting so the reported
+      // best_bound stays a true bound on the optimum.
+      dropped_open_bound = std::min(dropped_open_bound, open.top()->bound);
       break;
     }
     const std::shared_ptr<Node> node = open.top();
     open.pop();
-    if (node->bound >= incumbent_cost - 1e-12) continue; // pruned by bound
+    // Prune against the incumbent: the LP cannot certify improvements
+    // finer than its own tolerance, and the caller may additionally accept
+    // a relative gap.
+    const double gap_slack =
+        std::isfinite(incumbent_cost)
+            ? opt.relative_gap * std::max(1.0, std::abs(incumbent_cost))
+            : 0.0;
+    if (node->bound >= incumbent_cost - std::max(prune_tol, gap_slack))
+      continue;
     ++nodes;
     // Early nodes individually, later ones sampled: enough to see the
     // search shape in a trace without drowning big solves in events.
@@ -161,8 +277,15 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
                        .num("open", open.size())
                        .done());
 
-    Solution lp = solve_lp(model, opt.lp, node->overrides);
+    Solution lp;
+    if (revised)
+      lp = solve_lp_revised(model, cols, opt.lp, node->overrides,
+                            opt.warm_start ? &node->basis : nullptr);
+    else
+      lp = solve_lp(model, opt.lp, node->overrides);
     iterations += lp.iterations;
+    if (nodes == 1 && !basis_key.empty() && lp.status == SolveStatus::Optimal)
+      opt.cache->store_basis(basis_key, node->basis);
     if (lp.status == SolveStatus::IterationLimit) {
       hit_limit = true;
       dropped_open_bound = std::min(dropped_open_bound, node->bound);
@@ -176,10 +299,14 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
       continue;
     }
     const double cost = sign * lp.objective;
-    if (cost >= incumbent_cost - 1e-12) continue; // bound prune
+    pseudo.record(*node, cost);
+    if (cost >= incumbent_cost - prune_tol) continue; // bound prune
 
     const int branch_var =
-        most_fractional(model, lp.values, opt.integrality_tolerance);
+        opt.branching == Branching::PseudoCost
+            ? select_pseudo_cost(model, lp.values, opt.integrality_tolerance,
+                                 pseudo)
+            : most_fractional(model, lp.values, opt.integrality_tolerance);
     if (branch_var < 0) {
       // Integral: new incumbent.
       incumbent.values = lp.values;
@@ -212,25 +339,33 @@ Solution solve_milp_impl(const Model& model, const BranchAndBoundOptions& opt) {
     }
     const double floor_v = std::floor(v);
     // Down child: x <= floor(v).
-    if (floor_v >= cur_lo - 1e-9) {
+    if (floor_v >= cur_lo - child_tol) {
       auto down = std::make_shared<Node>();
       down->overrides = node->overrides;
       down->overrides.push_back({branch_var, cur_lo, floor_v});
       down->bound = cost;
+      down->basis = node->basis;
+      down->branch_var = branch_var;
+      down->branch_up = false;
+      down->branch_frac = v - floor_v;
       open.push(std::move(down));
     }
     // Up child: x >= ceil(v).
-    if (floor_v + 1.0 <= cur_hi + 1e-9) {
+    if (floor_v + 1.0 <= cur_hi + child_tol) {
       auto up = std::make_shared<Node>();
       up->overrides = node->overrides;
       up->overrides.push_back({branch_var, floor_v + 1.0, cur_hi});
       up->bound = cost;
+      up->basis = std::move(node->basis);
+      up->branch_var = branch_var;
+      up->branch_up = true;
+      up->branch_frac = floor_v + 1.0 - v;
       open.push(std::move(up));
     }
   }
 
   // The tightest bound still open (for gap reporting), including nodes
-  // whose relaxations were abandoned at the LP iteration limit.
+  // whose subtrees were abandoned at the LP iteration or node limit.
   best_open_bound = open.empty() ? incumbent_cost : open.top()->bound;
   best_open_bound = std::min(best_open_bound, dropped_open_bound);
 

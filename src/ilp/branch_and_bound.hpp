@@ -1,9 +1,13 @@
 // Branch & bound MILP driver on top of the simplex LP solver.
 //
 // Best-first search over LP relaxations with bound overrides (no model
-// copies). Branching picks the integer variable whose LP value is most
-// fractional. The search is exact when it terminates with Optimal; node
-// and iteration limits degrade gracefully to the best incumbent found.
+// copies). Branching uses pseudo-costs (per-variable average objective
+// degradation observed per unit of fractionality, falling back to most
+// fractional until history accumulates). With the revised LP core each
+// child node warm-starts from its parent's basis, so a node re-solve is
+// typically one dual-simplex pivot instead of a full cold solve. The
+// search is exact when it terminates with Optimal; node and iteration
+// limits degrade gracefully to the best incumbent found.
 #pragma once
 
 #include "ilp/model.hpp"
@@ -13,11 +17,35 @@ namespace luis::ilp {
 
 class SolverCache;
 
+enum class Branching {
+  PseudoCost,     ///< history-driven; most fractional until history exists
+  MostFractional, ///< always the variable closest to x.5
+};
+
 struct BranchAndBoundOptions {
   long max_nodes = 50000;
   double integrality_tolerance = 1e-6;
   /// Relative optimality gap at which the search stops early.
   double relative_gap = 1e-9;
+  /// Slack used when pruning nodes and LP relaxations against the
+  /// incumbent: a subtree whose bound cannot improve the incumbent by more
+  /// than this is cut. Negative (the default) derives it from
+  /// lp.tolerance — pruning more finely than the LP's own accuracy just
+  /// expands nodes chasing noise.
+  double prune_tolerance = -1.0;
+  /// Slack for the child-creation bound checks (can floor(v) / ceil(v)
+  /// still fit the variable's bounds?). Negative derives
+  /// max(1e-9, lp.tolerance).
+  double child_bound_tolerance = -1.0;
+  Branching branching = Branching::PseudoCost;
+  /// Revised core only: child nodes warm-start from the parent's basis.
+  bool warm_start = true;
+  /// Reuse/store root bases in the SolverCache basis pool, keyed by the
+  /// objective-free model structure, so neighboring sweep presets (same
+  /// model, different objective weights) start from each other's optimal
+  /// bases. Off by default: pool contents depend on solve order, so only
+  /// drivers with a deterministic solve order (serial sweeps) enable it.
+  bool share_basis = false;
   /// Run the presolve reductions before the search (see presolve.hpp).
   bool presolve = true;
   SimplexOptions lp;

@@ -12,12 +12,41 @@
 namespace luis::ilp {
 namespace {
 
-bool is_number_token(const std::string& tok) {
+/// Full-token strtod: succeeds only when the entire token is a number.
+/// "3.5.2" or "1e" parse a prefix and leave trailing garbage, which the
+/// end-pointer check rejects — the bug class this guards against is such
+/// tokens being silently misread as 3.5 (or as variable names).
+bool parse_full_number(const std::string& tok, double& out) {
   if (tok.empty()) return false;
   char* end = nullptr;
-  std::strtod(tok.c_str(), &end);
+  out = std::strtod(tok.c_str(), &end);
   return end == tok.c_str() + tok.size();
 }
+
+bool is_number_token(const std::string& tok) {
+  double unused;
+  return parse_full_number(tok, unused);
+}
+
+/// Does the token look like it was meant to be a number? Decides whether a
+/// non-number token is a malformed literal (error) or a variable name.
+bool looks_numeric(const std::string& tok) {
+  if (tok.empty()) return false;
+  const char c = tok[0];
+  if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') return true;
+  if ((c == '+' || c == '-') && tok.size() > 1) {
+    const char d = tok[1];
+    return std::isdigit(static_cast<unsigned char>(d)) || d == '.';
+  }
+  return false;
+}
+
+/// A raw input line with its 1-based position, kept so every parse error
+/// can say where it happened.
+struct SrcLine {
+  int number = 0;
+  std::string text;
+};
 
 class Reader {
 public:
@@ -30,12 +59,14 @@ public:
     enum class Section { None, Objective, Constraints, Bounds, Integers, Done };
     Section section = Section::None;
     Direction direction = Direction::Minimize;
-    std::vector<std::string> objective_lines;
-    std::vector<std::string> constraint_lines;
-    std::vector<std::string> bounds_lines;
+    std::vector<SrcLine> objective_lines;
+    std::vector<SrcLine> constraint_lines;
+    std::vector<SrcLine> bounds_lines;
     std::vector<std::string> integer_names;
 
+    int line_no = 0;
     while (std::getline(is, line)) {
+      ++line_no;
       const std::string t{trim(line)};
       if (t.empty()) continue;
       if (t == "Minimize" || t == "Maximize") {
@@ -60,21 +91,29 @@ public:
         continue;
       }
       switch (section) {
-      case Section::Objective: objective_lines.push_back(t); break;
-      case Section::Constraints: constraint_lines.push_back(t); break;
-      case Section::Bounds: bounds_lines.push_back(t); break;
-      case Section::Integers: integer_names.push_back(t); break;
+      case Section::Objective:
+        objective_lines.push_back({line_no, line});
+        break;
+      case Section::Constraints:
+        constraint_lines.push_back({line_no, line});
+        break;
+      case Section::Bounds:
+        bounds_lines.push_back({line_no, line});
+        break;
+      case Section::Integers:
+        integer_names.push_back(t);
+        break;
       default:
-        out.error = "unexpected content outside any section: " + t;
+        out.error = at(line_no, line, t) + "unexpected content outside any section: " + t;
         return out;
       }
     }
 
     // Objective.
     std::string obj_text;
-    for (const std::string& l : objective_lines) obj_text += l + " ";
+    for (const SrcLine& l : objective_lines) obj_text += std::string(trim(l.text)) + " ";
     LinearExpr objective;
-    if (!parse_expr(strip_label(obj_text), objective)) {
+    if (!parse_expr(strip_label(obj_text), objective, objective_lines)) {
       out.error = error_;
       return out;
     }
@@ -87,8 +126,8 @@ public:
       std::string name;
     };
     std::vector<Row> rows;
-    for (const std::string& l : constraint_lines) {
-      std::string body = l;
+    for (const SrcLine& l : constraint_lines) {
+      std::string body{trim(l.text)};
       std::string name;
       const std::size_t colon = body.find(':');
       if (colon != std::string::npos) {
@@ -107,31 +146,44 @@ public:
         sense = Sense::EQ;
         rel_len = 1;
       } else {
-        out.error = "constraint without relation: " + l;
+        out.error = at(l, body) + "constraint without relation: " + body;
         return out;
       }
       Row row;
       row.sense = sense;
       row.name = std::move(name);
-      if (!parse_expr(body.substr(0, rel_at), row.expr)) {
+      if (!parse_expr(body.substr(0, rel_at), row.expr, {l})) {
         out.error = error_;
         return out;
       }
-      row.rhs = std::strtod(body.c_str() + rel_at + rel_len, nullptr);
+      const std::string rhs_tok{trim(body.substr(rel_at + rel_len))};
+      if (!parse_full_number(rhs_tok, row.rhs)) {
+        out.error = at(l, rhs_tok) + "malformed right-hand side '" + rhs_tok + "'";
+        return out;
+      }
       rows.push_back(std::move(row));
     }
 
     // Bounds: "lo <= name <= hi".
-    for (const std::string& l : bounds_lines) {
-      std::istringstream ls(l);
-      std::string lo_tok, le1, name, le2, hi_tok;
+    for (const SrcLine& l : bounds_lines) {
+      std::istringstream ls{std::string(trim(l.text))};
+      std::string lo_tok, le1, name, le2, hi_tok, extra;
       ls >> lo_tok >> le1 >> name >> le2 >> hi_tok;
-      if (le1 != "<=" || le2 != "<=") {
-        out.error = "malformed bounds line: " + l;
+      if (le1 != "<=" || le2 != "<=" || hi_tok.empty() || (ls >> extra)) {
+        out.error = at(l, lo_tok) + "malformed bounds line (want 'lo <= name <= hi'): " +
+                    std::string(trim(l.text));
         return out;
       }
-      const VarId id = var(name);
-      bounds_[id] = {parse_bound(lo_tok, true), parse_bound(hi_tok, false)};
+      double lo, hi;
+      if (!parse_bound(lo_tok, lo)) {
+        out.error = at(l, lo_tok) + "malformed lower bound '" + lo_tok + "'";
+        return out;
+      }
+      if (!parse_bound(hi_tok, hi)) {
+        out.error = at(l, hi_tok) + "malformed upper bound '" + hi_tok + "'";
+        return out;
+      }
+      bounds_[var(name)] = {lo, hi};
     }
 
     for (const std::string& name : integer_names) integers_.insert(var(name));
@@ -157,16 +209,44 @@ public:
   }
 
 private:
+  /// "line L, column C: " locator. The column is where `tok` appears in
+  /// the raw line (1-based), or 1 when it cannot be found.
+  static std::string at(int line_no, const std::string& raw,
+                        const std::string& tok) {
+    std::size_t col = tok.empty() ? std::string::npos : raw.find(tok);
+    if (col == std::string::npos) col = 0;
+    return "line " + std::to_string(line_no) + ", column " +
+           std::to_string(col + 1) + ": ";
+  }
+  static std::string at(const SrcLine& l, const std::string& tok) {
+    return at(l.number, l.text, tok);
+  }
+
+  /// Locates `tok` among several source lines (multi-line objective).
+  static std::string at(const std::vector<SrcLine>& lines,
+                        const std::string& tok) {
+    for (const SrcLine& l : lines) {
+      if (!tok.empty() && l.text.find(tok) != std::string::npos)
+        return at(l, tok);
+    }
+    return lines.empty() ? std::string() : at(lines.front(), tok);
+  }
+
   static std::string strip_label(const std::string& text) {
     const std::size_t colon = text.find(':');
     return colon == std::string::npos ? text : text.substr(colon + 1);
   }
 
-  static double parse_bound(const std::string& tok, bool is_lower) {
-    if (tok == "-inf") return -kInfinity;
-    if (tok == "+inf" || tok == "inf") return kInfinity;
-    (void)is_lower;
-    return std::strtod(tok.c_str(), nullptr);
+  static bool parse_bound(const std::string& tok, double& out) {
+    if (tok == "-inf") {
+      out = -kInfinity;
+      return true;
+    }
+    if (tok == "+inf" || tok == "inf") {
+      out = kInfinity;
+      return true;
+    }
+    return parse_full_number(tok, out);
   }
 
   VarId var(const std::string& name) {
@@ -179,8 +259,9 @@ private:
   }
 
   /// Parses "2 x + 3.5 y - z + 4" into a LinearExpr (trailing constants
-  /// fold into the expression constant).
-  bool parse_expr(const std::string& text, LinearExpr& expr) {
+  /// fold into the expression constant). `origin` locates errors.
+  bool parse_expr(const std::string& text, LinearExpr& expr,
+                  const std::vector<SrcLine>& origin) {
     std::istringstream is(text);
     std::string tok;
     double sign = 1.0;
@@ -203,14 +284,20 @@ private:
       }
       if (is_number_token(tok)) {
         if (have_coeff) {
-          error_ = "two consecutive numbers in expression: " + text;
+          error_ = at(origin, tok) + "two consecutive numbers in expression: " + text;
           return false;
         }
-        pending_coeff = std::strtod(tok.c_str(), nullptr);
+        parse_full_number(tok, pending_coeff);
         have_coeff = true;
         continue;
       }
-      if (tok == "0" || tok.empty()) continue;
+      if (looks_numeric(tok)) {
+        // Starts like a number but is not one ("3.5.2", "1e+"): reject
+        // instead of silently treating it as a variable name.
+        error_ = at(origin, tok) + "malformed number '" + tok + "'";
+        return false;
+      }
+      if (tok.empty()) continue;
       // A name: consume the pending coefficient.
       expr.add(var(tok), sign * pending_coeff);
       sign = 1.0;

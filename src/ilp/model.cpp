@@ -64,6 +64,36 @@ std::size_t Model::num_integer_variables() const {
       }));
 }
 
+SparseColumns Model::sparse_columns() const {
+  SparseColumns out;
+  out.rows = static_cast<int>(constraints_.size());
+  out.cols = static_cast<int>(variables_.size());
+  // Count entries per column, then fill with a running cursor.
+  std::vector<int> count(variables_.size(), 0);
+  std::size_t nnz = 0;
+  for (const Constraint& c : constraints_) {
+    for (const auto& [var, coeff] : c.expr.terms()) {
+      (void)coeff;
+      ++count[static_cast<std::size_t>(var)];
+      ++nnz;
+    }
+  }
+  out.start.assign(variables_.size() + 1, 0);
+  for (std::size_t j = 0; j < variables_.size(); ++j)
+    out.start[j + 1] = out.start[j] + count[j];
+  out.row.resize(nnz);
+  out.value.resize(nnz);
+  std::vector<int> cursor(out.start.begin(), out.start.end() - 1);
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    for (const auto& [var, coeff] : constraints_[i].expr.terms()) {
+      const int at = cursor[static_cast<std::size_t>(var)]++;
+      out.row[static_cast<std::size_t>(at)] = static_cast<int>(i);
+      out.value[static_cast<std::size_t>(at)] = coeff;
+    }
+  }
+  return out;
+}
+
 double Model::objective_value(const std::vector<double>& values) const {
   double acc = objective_.constant();
   for (const auto& [var, coeff] : objective_.terms())

@@ -77,6 +77,28 @@ struct Solution {
   double value(VarId var) const { return values[static_cast<std::size_t>(var)]; }
 };
 
+/// Column-wise (compressed sparse column) view of a model's constraint
+/// matrix. The revised simplex prices and ftran's one column at a time, so
+/// this is its native storage; it is built once per model and shared across
+/// every branch & bound node and warm-started re-solve (bound overrides
+/// never change the matrix, only the bound vectors).
+struct SparseColumns {
+  int rows = 0; ///< constraints
+  int cols = 0; ///< structural variables
+  std::vector<int> start;    ///< per column: first entry index; size cols+1
+  std::vector<int> row;      ///< row index per entry
+  std::vector<double> value; ///< coefficient per entry
+
+  std::size_t nonzeros() const { return value.size(); }
+
+  /// Calls fn(row, value) for every entry of column j.
+  template <typename Fn> void for_entries(int j, Fn&& fn) const {
+    for (int k = start[static_cast<std::size_t>(j)];
+         k < start[static_cast<std::size_t>(j) + 1]; ++k)
+      fn(row[static_cast<std::size_t>(k)], value[static_cast<std::size_t>(k)]);
+  }
+};
+
 class Model {
 public:
   VarId add_variable(std::string name, VarKind kind, double lower, double upper);
@@ -111,6 +133,10 @@ public:
   const std::vector<Constraint>& constraints() const { return constraints_; }
   Direction objective_direction() const { return direction_; }
   const LinearExpr& objective() const { return objective_; }
+
+  /// Builds the column-wise sparse form of the constraint matrix.
+  /// Duplicate terms are already combined by add_constraint's normalize.
+  SparseColumns sparse_columns() const;
 
   /// Evaluates the objective expression on an assignment.
   double objective_value(const std::vector<double>& values) const;

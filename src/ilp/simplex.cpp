@@ -1,9 +1,11 @@
 #include "ilp/simplex.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
 
+#include "ilp/revised_simplex.hpp"
 #include "support/diag.hpp"
 
 namespace luis::ilp {
@@ -132,10 +134,10 @@ PivotResult run_pivots(Tableau& t, std::vector<int>& basis,
   return result;
 }
 
-} // namespace
-
-Solution solve_lp(const Model& model, const SimplexOptions& opt,
-                  std::span<const BoundsOverride> overrides) {
+/// The original dense two-phase tableau simplex, kept verbatim as the
+/// differential-testing baseline for the revised core (`--lp-core=dense`).
+Solution solve_lp_dense(const Model& model, const SimplexOptions& opt,
+                        std::span<const BoundsOverride> overrides) {
   Solution sol;
   const std::size_t nvars = model.num_variables();
 
@@ -311,9 +313,16 @@ Solution solve_lp(const Model& model, const SimplexOptions& opt,
       if (enter < total_cols) {
         t.pivot(r, enter);
         basis[r] = static_cast<int>(enter);
+        continue;
       }
-      // A row with no pivot candidates is redundant; its artificial stays
-      // basic at value zero, which is harmless as long as it never prices.
+      // A row with no pivot candidates is redundant. Leaving the artificial
+      // merely basic is not enough: phase-2 pivots in other rows can push a
+      // nonzero back into its right-hand side, silently re-violating the
+      // original equality. Hard-pin the row to `artificial = 0` so no later
+      // pivot can touch it.
+      for (std::size_t c = 0; c < total_cols; ++c) t.at(r, c) = 0.0;
+      t.at(r, static_cast<std::size_t>(basis[r])) = 1.0;
+      t.rhs(r) = 0.0;
     }
     // Reset the objective row for phase 2.
     for (std::size_t c = 0; c <= total_cols; ++c) {
@@ -403,6 +412,29 @@ Solution solve_lp(const Model& model, const SimplexOptions& opt,
   sol.best_bound = sol.objective;
   (void)const_cost; // objective recomputed from values; kept for clarity
   return sol;
+}
+
+std::atomic<LpCore> g_default_core{LpCore::Revised};
+
+} // namespace
+
+const char* to_string(LpCore core) {
+  return core == LpCore::Dense ? "dense" : "revised";
+}
+
+LpCore default_lp_core() {
+  return g_default_core.load(std::memory_order_relaxed);
+}
+
+void set_default_lp_core(LpCore core) {
+  g_default_core.store(core, std::memory_order_relaxed);
+}
+
+Solution solve_lp(const Model& model, const SimplexOptions& opt,
+                  std::span<const BoundsOverride> overrides) {
+  if (opt.core == LpCore::Dense) return solve_lp_dense(model, opt, overrides);
+  const SparseColumns cols = model.sparse_columns();
+  return solve_lp_revised(model, cols, opt, overrides, nullptr);
 }
 
 } // namespace luis::ilp

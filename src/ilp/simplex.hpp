@@ -1,14 +1,23 @@
-// Dense two-phase primal simplex for linear programs.
+// LP engines underneath the branch & bound MILP driver.
 //
-// This is the LP engine underneath the branch & bound MILP driver. It
-// handles general variable bounds by shifting/mirroring/splitting columns,
-// detects infeasibility through a phase-1 artificial objective, and guards
-// against cycling by falling back to Bland's rule when the objective
-// stalls. Dense tableaus are entirely adequate for the model sizes LUIS
-// produces (hundreds of rows after type-class aggregation).
+// Two cores share one entry point:
+//
+//  - LpCore::Revised (default): a bounded-variable sparse revised simplex —
+//    column-wise sparse constraint storage, an LU-factorized basis with
+//    eta-file updates and periodic refactorization, a primal phase 1/2 and
+//    a dual-simplex re-optimization path for warm starts (see
+//    revised_simplex.hpp and docs/SOLVER.md).
+//  - LpCore::Dense: the original dense two-phase tableau simplex, kept as
+//    the differential-testing baseline behind `--lp-core=dense`.
+//
+// Both handle general variable bounds, detect infeasibility and
+// unboundedness, and guard against cycling by falling back to Bland's rule
+// when the objective stalls.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "ilp/model.hpp"
 
@@ -20,9 +29,45 @@ struct BoundsOverride {
   double upper = kInfinity;
 };
 
+enum class LpCore { Revised, Dense };
+
+const char* to_string(LpCore core);
+
+/// Process-wide default core for newly constructed SimplexOptions. The CLI
+/// sets this from the global `--lp-core` flag before building any solver
+/// options; tests and the differential fuzz oracle set the field directly.
+LpCore default_lp_core();
+void set_default_lp_core(LpCore core);
+
 struct SimplexOptions {
   long max_iterations = 500000;
   double tolerance = 1e-7;
+  LpCore core = default_lp_core();
+  /// Revised core: pivots between basis refactorizations. Each pivot
+  /// appends one eta vector; refactorizing resets the eta file and
+  /// recomputes the basic solution from scratch, which bounds drift.
+  int refactor_interval = 64;
+};
+
+/// Basis snapshot of the revised simplex: enough to warm-start a re-solve
+/// after bound changes (branch & bound children, sweep presets). Column
+/// order is [structural variables | one slack per constraint row].
+struct Basis {
+  enum Status : std::uint8_t {
+    kAtLower = 0, ///< nonbasic at its lower bound
+    kAtUpper = 1, ///< nonbasic at its upper bound
+    kBasic = 2,
+    kFree = 3, ///< nonbasic free variable, held at zero
+  };
+  std::vector<std::uint8_t> status; ///< per column; size cols + rows
+  std::vector<int> basic;           ///< per row: the column basic in it
+
+  bool empty() const { return status.empty(); }
+  /// Structurally compatible with a model of the given shape?
+  bool fits(std::size_t num_variables, std::size_t num_constraints) const {
+    return status.size() == num_variables + num_constraints &&
+           basic.size() == num_constraints;
+  }
 };
 
 /// Solves the LP relaxation of `model` (integrality is ignored).

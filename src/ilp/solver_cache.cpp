@@ -24,16 +24,7 @@ void append_expr(std::string& out, const LinearExpr& expr) {
   }
 }
 
-} // namespace
-
-std::string canonical_model_key(const Model& model,
-                                const BranchAndBoundOptions& options) {
-  std::string out;
-  out.reserve(64 * (model.num_variables() + model.num_constraints()));
-
-  out += model.objective_direction() == Direction::Minimize ? "min|" : "max|";
-  append_expr(out, model.objective());
-
+void append_structure(std::string& out, const Model& model) {
   out += "|v|";
   for (const Variable& v : model.variables()) {
     out += v.kind == VarKind::Continuous ? 'c'
@@ -49,6 +40,18 @@ std::string canonical_model_key(const Model& model,
     append_double(out, c.rhs);
     append_expr(out, c.expr);
   }
+}
+
+} // namespace
+
+std::string canonical_model_key(const Model& model,
+                                const BranchAndBoundOptions& options) {
+  std::string out;
+  out.reserve(64 * (model.num_variables() + model.num_constraints()));
+
+  out += model.objective_direction() == Direction::Minimize ? "min|" : "max|";
+  append_expr(out, model.objective());
+  append_structure(out, model);
 
   // Result-affecting solver options: the same model under different limits
   // or tolerances can legitimately produce different incumbents/bounds.
@@ -57,11 +60,27 @@ std::string canonical_model_key(const Model& model,
   out += ';';
   append_double(out, options.integrality_tolerance);
   append_double(out, options.relative_gap);
+  append_double(out, options.prune_tolerance);
+  append_double(out, options.child_bound_tolerance);
+  out += options.branching == Branching::PseudoCost ? 'p' : 'f';
+  out += options.warm_start ? '1' : '0';
+  out += options.share_basis ? '1' : '0';
   out += options.presolve ? '1' : '0';
   out += ';';
   out += std::to_string(options.lp.max_iterations);
   out += ';';
   append_double(out, options.lp.tolerance);
+  out += to_string(options.lp.core);
+  out += ';';
+  out += std::to_string(options.lp.refactor_interval);
+  return out;
+}
+
+std::string structural_model_key(const Model& model) {
+  std::string out;
+  out.reserve(64 * (model.num_variables() + model.num_constraints()));
+  out += "struct";
+  append_structure(out, model);
   return out;
 }
 
@@ -104,6 +123,35 @@ void SolverCache::insert(const std::string& key, const Solution& solution) {
   obs::metrics().counter("solver_cache.insertions").inc();
 }
 
+std::optional<Basis> SolverCache::lookup_basis(const std::string& key) {
+  const std::uint64_t h = fnv1a64(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = basis_entries_.find(h);
+  if (it != basis_entries_.end()) {
+    for (const BasisEntry& e : it->second) {
+      if (e.key == key) {
+        obs::metrics().counter("solver_cache.basis_hits").inc();
+        return e.basis;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void SolverCache::store_basis(const std::string& key, const Basis& basis) {
+  if (basis.empty()) return;
+  const std::uint64_t h = fnv1a64(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& bucket = basis_entries_[h];
+  for (BasisEntry& e : bucket) {
+    if (e.key == key) {
+      e.basis = basis; // last-wins: the freshest neighbor seeds best
+      return;
+    }
+  }
+  bucket.push_back(BasisEntry{key, basis});
+}
+
 SolverCache::Stats SolverCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -119,6 +167,7 @@ std::size_t SolverCache::size() const {
 void SolverCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  basis_entries_.clear();
   stats_ = Stats{};
 }
 

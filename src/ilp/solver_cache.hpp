@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
 
 namespace luis::ilp {
 
@@ -30,6 +31,13 @@ struct BranchAndBoundOptions;
 /// round-trip precision. Equal strings imply identical solves.
 std::string canonical_model_key(const Model& model,
                                 const BranchAndBoundOptions& options);
+
+/// Objective-free canonicalization: variables, bounds and constraints
+/// only. Two models share a structural key exactly when they describe the
+/// same feasible region in the same variable/constraint order — which is
+/// when a simplex basis from one warm-starts the other (sweep presets
+/// differ only in objective weights). Keys the SolverCache basis pool.
+std::string structural_model_key(const Model& model);
 
 /// FNV-1a 64-bit hash of `key` (stable across platforms and runs).
 std::uint64_t fnv1a64(const std::string& key);
@@ -54,6 +62,15 @@ public:
   /// comment — but first-wins makes that independent of timing).
   void insert(const std::string& key, const Solution& solution);
 
+  /// Basis pool: the revised-simplex root basis of a past solve, keyed by
+  /// structural_model_key. Unlike the solution entries this is last-wins —
+  /// a basis is a hint, not a result, and the most recent neighbor is the
+  /// best available seed. Callers that need bit-reproducible results must
+  /// only consult the pool from a deterministic solve order (see
+  /// BranchAndBoundOptions::share_basis).
+  std::optional<Basis> lookup_basis(const std::string& key);
+  void store_basis(const std::string& key, const Basis& basis);
+
   Stats stats() const;
   std::size_t size() const;
   void clear();
@@ -63,9 +80,14 @@ private:
     std::string key; ///< full key, verified on hit (hash collisions)
     Solution solution;
   };
+  struct BasisEntry {
+    std::string key;
+    Basis basis;
+  };
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  std::unordered_map<std::uint64_t, std::vector<BasisEntry>> basis_entries_;
   Stats stats_;
 };
 

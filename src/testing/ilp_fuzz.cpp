@@ -152,6 +152,10 @@ CheckResult compare_solves(const char* what, const Solution& a,
       std::abs(a.objective - b.objective) > 1e-6)
     return CheckResult::fail(format_string("%s: objective %.17g vs %.17g",
                                            what, a.objective, b.objective));
+  if (a.status == SolveStatus::Optimal &&
+      std::abs(a.best_bound - b.best_bound) > 1e-6)
+    return CheckResult::fail(format_string("%s: best_bound %.17g vs %.17g",
+                                           what, a.best_bound, b.best_bound));
   return CheckResult::pass();
 }
 
@@ -235,6 +239,19 @@ CheckResult check_ilp_instance(const ilp::Model& model,
           "cache hit value[%zu] differs from the fresh solve", j));
   if (!options.solve && cache.stats().hits < 1)
     return CheckResult::fail("second cached solve did not hit the cache");
+
+  // Oracle 5: the dense tableau core and the sparse revised core solve the
+  // same problem — a status, optimum, or proven-bound disagreement is a
+  // bug in one of them. (`base` runs under the session default core, so
+  // the differential also covers whichever core oracle 1 just validated.)
+  BranchAndBoundOptions dense = base;
+  dense.lp.core = ilp::LpCore::Dense;
+  BranchAndBoundOptions revised = base;
+  revised.lp.core = ilp::LpCore::Revised;
+  const CheckResult core_check =
+      compare_solves("revised vs dense core", solve(model, revised),
+                     solve(model, dense));
+  if (!core_check.ok) return core_check;
 
   return CheckResult::pass();
 }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "ilp/branch_and_bound.hpp"
@@ -322,6 +323,168 @@ TEST(BranchAndBound, RandomMilpsMatchBruteForce) {
       EXPECT_NEAR(s.objective, best, 1e-6) << "trial " << trial;
       EXPECT_TRUE(m.is_feasible(s.values)) << "trial " << trial;
     }
+  }
+}
+
+TEST(BranchAndBound, NearTiePruningRespectsConfiguredTolerance) {
+  // Two feasible points whose objectives differ by 5e-8 — below the old
+  // hardcoded 1e-9/1e-12 prune cutoffs' blind spot but within the LP
+  // tolerance (1e-7). With prune_tolerance tightened to 1e-12 the solver
+  // must still find the strictly better point; with a loose 1e-3 it may
+  // settle for either, but must never return something worse than that
+  // slack allows.
+  Model m;
+  const VarId a = m.add_binary("a");
+  const VarId b = m.add_binary("b");
+  m.add_eq(LinearExpr().add(a, 1).add(b, 1), 1); // pick exactly one
+  m.set_objective(Direction::Minimize,
+                  LinearExpr().add(a, 1.0).add(b, 1.0 + 5e-8));
+
+  BranchAndBoundOptions tight;
+  tight.prune_tolerance = 1e-12;
+  tight.relative_gap = 0.0;
+  const Solution s = solve_milp(m, tight);
+  ASSERT_EQ(s.status, SolveStatus::Optimal);
+  EXPECT_NEAR(s.value(a), 1.0, 1e-6); // the strictly better point
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+
+  BranchAndBoundOptions loose;
+  loose.prune_tolerance = 1e-3;
+  const Solution sl = solve_milp(m, loose);
+  ASSERT_EQ(sl.status, SolveStatus::Optimal);
+  EXPECT_LE(sl.objective, 1.0 + 1e-3);
+}
+
+TEST(BranchAndBound, WarmStartOnAndOffAgreeOnOptimum) {
+  Rng rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 10;
+    Model m;
+    LinearExpr wsum, vsum;
+    for (int i = 0; i < n; ++i) {
+      const VarId x = m.add_binary("x" + std::to_string(i));
+      wsum.add(x, static_cast<double>(rng.next_int(1, 12)));
+      vsum.add(x, static_cast<double>(rng.next_int(1, 20)));
+    }
+    m.add_le(std::move(wsum), 25.0);
+    m.set_objective(Direction::Maximize, std::move(vsum));
+
+    BranchAndBoundOptions warm;
+    warm.warm_start = true;
+    BranchAndBoundOptions cold;
+    cold.warm_start = false;
+    const Solution sw = solve_milp(m, warm);
+    const Solution sc = solve_milp(m, cold);
+    ASSERT_EQ(sw.status, SolveStatus::Optimal) << "trial " << trial;
+    ASSERT_EQ(sc.status, SolveStatus::Optimal) << "trial " << trial;
+    EXPECT_NEAR(sw.objective, sc.objective, 1e-6) << "trial " << trial;
+    EXPECT_TRUE(m.is_feasible(sw.values)) << "trial " << trial;
+  }
+}
+
+TEST(BranchAndBound, BranchingRulesAgreeOnOptimum) {
+  Model m;
+  LinearExpr wsum, vsum;
+  for (int i = 0; i < 12; ++i) {
+    const VarId x = m.add_binary("x" + std::to_string(i));
+    wsum.add(x, static_cast<double>(2 + (i * 5) % 9));
+    vsum.add(x, static_cast<double>(1 + (i * 11) % 17));
+  }
+  m.add_le(std::move(wsum), 28.0);
+  m.set_objective(Direction::Maximize, std::move(vsum));
+
+  BranchAndBoundOptions pseudo;
+  pseudo.branching = Branching::PseudoCost;
+  BranchAndBoundOptions frac;
+  frac.branching = Branching::MostFractional;
+  const Solution sp = solve_milp(m, pseudo);
+  const Solution sf = solve_milp(m, frac);
+  ASSERT_EQ(sp.status, SolveStatus::Optimal);
+  ASSERT_EQ(sf.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sp.objective, sf.objective, 1e-6);
+}
+
+TEST(SolverCache, StructuralKeyIgnoresObjective) {
+  // The basis pool is keyed structurally: two sweep presets differing only
+  // in objective weights share warm starts, but any structural change
+  // (bounds, rows) must split them.
+  Model a;
+  const VarId xa = a.add_binary("x");
+  a.add_le(LinearExpr().add(xa, 1), 1);
+  a.set_objective(Direction::Minimize, LinearExpr().add(xa, 2.0));
+
+  Model b;
+  const VarId xb = b.add_binary("x");
+  b.add_le(LinearExpr().add(xb, 1), 1);
+  b.set_objective(Direction::Minimize, LinearExpr().add(xb, 7.5));
+
+  Model c; // different bound: structurally distinct
+  const VarId xc = c.add_integer("x", 0, 2);
+  c.add_le(LinearExpr().add(xc, 1), 1);
+  c.set_objective(Direction::Minimize, LinearExpr().add(xc, 2.0));
+
+  EXPECT_EQ(structural_model_key(a), structural_model_key(b));
+  EXPECT_NE(structural_model_key(a), structural_model_key(c));
+}
+
+TEST(SolverCache, BasisPoolRoundTrips) {
+  SolverCache cache;
+  const std::string key = "struct|demo";
+  EXPECT_FALSE(cache.lookup_basis(key).has_value());
+
+  Basis basis;
+  basis.status = {Basis::kAtLower, Basis::kBasic};
+  basis.basic = {1};
+  cache.store_basis(key, basis);
+  const std::optional<Basis> got = cache.lookup_basis(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, basis.status);
+  EXPECT_EQ(got->basic, basis.basic);
+
+  // Empty bases are not stored; stores are last-wins.
+  cache.store_basis(key, Basis{});
+  ASSERT_TRUE(cache.lookup_basis(key).has_value());
+  Basis other;
+  other.status = {Basis::kBasic, Basis::kAtUpper};
+  other.basic = {0};
+  cache.store_basis(key, other);
+  EXPECT_EQ(cache.lookup_basis(key)->basic, other.basic);
+
+  cache.clear();
+  EXPECT_FALSE(cache.lookup_basis(key).has_value());
+}
+
+TEST(BranchAndBound, SharedBasisAcrossPresetsKeepsAnswersExact) {
+  // Same structure, different objectives — the second solve warm starts
+  // from the first's root basis and must land on the same optimum as a
+  // solve without any cache.
+  auto build = [](double w0, double w1) {
+    Model m;
+    LinearExpr wsum;
+    std::vector<VarId> xs;
+    for (int i = 0; i < 8; ++i) {
+      xs.push_back(m.add_binary("x" + std::to_string(i)));
+      wsum.add(xs.back(), static_cast<double>(1 + (i * 3) % 7));
+    }
+    m.add_le(std::move(wsum), 14.0);
+    LinearExpr obj;
+    for (int i = 0; i < 8; ++i)
+      obj.add(xs[static_cast<std::size_t>(i)], (i % 2 == 0 ? w0 : w1) + i);
+    m.set_objective(Direction::Maximize, std::move(obj));
+    return m;
+  };
+
+  SolverCache cache;
+  BranchAndBoundOptions shared;
+  shared.cache = &cache;
+  shared.share_basis = true;
+  for (const auto [w0, w1] : {std::pair{3.0, 5.0}, {4.0, 2.0}, {1.0, 9.0}}) {
+    const Model m = build(w0, w1);
+    const Solution s = solve_milp(m, shared);
+    const Solution plain = solve_milp(m);
+    ASSERT_EQ(s.status, SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective, plain.objective, 1e-6);
+    EXPECT_TRUE(m.is_feasible(s.values));
   }
 }
 

@@ -148,5 +148,57 @@ TEST(LpReader, RejectsMalformedInput) {
       parse_lp("Minimize\n obj: x\nBounds\n x between 0 and 1\nEnd\n").ok());
 }
 
+TEST(LpReader, MalformedNumbersAreRejectedWithLocation) {
+  // "3.5.2" used to be strtod'd as 3.5 with the trailing ".2" silently
+  // discarded; now it is a hard error carrying line and column.
+  {
+    const LpParseResult r =
+        parse_lp("Minimize\n obj: 3.5.2 x\nSubject To\n c: x <= 1\nEnd\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("line 2"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("column 7"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("3.5.2"), std::string::npos) << r.error;
+  }
+  // Malformed right-hand side of a constraint.
+  {
+    const LpParseResult r =
+        parse_lp("Minimize\n obj: x\nSubject To\n c: x <= 1e+\nEnd\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("line 4"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("right-hand side"), std::string::npos) << r.error;
+  }
+  // Malformed numeric coefficient inside a constraint expression.
+  {
+    const LpParseResult r = parse_lp(
+        "Minimize\n obj: x\nSubject To\n c: 2..0 x <= 4\nEnd\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("line 4"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("2..0"), std::string::npos) << r.error;
+  }
+  // Malformed bound values, each side.
+  {
+    const LpParseResult r =
+        parse_lp("Minimize\n obj: x\nBounds\n 0.x <= x <= 1\nEnd\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("line 4"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("lower bound"), std::string::npos) << r.error;
+  }
+  {
+    const LpParseResult r =
+        parse_lp("Minimize\n obj: x\nBounds\n 0 <= x <= 1.0e\nEnd\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("upper bound"), std::string::npos) << r.error;
+  }
+  // Trailing junk after an otherwise valid bounds line.
+  EXPECT_FALSE(
+      parse_lp("Minimize\n obj: x\nBounds\n 0 <= x <= 1 junk\nEnd\n").ok());
+  // Infinite bounds still parse.
+  {
+    const LpParseResult r = parse_lp(
+        "Minimize\n obj: x\nBounds\n -inf <= x <= +inf\nEnd\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+}
+
 } // namespace
 } // namespace luis::ilp

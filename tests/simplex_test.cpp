@@ -200,5 +200,70 @@ TEST(Simplex, SolutionIsModelFeasible) {
   }
 }
 
+// Beale's classic cycling example: Dantzig pricing with a naive tie-break
+// cycles forever on this LP. Both cores must terminate (via Bland's rule
+// anti-cycling) at the optimum -0.05.
+TEST(Simplex, BealeCyclingExampleTerminatesInBothCores) {
+  for (const LpCore core : {LpCore::Dense, LpCore::Revised}) {
+    Model m;
+    const VarId x4 = m.add_continuous("x4");
+    const VarId x5 = m.add_continuous("x5");
+    const VarId x6 = m.add_continuous("x6");
+    const VarId x7 = m.add_continuous("x7");
+    m.add_le(LinearExpr().add(x4, 0.25).add(x5, -60.0).add(x6, -0.04).add(x7, 9.0), 0.0);
+    m.add_le(LinearExpr().add(x4, 0.5).add(x5, -90.0).add(x6, -0.02).add(x7, 3.0), 0.0);
+    m.add_le(LinearExpr().add(x6, 1.0), 1.0);
+    m.set_objective(Direction::Minimize, LinearExpr()
+                                             .add(x4, -0.75)
+                                             .add(x5, 150.0)
+                                             .add(x6, -0.02)
+                                             .add(x7, 6.0));
+    SimplexOptions opt;
+    opt.core = core;
+    const Solution s = solve_lp(m, opt);
+    ASSERT_EQ(s.status, SolveStatus::Optimal) << to_string(core);
+    EXPECT_NEAR(s.objective, -0.05, 1e-9) << to_string(core);
+  }
+}
+
+// Redundant (linearly dependent) equality rows leave a phase-1 artificial
+// stuck in the basis at zero. The row must be neutralized, not left live
+// where a phase-2 pivot could resurrect the artificial and corrupt the
+// solution.
+TEST(Simplex, RedundantEqualityRowsAreHandled) {
+  for (const LpCore core : {LpCore::Dense, LpCore::Revised}) {
+    Model m;
+    const VarId x = m.add_continuous("x");
+    const VarId y = m.add_continuous("y");
+    m.add_eq(LinearExpr().add(x, 1.0).add(y, 1.0), 4.0);
+    m.add_eq(LinearExpr().add(x, 2.0).add(y, 2.0), 8.0); // 2x the first row
+    m.add_eq(LinearExpr().add(x, 1.0).add(y, 1.0), 4.0); // exact duplicate
+    m.add_le(LinearExpr().add(x, 1.0), 3.0);
+    m.set_objective(Direction::Maximize, LinearExpr().add(x, 2.0).add(y, 1.0));
+    SimplexOptions opt;
+    opt.core = core;
+    const Solution s = solve_lp(m, opt);
+    ASSERT_EQ(s.status, SolveStatus::Optimal) << to_string(core);
+    EXPECT_NEAR(s.objective, 2.0 * 3.0 + 1.0, 1e-7) << to_string(core);
+    EXPECT_TRUE(m.is_feasible(s.values, 1e-6)) << to_string(core);
+  }
+}
+
+// Redundant rows whose right-hand sides contradict each other must still
+// be reported infeasible, not silently dropped.
+TEST(Simplex, InconsistentRedundantRowsAreInfeasible) {
+  for (const LpCore core : {LpCore::Dense, LpCore::Revised}) {
+    Model m;
+    const VarId x = m.add_continuous("x");
+    const VarId y = m.add_continuous("y");
+    m.add_eq(LinearExpr().add(x, 1.0).add(y, 1.0), 4.0);
+    m.add_eq(LinearExpr().add(x, 2.0).add(y, 2.0), 9.0); // contradicts 2x row 0
+    m.set_objective(Direction::Minimize, LinearExpr().add(x, 1.0));
+    SimplexOptions opt;
+    opt.core = core;
+    EXPECT_EQ(solve_lp(m, opt).status, SolveStatus::Infeasible) << to_string(core);
+  }
+}
+
 } // namespace
 } // namespace luis::ilp

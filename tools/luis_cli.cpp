@@ -42,6 +42,9 @@
 //                         JSON file (open in Perfetto / chrome://tracing)
 //   --metrics-out FILE    write the process metrics registry as JSON
 //   --log-level L         error|warn|info|debug (default info)
+//   --lp-core C           LP engine under every MILP solve: revised (the
+//                         sparse revised simplex, default) or dense (the
+//                         original tableau baseline; see docs/SOLVER.md)
 //
 // profile options:
 //   --platform P          op-time table pricing the report (as in tune)
@@ -161,6 +164,7 @@
 #include "core/cast_materializer.hpp"
 #include "frontend/parser.hpp"
 #include "core/pipeline.hpp"
+#include "ilp/simplex.hpp"
 #include "core/sweep.hpp"
 #include "interp/engine.hpp"
 #include "ir/parser.hpp"
@@ -187,6 +191,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: luis [--trace-out F] [--metrics-out F] [--log-level L] "
+               "[--lp-core revised|dense] "
                "<kernels|emit|compile|print|verify|ranges|tune|"
                "lint|check|run|disasm|characterize|sweep|fuzz|profile|version> "
                "[args]\n(see the "
@@ -1276,9 +1281,22 @@ bool extract_global_flags(const std::vector<std::string>& all,
       }
       return false;
     };
-    std::string level;
+    std::string level, core;
     if (value_of("--trace-out", trace_path)) continue;
     if (value_of("--metrics-out", metrics_path)) continue;
+    if (value_of("--lp-core", core)) {
+      if (core == "revised") {
+        ilp::set_default_lp_core(ilp::LpCore::Revised);
+      } else if (core == "dense") {
+        ilp::set_default_lp_core(ilp::LpCore::Dense);
+      } else {
+        std::fprintf(stderr,
+                     "luis: unknown LP core '%s' (want revised|dense)\n",
+                     core.c_str());
+        return false;
+      }
+      continue;
+    }
     if (value_of("--log-level", level)) {
       const auto parsed = parse_log_level(level);
       if (!parsed) {
