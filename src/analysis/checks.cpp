@@ -13,6 +13,7 @@
 #include "analysis/lint.hpp"
 #include "numrep/iebw.hpp"
 #include "numrep/posit.hpp"
+#include "numrep/registry.hpp"
 #include "numrep/soft_float.hpp"
 
 namespace luis::analysis {
@@ -44,18 +45,12 @@ int guaranteed_iebw(const ConcreteType& type, const vra::Interval& range) {
 /// Largest finite magnitude `format` can represent; +inf for formats whose
 /// range cannot be exceeded (wide fixed handled by L004 instead).
 double representable_max(const ConcreteType& type) {
-  switch (type.format.format_class()) {
-  case FormatClass::FloatingPoint:
-    return numrep::float_max_value(type.format);
-  case FormatClass::Posit:
-    return numrep::posit_max_value(type.format);
-  case FormatClass::FixedPoint: {
+  if (type.format.is_fixed()) {
     const int magnitude_bits =
         type.format.width() - (type.format.is_signed() ? 1 : 0);
     return std::ldexp(1.0, magnitude_bits - type.frac_bits);
   }
-  }
-  return std::numeric_limits<double>::infinity();
+  return numrep::format_ops(type).max_value(type);
 }
 
 /// The value that defines the representation a Real literal operand
@@ -394,34 +389,34 @@ void check_range_escape(const LintContext& ctx, DiagnosticEngine& engine) {
   for_each_register(ctx.function, [&](const ir::Value* v) {
     if (!ctx.assignment.has_explicit(v)) return;
     const ConcreteType type = ctx.assignment.of(v);
+    if (type.format.is_fixed()) return; // the fractional-bit budget is L004
     const vra::Interval range = ctx.ranges.of(v);
     const double max_mag = range.max_magnitude();
-    switch (type.format.format_class()) {
-    case FormatClass::FloatingPoint:
-      if (!numrep::is_executable_float(type.format))
-        engine.report({"L007", Severity::Note, "range-escape", ctx.describe(v),
-                       type.format.name() + " is described for the IEBW "
-                           "metric but cannot be executed by the soft-float "
-                           "emulator",
-                       "use an executable format (p <= 53, E <= 1023)"});
-      if (max_mag > numrep::float_max_value(type.format))
+    const numrep::FormatClassOps& ops = numrep::format_ops(type);
+    if (!ops.executable(type.format))
+      engine.report({"L007", Severity::Note, "range-escape", ctx.describe(v),
+                     type.format.name() + " is described for the IEBW "
+                         "metric but cannot be executed by the soft "
+                         "emulator",
+                     "use an executable format (see `luis formats`)"});
+    const double rep = ops.max_value(type);
+    if (max_mag > rep) {
+      if (ops.saturates(type.format))
+        // Saturating representations (posits, fixed-posits, finite-only
+        // and FNUZ floats) clamp instead of producing infinities.
+        engine.report({"L007", Severity::Warning, "range-escape",
+                       ctx.describe(v),
+                       "range " + fmt_range(range) + " exceeds the largest "
+                           "finite " + type.format.name() + " value " +
+                           std::to_string(rep) + "; values will saturate",
+                       "assign a wider format"});
+      else
         engine.report({"L007", Severity::Error, "range-escape", ctx.describe(v),
                        "range " + fmt_range(range) + " exceeds the largest "
                            "finite " + type.format.name() + " value " +
-                           std::to_string(numrep::float_max_value(type.format)) +
+                           std::to_string(rep) +
                            "; overflow to infinity is guaranteed reachable",
                        "assign a format with a wider exponent range"});
-      break;
-    case FormatClass::Posit:
-      if (max_mag > numrep::posit_max_value(type.format))
-        engine.report({"L007", Severity::Warning, "range-escape",
-                       ctx.describe(v),
-                       "range " + fmt_range(range) + " exceeds maxpos of " +
-                           type.format.name() + "; values will saturate",
-                       "assign a wider posit or a float"});
-      break;
-    case FormatClass::FixedPoint:
-      break; // the fractional-bit budget is L004's finding
     }
   });
   // Literals materialize in their consumer's format; the allocator's

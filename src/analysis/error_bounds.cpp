@@ -6,6 +6,7 @@
 #include "numrep/iebw.hpp"
 #include "numrep/posit.hpp"
 #include "numrep/quantize.hpp"
+#include "numrep/registry.hpp"
 #include "numrep/soft_float.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -40,32 +41,32 @@ double quantization_bound(const ConcreteType& type, double max_magnitude) {
   if (std::isnan(max_magnitude) || !std::isfinite(max_magnitude)) return kInf;
   const double m = std::abs(max_magnitude);
   const numrep::NumericFormat& f = type.format;
-  // Past a float format's largest finite value the rounder overflows to
-  // infinity: no finite bound exists.
-  if (f.is_float() && m > numrep::float_max_value(f)) return kInf;
+  const numrep::FormatClassOps& ops = numrep::format_ops(type);
+  const double rep = ops.max_value(type);
+  // Past a non-saturating format's largest finite value the rounder
+  // overflows to infinity: no finite bound exists. Saturating formats
+  // (fixed point, posits, the FiniteOnly/Fnuz FP8 encodings) clamp
+  // instead and are charged the saturation distance below.
+  if (!ops.saturates(f) && m > rep) return kInf;
   const int iebw = numrep::iebw_of_range(f, -m, m, type.frac_bits);
   // IEBW's Definition-1 eps is the smallest representation-changing
   // perturbation: for floats 2^-IEBW is already the half-ulp (the maximum
-  // round-to-nearest error), while for fixed point and posits it is the
-  // lattice step, of which rounding incurs at most half.
+  // round-to-nearest error), while for fixed point, posits and
+  // fixed-posits it is the lattice step, of which rounding incurs at most
+  // half.
   double bound = std::ldexp(1.0, -iebw);
-  if (!f.is_float()) bound *= 0.5;
-  // Fixed point and posits saturate instead: charge the saturation
-  // distance. The (1 - 2^-50) factor keeps the representable maximum a
-  // true lower bound under this function's own rounding.
-  if (f.is_fixed()) {
-    const double rep = numrep::FixedSpec::from(type).max_value() * (1.0 - 0x1p-50);
-    bound += std::max(0.0, m - rep);
-    // Unsigned fixed point saturates negative values at zero; without the
-    // sign of the data only the full magnitude is a safe allowance.
-    if (!f.is_signed()) bound += m;
-  } else if (f.is_posit()) {
-    bound += std::max(0.0, m - numrep::posit_max_value(f) * (1.0 - 0x1p-50));
-    // Posits never underflow to zero: a nonzero value below minpos rounds
-    // *up* to +-minpos, so near zero the worst error is the full minpos,
-    // not half the local step.
-    if (m > 0.0) bound = std::max(bound, numrep::posit_min_value(f));
-  }
+  if (!ops.eps_is_half_step(f)) bound *= 0.5;
+  // The (1 - 2^-50) factor keeps the representable maximum a true lower
+  // bound under this function's own rounding.
+  if (ops.saturates(f)) bound += std::max(0.0, m - rep * (1.0 - 0x1p-50));
+  // Unsigned fixed point saturates negative values at zero; without the
+  // sign of the data only the full magnitude is a safe allowance.
+  if (f.is_fixed() && !f.is_signed()) bound += m;
+  // Never-underflow representations (posits, fixed-posits): a nonzero
+  // value below minpos rounds *up* to +-minpos, so near zero the worst
+  // error is the full minpos, not half the local step.
+  if (ops.never_underflows(f) && m > 0.0)
+    bound = std::max(bound, ops.min_positive(type));
   return bound;
 }
 
@@ -519,15 +520,17 @@ private:
   /// Saturate an array bound at its representation cap: no matter what the
   /// quantized run computes, a stored cell holds a representable value, so
   /// its distance to the in-range reference cell is at most the format's
-  /// largest representable magnitude plus the range magnitude. Fixed point
-  /// and posits saturate in hardware, so their cap is unconditional; float
-  /// formats overflow to infinity instead, so a float cap certifies only
+  /// largest representable magnitude plus the range magnitude. Saturating
+  /// representations (fixed point, posits, fixed-posits, the FP8
+  /// FiniteOnly/Fnuz encodings) make the cap unconditional; Ieee float
+  /// formats overflow to infinity instead, so their cap certifies only
   /// finite quantized runs (reported via assumes_finite_run).
   double capped(double e, const ir::Value* target) {
     const auto it = caps_.find(target);
     if (it == caps_.end() || e <= it->second) return e;
     ++capped_;
-    if (types_.of(target).format.is_float()) float_capped_ = true;
+    const ConcreteType t = types_.of(target);
+    if (!numrep::format_ops(t).saturates(t.format)) float_capped_ = true;
     return it->second;
   }
   double cap_of(const ir::Value* target) const {
@@ -644,13 +647,7 @@ private:
       const Interval r = ranges_.of(arr.get());
       if (!trusted(r)) continue;
       const ConcreteType t = types_.of(arr.get());
-      double rep;
-      if (t.format.is_fixed())
-        rep = numrep::FixedSpec::from(t).max_value();
-      else if (t.format.is_posit())
-        rep = numrep::posit_max_value(t.format);
-      else
-        rep = numrep::float_max_value(t.format);
+      const double rep = numrep::format_ops(t).max_value(t);
       const double cap = rep + r.max_magnitude();
       if (std::isfinite(cap)) caps_[arr.get()] = cap;
     }

@@ -17,20 +17,16 @@ using vra::Interval;
 
 double quantization_error(const ConcreteType& type, const Interval& range) {
   if (type.format == numrep::kBinary64) return 0.0; // the reference format
-  switch (type.format.format_class()) {
-  case numrep::FormatClass::FixedPoint:
+  if (type.format.is_fixed())
     // Round-to-nearest onto the 2^-f grid.
     return std::ldexp(1.0, -(type.frac_bits + 1));
-  case numrep::FormatClass::FloatingPoint:
-  case numrep::FormatClass::Posit: {
-    if (range.max_magnitude() == 0.0) return 0.0;
-    // IEBW at the magnitude extreme is the guaranteed resolution; its
-    // Definition-3 form already accounts for the half ULP.
-    const int iebw = numrep::iebw_of_range(type.format, range.lo, range.hi);
-    return std::ldexp(1.0, -iebw);
-  }
-  }
-  LUIS_UNREACHABLE("unknown format class");
+  // Every range-dependent representation (floats, posits, fixed-posits,
+  // registered extensions): IEBW at the magnitude extreme is the
+  // guaranteed resolution; its Definition-3 form already accounts for the
+  // half ULP.
+  if (range.max_magnitude() == 0.0) return 0.0;
+  const int iebw = numrep::iebw_of_range(type.format, range.lo, range.hi);
+  return std::ldexp(1.0, -iebw);
 }
 
 namespace {

@@ -9,6 +9,7 @@
 #include "interp/interpreter.hpp"
 #include "numrep/iebw.hpp"
 #include "numrep/posit.hpp"
+#include "numrep/registry.hpp"
 #include "numrep/soft_float.hpp"
 #include "support/diag.hpp"
 
@@ -46,21 +47,12 @@ std::string class_of_format(const NumericFormat& fmt) {
   return cost_class(ConcreteType{fmt, 0});
 }
 
-/// True if `fmt` can hold every value of `range` (fixed point: with a
-/// nonnegative fractional bit count; floats: within the finite range;
-/// posits: always, by saturation).
+/// True if `fmt` can hold every value of `range`, as judged by the
+/// format's registered policy (fixed point: a nonnegative fractional bit
+/// count exists; floats and fixed-posits: executable and within the
+/// finite range; posits: always, by saturation).
 bool format_feasible(const NumericFormat& fmt, const vra::Interval& range) {
-  switch (fmt.format_class()) {
-  case numrep::FormatClass::FixedPoint:
-    return numrep::fixed_point_max_frac(fmt.width(), fmt.is_signed(), range.lo,
-                                        range.hi) >= 0;
-  case numrep::FormatClass::FloatingPoint:
-    return numrep::is_executable_float(fmt) &&
-           range.max_magnitude() <= numrep::float_max_value(fmt);
-  case numrep::FormatClass::Posit:
-    return true;
-  }
-  return false;
+  return numrep::format_ops(fmt).feasible(fmt, range.lo, range.hi);
 }
 
 } // namespace

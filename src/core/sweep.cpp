@@ -33,6 +33,8 @@ TuningConfig config_by_name(const std::string& name, long max_nodes) {
     c = TuningConfig::balanced();
   else if (name == "Fast")
     c = TuningConfig::fast();
+  else if (name == "Multi")
+    c = TuningConfig::multi();
   else
     LUIS_FATAL("unknown sweep config " + name);
   c.solver.max_nodes = max_nodes;

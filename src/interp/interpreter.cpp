@@ -4,6 +4,7 @@
 
 #include "numrep/fixed_point.hpp"
 #include "numrep/quantize.hpp"
+#include "numrep/registry.hpp"
 #include "support/diag.hpp"
 
 namespace luis::interp {
@@ -20,19 +21,7 @@ long CostCounters::total_real_ops() const {
 }
 
 std::string cost_class(const ConcreteType& type) {
-  switch (type.format.format_class()) {
-  case numrep::FormatClass::FixedPoint:
-    return "fix";
-  case numrep::FormatClass::Posit:
-    return "posit";
-  case numrep::FormatClass::FloatingPoint:
-    if (type.format == numrep::kBinary64) return "double";
-    if (type.format == numrep::kBinary16) return "half";
-    if (type.format == numrep::kBfloat16) return "bfloat16";
-    // binary32 and any other narrow float run on the float datapath.
-    return "float";
-  }
-  LUIS_UNREACHABLE("unknown format class");
+  return numrep::format_ops(type).cost_class(type.format);
 }
 
 namespace {

@@ -1,0 +1,138 @@
+#include "numrep/fixed_posit.hpp"
+
+#include <cmath>
+
+#include "support/diag.hpp"
+
+namespace luis::numrep {
+namespace {
+
+struct Geometry {
+  int width, es, rs, frac;
+  int scale_min, scale_max; ///< k_min * 2^es, k_max * 2^es + 2^es - 1
+  std::int64_t body_max;    ///< 2^(w-1) - 1
+};
+
+Geometry geometry(const NumericFormat& f) {
+  LUIS_ASSERT(is_executable_fixed_posit(f), "unsupported fixed-posit geometry");
+  Geometry g;
+  g.width = f.width();
+  g.es = f.es();
+  g.rs = f.regime_bits();
+  g.frac = g.width - 1 - g.rs - g.es;
+  const int k_min = -(1 << (g.rs - 1));
+  const int k_max = (1 << (g.rs - 1)) - 1;
+  g.scale_min = k_min << g.es;
+  g.scale_max = (k_max << g.es) + (1 << g.es) - 1;
+  g.body_max = (std::int64_t{1} << (g.width - 1)) - 1;
+  return g;
+}
+
+/// Magnitude of a body index in [1, body_max]: (1 + f/2^F) * 2^scale with
+/// scale = (body >> F) + scale_min.
+double body_value(const Geometry& g, std::int64_t body) {
+  const std::int64_t f = body & ((std::int64_t{1} << g.frac) - 1);
+  const int scale = static_cast<int>(body >> g.frac) + g.scale_min;
+  return std::ldexp(1.0 + std::ldexp(static_cast<double>(f), -g.frac), scale);
+}
+
+} // namespace
+
+bool is_executable_fixed_posit(const NumericFormat& f) {
+  return f.is_fixed_posit() && f.width() >= 3 && f.width() <= 32 &&
+         f.es() >= 0 && f.es() <= 4 && f.regime_bits() >= 1 &&
+         f.regime_bits() <= 8 && f.width() - 1 - f.regime_bits() - f.es() >= 0;
+}
+
+double fixed_posit_max_value(const NumericFormat& f) {
+  const Geometry g = geometry(f);
+  return body_value(g, g.body_max);
+}
+
+double fixed_posit_min_value(const NumericFormat& f) {
+  const Geometry g = geometry(f);
+  return body_value(g, 1);
+}
+
+double quantize_fixed_posit(const NumericFormat& f, double x) {
+  const Geometry g = geometry(f);
+  if (std::isnan(x)) return std::nan("");
+  if (x == 0.0) return 0.0;
+
+  const double mag = std::abs(x);
+  const double sign = x < 0.0 ? -1.0 : 1.0;
+  const double minpos = body_value(g, 1);
+  const double maxpos = body_value(g, g.body_max);
+  // Posit-style saturation: no infinities, and nonzero magnitudes never
+  // round to zero. The half-way points toward the clamps still round
+  // normally, so only the outer halves saturate.
+  if (mag >= maxpos) return sign * maxpos;
+  if (mag <= minpos) return sign * minpos;
+
+  // mag sits strictly inside the ladder; locate its binade and round the
+  // body index to nearest, ties to even. raw = mag / 2^(scale - F) lies in
+  // [2^F, 2^(F+1)) and body = (S - 1) * 2^F + raw with S = scale -
+  // scale_min; both scalings are exact in binary64, so the tie test is
+  // exact too.
+  const int scale = std::ilogb(mag);
+  const std::int64_t S = scale - g.scale_min; // in [0, 2^(rs+es))
+  const double raw = std::ldexp(mag, g.frac - scale);
+  const double raw_floor = std::floor(raw);
+  const double delta = raw - raw_floor;
+  std::int64_t body = ((S - 1) << g.frac) + static_cast<std::int64_t>(raw_floor);
+  if (delta > 0.5 || (delta == 0.5 && (body & 1)))
+    ++body; // round up; a full carry into the next binade is just body+1
+  // The clamps above keep body in range, but the rounding step may land on
+  // them exactly.
+  if (body < 1) body = 1;
+  if (body > g.body_max) body = g.body_max;
+  return sign * body_value(g, body);
+}
+
+int iebw_fixed_posit(const NumericFormat& f, double x) {
+  LUIS_ASSERT(x != 0.0 && std::isfinite(x), "IEBW is undefined for 0/inf/NaN");
+  const Geometry g = geometry(f);
+  const double q = quantize_fixed_posit(f, x);
+  // eps at q is the local step 2^(scale - F); IEBW = -(scale - F).
+  const int scale = std::ilogb(std::abs(q));
+  return g.frac - scale;
+}
+
+double fixed_posit_decode(const NumericFormat& f, std::uint64_t bits) {
+  const Geometry g = geometry(f);
+  const std::uint64_t mask = (std::uint64_t{1} << g.width) - 1;
+  bits &= mask;
+  if (bits == 0) return 0.0;
+  const std::uint64_t nar = std::uint64_t{1} << (g.width - 1);
+  if (bits == nar) return std::nan("");
+  if (bits & nar) // negative: two's complement of the whole word
+    return -body_value(g, static_cast<std::int64_t>((~bits + 1) & mask));
+  return body_value(g, static_cast<std::int64_t>(bits));
+}
+
+std::uint64_t fixed_posit_encode(const NumericFormat& f, double x) {
+  const Geometry g = geometry(f);
+  const std::uint64_t mask = (std::uint64_t{1} << g.width) - 1;
+  if (std::isnan(x)) return std::uint64_t{1} << (g.width - 1);
+  if (x == 0.0) return 0;
+  const double mag = std::abs(x);
+  const int scale = std::ilogb(mag);
+  const double raw = std::ldexp(mag, g.frac - scale);
+  const std::int64_t S = scale - g.scale_min;
+  const std::int64_t body =
+      ((S - 1) << g.frac) + static_cast<std::int64_t>(raw);
+  LUIS_ASSERT(raw == std::floor(raw) && body >= 1 && body <= g.body_max,
+              "value is not representable in this fixed-posit");
+  const auto ubody = static_cast<std::uint64_t>(body);
+  return x < 0.0 ? (~ubody + 1) & mask : ubody;
+}
+
+std::int64_t fixed_posit_ordering_key(const NumericFormat& f,
+                                      std::uint64_t bits) {
+  const int w = f.width();
+  bits &= (std::uint64_t{1} << w) - 1;
+  const std::uint64_t sign = std::uint64_t{1} << (w - 1);
+  return static_cast<std::int64_t>(bits) - ((bits & sign) ? (std::int64_t{1} << w) : 0);
+}
+
+} // namespace luis::numrep

@@ -1,0 +1,54 @@
+// Fixed-posit arithmetic per Gohil, Walia, Mekie & Jain, "Fixed-Posit: A
+// Floating-Point Representation for Error-Resilient Applications" (arXiv
+// 2104.04763): a posit whose regime field has a fixed width `rs` instead
+// of a run-length encoding.
+//
+// Layout (w bits): sign | regime (rs bits) | exponent (es bits) | fraction
+// (F = w - 1 - rs - es bits). A magnitude's scale is k * 2^es + e with
+// regime k in [-2^(rs-1), 2^(rs-1) - 1] and exponent e in [0, 2^es); the
+// value is (1 + f / 2^F) * 2^scale. There are no subnormals; like posits,
+// negative values are the two's complement of the whole word and rounding
+// saturates at +-maxpos / +-minpos (never to infinity, never to zero).
+//
+// Deviation from the paper's bit layout: the regime is stored biased
+// (k - k_min) rather than in two's complement, so the all-zero body is
+// free for the reserved patterns (0...0 = zero, 10...0 = NaR) and the
+// scale is monotone in the stored bits. The representable value set is
+// identical except that the biased ladder starts at body 1, i.e. minpos
+// is (1 + 2^-F) * 2^(k_min * 2^es) instead of 2^(k_min * 2^es). See
+// docs/FORMATS.md.
+#pragma once
+
+#include <cstdint>
+
+#include "numrep/formats.hpp"
+
+namespace luis::numrep {
+
+/// True for fixed-posit geometries this codec executes: width 3..32,
+/// es 0..4, rs 1..8, and at least 0 fraction bits.
+bool is_executable_fixed_posit(const NumericFormat& format);
+
+/// Largest finite value: (2 - 2^-F) * 2^(k_max * 2^es + 2^es - 1).
+double fixed_posit_max_value(const NumericFormat& format);
+/// Smallest positive value: (1 + 2^-F) * 2^(k_min * 2^es) (body 1).
+double fixed_posit_min_value(const NumericFormat& format);
+
+/// Rounds `x` to the nearest fixed-posit: ties to even body, saturation
+/// at +-maxpos and +-minpos (posit-style: nonzero never rounds to zero),
+/// NaN to NaN. Zero is exact.
+double quantize_fixed_posit(const NumericFormat& format, double x);
+
+/// IEBW (Definition 5 applied to the fixed field layout): F - scale of
+/// the rounded value. `x` must be nonzero and finite.
+int iebw_fixed_posit(const NumericFormat& format, double x);
+
+/// Value of a bit pattern (low width() bits; 0 = zero, 10...0 = NaR/NaN).
+double fixed_posit_decode(const NumericFormat& format, std::uint64_t bits);
+/// Pattern of an exactly representable value (quantize first otherwise).
+std::uint64_t fixed_posit_encode(const NumericFormat& format, double x);
+/// Total-order rank: the sign-extended two's complement word.
+std::int64_t fixed_posit_ordering_key(const NumericFormat& format,
+                                      std::uint64_t bits);
+
+} // namespace luis::numrep

@@ -1,66 +1,23 @@
 #include "numrep/formats.hpp"
 
-#include <array>
-#include <cstdlib>
-
+#include "numrep/registry.hpp"
 #include "support/string_utils.hpp"
 
 namespace luis::numrep {
 
 std::string NumericFormat::name() const {
-  switch (class_) {
-  case FormatClass::FixedPoint:
-    return format_string("%sfix%d", signed_ ? "" : "u", width_);
-  case FormatClass::FloatingPoint:
-    if (*this == kBinary16) return "binary16";
-    if (*this == kBinary32) return "binary32";
-    if (*this == kBinary64) return "binary64";
-    if (*this == kBinary128) return "binary128";
-    if (*this == kBinary256) return "binary256";
-    if (*this == kBfloat16) return "bfloat16";
-    return format_string("float_p%d_E%d", precision_, max_exponent_);
-  case FormatClass::Posit:
-    return format_string("posit%d_%d", width_, es_);
-  }
-  return "<invalid>";
+  const FormatRegistry& reg = FormatRegistry::instance();
+  if (!reg.has_class(class_)) return "<unregistered>";
+  return reg.ops(class_).name(*this);
 }
 
 std::span<const NumericFormat> standard_formats() {
-  static const std::array<NumericFormat, 12> kFormats = {
-      kFixed16,  kFixed32,   kFixed64,   kBinary16, kBinary32, kBinary64,
-      kBinary128, kBinary256, kBfloat16, kPosit8,   kPosit16,  kPosit32,
-  };
-  return kFormats;
+  return FormatRegistry::instance().formats();
 }
 
-std::optional<NumericFormat> parse_format(std::string_view name) {
-  for (const NumericFormat& fmt : standard_formats())
-    if (fmt.name() == name) return fmt;
-  // Convenience aliases matching the paper's terminology.
-  if (name == "float") return kBinary32;
-  if (name == "double") return kBinary64;
-  if (name == "half") return kBinary16;
-  if (name == "fix") return kFixed32;
-  // Parametric spellings: fixN, ufixN, positW_ES.
-  if (starts_with(name, "ufix")) {
-    const int w = std::atoi(std::string(name.substr(4)).c_str());
-    if (w >= 2 && w <= 64) return NumericFormat::fixed(w, /*is_signed=*/false);
-  }
-  if (starts_with(name, "fix")) {
-    const int w = std::atoi(std::string(name.substr(3)).c_str());
-    if (w >= 2 && w <= 64) return NumericFormat::fixed(w);
-  }
-  if (starts_with(name, "posit")) {
-    const auto rest = name.substr(5);
-    const auto sep = rest.find('_');
-    if (sep != std::string_view::npos) {
-      const int w = std::atoi(std::string(rest.substr(0, sep)).c_str());
-      const int es = std::atoi(std::string(rest.substr(sep + 1)).c_str());
-      if (w >= 3 && w <= 32 && es >= 0 && es <= 4)
-        return NumericFormat::posit(w, es);
-    }
-  }
-  return std::nullopt;
+std::optional<NumericFormat> parse_format(std::string_view name,
+                                          std::string* error) {
+  return FormatRegistry::instance().parse(name, error);
 }
 
 std::string ConcreteType::name() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numrep/posit.hpp"
+#include "numrep/registry.hpp"
 #include "numrep/soft_float.hpp"
 #include "support/diag.hpp"
 
@@ -15,9 +16,15 @@ int iebw_float(const NumericFormat& format, double x) {
   const int E = format.max_exponent();
   const int p = format.precision();
   const double mag = std::abs(x);
-  const int e_v = std::min(std::ilogb(mag), E);
-  // p_hat marks the subnormal range, where the hidden bit is lost.
-  const int p_hat = mag <= std::ldexp(1.0, -E + 1) ? 1 : 0;
+  // e_v clamps at BOTH ends: at E above (saturation freezes the exponent)
+  // and at emin below — subnormals all share the fixed lattice step
+  // 2^(emin - p + 1), so letting e_v follow ilogb below emin would claim
+  // resolution the format does not have (exhaustively checked against the
+  // enumerated FP8 value sets in format_exhaustive_test).
+  const int e_v = std::clamp(std::ilogb(mag), format.min_exponent(), E);
+  // p_hat marks the subnormal range, where the hidden bit is lost. The
+  // normal/subnormal boundary is the encoding-dependent 2^emin.
+  const int p_hat = mag <= std::ldexp(1.0, format.min_exponent()) ? 1 : 0;
   return p - p_hat - e_v;
 }
 
@@ -32,15 +39,7 @@ int iebw_posit(const NumericFormat& format, double x) {
 }
 
 int iebw_of_value(const NumericFormat& format, double x, int frac_bits) {
-  switch (format.format_class()) {
-  case FormatClass::FixedPoint:
-    return iebw_fixed(frac_bits);
-  case FormatClass::FloatingPoint:
-    return iebw_float(format, x);
-  case FormatClass::Posit:
-    return iebw_posit(format, x);
-  }
-  LUIS_UNREACHABLE("unknown format class");
+  return format_ops(format).iebw(ConcreteType{format, frac_bits}, x);
 }
 
 namespace {
@@ -48,15 +47,7 @@ namespace {
 /// Smallest positive value the format can represent, used to evaluate the
 /// metric when a range endpoint collapses onto zero.
 double smallest_positive(const NumericFormat& format) {
-  switch (format.format_class()) {
-  case FormatClass::FloatingPoint:
-    return float_min_subnormal(format);
-  case FormatClass::Posit:
-    return posit_min_value(format);
-  case FormatClass::FixedPoint:
-    LUIS_UNREACHABLE("fixed point is range-independent");
-  }
-  LUIS_UNREACHABLE("unknown format class");
+  return format_ops(format).min_positive(ConcreteType{format, 0});
 }
 
 } // namespace

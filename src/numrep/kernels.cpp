@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "numrep/fixed_posit.hpp"
 #include "numrep/posit.hpp"
 #include "numrep/soft_float.hpp"
 #include "support/diag.hpp"
@@ -20,6 +21,14 @@ double round_fixed(const QuantSpec& s, double x) {
 }
 double round_posit(const QuantSpec& s, double x) {
   return quantize_posit(s.format, x);
+}
+double round_fposit(const QuantSpec& s, double x) {
+  return quantize_fixed_posit(s.format, x);
+}
+// Extension classes registered at run time round through their policy;
+// same routine as quantize(), so bit-identity holds for them too.
+double round_generic(const QuantSpec& s, double x) {
+  return s.ops->quantize(ConcreteType{s.format, s.fixed.frac}, x);
 }
 
 // The binary64 operations, spelled with the same libm entry points the
@@ -48,28 +57,34 @@ double fused1(const QuantSpec& s, double a) {
   return Round(s, Op::eval(a));
 }
 
-// Table slot index for a format class (matches the FormatClass order).
+// Table slot index for a format class: the built-in classes get fused
+// fast-path rounders, everything else the generic policy slot.
 int class_index(const ConcreteType& type) {
   switch (type.format.format_class()) {
   case FormatClass::FixedPoint: return 0;
   case FormatClass::FloatingPoint: return 1;
   case FormatClass::Posit: return 2;
+  case FormatClass::FixedPosit: return 3;
+  default: return 4;
   }
-  LUIS_UNREACHABLE("unknown format class");
 }
 
 template <typename Op>
 constexpr Kernel2 row2(int cls) {
   return cls == 0   ? &fused2<Op, round_fixed>
          : cls == 1 ? &fused2<Op, round_float>
-                    : &fused2<Op, round_posit>;
+         : cls == 2 ? &fused2<Op, round_posit>
+         : cls == 3 ? &fused2<Op, round_fposit>
+                    : &fused2<Op, round_generic>;
 }
 
 template <typename Op>
 constexpr Kernel1 row1(int cls) {
   return cls == 0   ? &fused1<Op, round_fixed>
          : cls == 1 ? &fused1<Op, round_float>
-                    : &fused1<Op, round_posit>;
+         : cls == 2 ? &fused1<Op, round_posit>
+         : cls == 3 ? &fused1<Op, round_fposit>
+                    : &fused1<Op, round_generic>;
 }
 
 template <FixedValue (*OpFn)(const FixedValue&, const FixedValue&,
@@ -85,7 +100,10 @@ double exact2(const ExactFixedBind& b, double x, double y) {
 QuantSpec make_quant_spec(const ConcreteType& type) {
   QuantSpec s;
   s.format = type.format;
-  if (type.format.is_fixed()) s.fixed = FixedSpec::from(type);
+  // FixedSpec doubles as the frac_bits carrier for the generic slot's
+  // ConcreteType reconstruction, so fill it for every class.
+  s.fixed = FixedSpec::from(type);
+  s.ops = &format_ops(type);
   return s;
 }
 
@@ -93,7 +111,9 @@ QuantFn bind_quantizer(const ConcreteType& type) {
   switch (class_index(type)) {
   case 0: return &round_fixed;
   case 1: return &round_float;
-  default: return &round_posit;
+  case 2: return &round_posit;
+  case 3: return &round_fposit;
+  default: return &round_generic;
   }
 }
 

@@ -1,0 +1,137 @@
+#include "numrep/minifloat.hpp"
+
+#include <cmath>
+
+#include "support/diag.hpp"
+
+namespace luis::numrep {
+namespace {
+
+/// Exponent field width implied by (E, encoding): the inverse of the bias
+/// rules in NumericFormat::min_exponent. Returns 0 when no field width
+/// reproduces E under the encoding.
+int exp_bits_for(const NumericFormat& f) {
+  const int E = f.max_exponent();
+  for (int eb = 2; eb <= 14; ++eb) {
+    const int implied = f.encoding() == FloatEncoding::FiniteOnly
+                            ? (1 << (eb - 1))      // bias E-1, top code finite
+                            : (1 << (eb - 1)) - 1; // Ieee and Fnuz share E
+    if (implied == E) return eb;
+  }
+  return 0;
+}
+
+} // namespace
+
+bool is_minifloat_encodable(const NumericFormat& f) {
+  if (!f.is_float() || f.width() > 16 || f.precision() < 2) return false;
+  const int eb = exp_bits_for(f);
+  return eb > 0 && 1 + eb + (f.precision() - 1) == f.width();
+}
+
+MinifloatLayout minifloat_layout(const NumericFormat& f) {
+  LUIS_ASSERT(is_minifloat_encodable(f), "format has no minifloat layout");
+  MinifloatLayout l;
+  l.width = f.width();
+  l.mant_bits = f.precision() - 1;
+  l.exp_bits = exp_bits_for(f);
+  switch (f.encoding()) {
+  case FloatEncoding::Ieee: l.bias = f.max_exponent(); break;
+  case FloatEncoding::FiniteOnly: l.bias = f.max_exponent() - 1; break;
+  case FloatEncoding::Fnuz: l.bias = f.max_exponent() + 1; break;
+  }
+  return l;
+}
+
+double minifloat_decode(const NumericFormat& f, std::uint64_t bits) {
+  const MinifloatLayout l = minifloat_layout(f);
+  bits &= (std::uint64_t{1} << l.width) - 1;
+  const bool neg = (bits >> (l.width - 1)) & 1;
+  const std::uint64_t exp = (bits >> l.mant_bits) & ((1u << l.exp_bits) - 1);
+  const std::uint64_t mant = bits & ((std::uint64_t{1} << l.mant_bits) - 1);
+  const std::uint64_t exp_all = (1u << l.exp_bits) - 1;
+  const std::uint64_t mant_all = (std::uint64_t{1} << l.mant_bits) - 1;
+
+  switch (f.encoding()) {
+  case FloatEncoding::Ieee:
+    if (exp == exp_all)
+      return mant == 0 ? (neg ? -HUGE_VAL : HUGE_VAL) : std::nan("");
+    break;
+  case FloatEncoding::FiniteOnly:
+    if (exp == exp_all && mant == mant_all) return std::nan("");
+    break;
+  case FloatEncoding::Fnuz:
+    if (neg && exp == 0 && mant == 0) return std::nan(""); // the 1000...0 pattern
+    break;
+  }
+
+  double mag;
+  if (exp == 0) { // subnormal (or zero): value = mant * 2^(1 - bias - m)
+    mag = std::ldexp(static_cast<double>(mant), 1 - l.bias - l.mant_bits);
+  } else {
+    mag = std::ldexp(1.0 + std::ldexp(static_cast<double>(mant), -l.mant_bits),
+                     static_cast<int>(exp) - l.bias);
+  }
+  return neg ? -mag : mag;
+}
+
+std::uint64_t minifloat_encode(const NumericFormat& f, double x) {
+  const MinifloatLayout l = minifloat_layout(f);
+  const std::uint64_t sign_bit = std::uint64_t{1} << (l.width - 1);
+  const std::uint64_t exp_all = (1u << l.exp_bits) - 1;
+  const std::uint64_t mant_all = (std::uint64_t{1} << l.mant_bits) - 1;
+
+  if (std::isnan(x)) {
+    switch (f.encoding()) {
+    case FloatEncoding::Ieee: // quiet NaN: top mantissa bit set
+      return (exp_all << l.mant_bits) | (std::uint64_t{1} << (l.mant_bits - 1));
+    case FloatEncoding::FiniteOnly:
+      return (exp_all << l.mant_bits) | mant_all; // +NaN pattern
+    case FloatEncoding::Fnuz:
+      return sign_bit;
+    }
+  }
+  if (std::isinf(x)) {
+    LUIS_ASSERT(f.encoding() == FloatEncoding::Ieee,
+                "saturating encodings have no infinity pattern");
+    return (std::signbit(x) ? sign_bit : 0) | (exp_all << l.mant_bits);
+  }
+  if (x == 0.0) {
+    // Fnuz has a single zero: the sign bit pattern is NaN, not -0.
+    const bool keep_sign = f.encoding() != FloatEncoding::Fnuz;
+    return keep_sign && std::signbit(x) ? sign_bit : 0;
+  }
+
+  const std::uint64_t s = std::signbit(x) ? sign_bit : 0;
+  const double mag = std::abs(x);
+  const int e = std::ilogb(mag);
+  const int emin = f.min_exponent();
+  if (e < emin) { // subnormal: mant = mag / 2^(emin - m)
+    const double m = std::ldexp(mag, l.mant_bits - emin);
+    const auto mant = static_cast<std::uint64_t>(m);
+    LUIS_ASSERT(static_cast<double>(mant) == m && mant <= mant_all,
+                "value is not representable (subnormal)");
+    return s | mant;
+  }
+  const double frac = std::ldexp(mag, l.mant_bits - e) -
+                      std::ldexp(1.0, l.mant_bits); // (mag/2^e - 1) * 2^m
+  const auto mant = static_cast<std::uint64_t>(frac);
+  const auto exp = static_cast<std::uint64_t>(e + l.bias);
+  LUIS_ASSERT(static_cast<double>(mant) == frac && mant <= mant_all &&
+                  exp >= 1 && exp <= exp_all,
+              "value is not representable (normal)");
+  return s | (exp << l.mant_bits) | mant;
+}
+
+std::int64_t minifloat_ordering_key(const NumericFormat& f,
+                                    std::uint64_t bits) {
+  const MinifloatLayout l = minifloat_layout(f);
+  bits &= (std::uint64_t{1} << l.width) - 1;
+  const std::uint64_t sign_bit = std::uint64_t{1} << (l.width - 1);
+  const auto mag = static_cast<std::int64_t>(bits & ~sign_bit);
+  // Sign-magnitude to total order; -0 ranks just below +0 so the Ieee
+  // zero pair stays adjacent (their decoded values are equal).
+  return (bits & sign_bit) ? -mag - 1 : mag;
+}
+
+} // namespace luis::numrep

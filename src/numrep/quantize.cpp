@@ -1,22 +1,11 @@
 #include "numrep/quantize.hpp"
 
-#include "numrep/fixed_point.hpp"
-#include "numrep/posit.hpp"
-#include "numrep/soft_float.hpp"
-#include "support/diag.hpp"
+#include "numrep/registry.hpp"
 
 namespace luis::numrep {
 
 double quantize(const ConcreteType& type, double x) {
-  switch (type.format.format_class()) {
-  case FormatClass::FloatingPoint:
-    return round_to_format(type.format, x);
-  case FormatClass::FixedPoint:
-    return quantize_fixed(FixedSpec::from(type), x);
-  case FormatClass::Posit:
-    return quantize_posit(type.format, x);
-  }
-  LUIS_UNREACHABLE("unknown format class");
+  return format_ops(type).quantize(type, x);
 }
 
 } // namespace luis::numrep

@@ -1,0 +1,155 @@
+// The pluggable format registry (ROADMAP item 1).
+//
+// A NumericFormat is pure data; the behavior of its class lives in a
+// FormatClassOps policy vtable registered here. Registering a class plus a
+// catalog entry is all it takes for a representation system to flow through
+// the whole pipeline: the quantize entry point and the VM's op x format
+// kernel table bind through ops.quantize, IEBW (and with it the ILP's Err
+// term and `luis check`'s certified bounds) through ops.iebw/min_positive/
+// max_value, candidate-type filtering through ops.feasible, platform
+// pricing through ops.cost_class, the name parser through the catalog and
+// parser hooks, and the fuzz palettes through formats() + ops.executable.
+//
+// The built-in classes (fixed point, floating point with Ieee/FiniteOnly/
+// Fnuz encodings, posit, fixed-posit) are registered on first use; the
+// Ext0..Ext3 FormatClass slots are free for run-time registration
+// (register_class), which is how the pluggability tests prove the axis is
+// actually open.
+//
+// Thread safety: instance() is safe to call concurrently (the built-ins
+// are installed under a function-local static); the register_* mutators
+// are not synchronized and must run before the registry is shared across
+// threads (in practice: at startup, or in single-threaded tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "numrep/formats.hpp"
+
+namespace luis::numrep {
+
+/// Per-class policy vtable. Function pointers (not std::function) so a
+/// policy is trivially copyable and registrations cannot capture state
+/// that outlives the registry. Value-level entry points take a
+/// ConcreteType because fixed point behavior depends on the per-variable
+/// fractional bit count.
+struct FormatClassOps {
+  /// Human label for reports ("fixed point", "floating point", ...).
+  const char* class_label = "";
+
+  /// Canonical spelling; must round-trip through parse_format.
+  std::string (*name)(const NumericFormat&) = nullptr;
+
+  /// Round `x` into the type (the single rounding step every kernel and
+  /// the reference interpreter share — bit-identity depends on it).
+  double (*quantize)(const ConcreteType&, double x) = nullptr;
+
+  /// Pointwise IEBW (Definition 1 of the paper). `x` nonzero and finite.
+  int (*iebw)(const ConcreteType&, double x) = nullptr;
+
+  /// Largest finite representable magnitude.
+  double (*max_value)(const ConcreteType&) = nullptr;
+
+  /// Smallest positive representable magnitude.
+  double (*min_positive)(const ConcreteType&) = nullptr;
+
+  /// True if quantize/arith kernels can execute this format (e.g. false
+  /// for the binary128/binary256 descriptors of Table I).
+  bool (*executable)(const NumericFormat&) = nullptr;
+
+  /// ILP candidate filter: can the format hold every value of [lo, hi]?
+  bool (*feasible)(const NumericFormat&, double lo, double hi) = nullptr;
+
+  /// Platform cost class keying the op-time tables ("fix", "float",
+  /// "double", "half", "bfloat16", "fp8", "posit", "fposit").
+  std::string (*cost_class)(const NumericFormat&) = nullptr;
+
+  /// Overflow behavior: true = values beyond max_value saturate to it;
+  /// false = they overflow to +-infinity (Ieee floats).
+  bool (*saturates)(const NumericFormat&) = nullptr;
+
+  /// Posit-style underflow: nonzero values below min_positive round to
+  /// +-min_positive, never to zero.
+  bool (*never_underflows)(const NumericFormat&) = nullptr;
+
+  /// True when 2^-IEBW already bounds the worst rounding error (floats,
+  /// Definition 3); false when it is the lattice step, of which rounding
+  /// incurs at most half (fixed point, posits).
+  bool (*eps_is_half_step)(const NumericFormat&) = nullptr;
+
+  // --- Bit-level codec (exhaustive <=8-bit correctness proofs). ---
+  // Null/absent for value-only formats. The contract the exhaustive suite
+  // enforces: decode is total over the 2^w patterns (NaN patterns decode
+  // to NaN), encode(decode(bits)) == bits for every non-NaN pattern, and
+  // decoded values are monotone in ordering_key.
+
+  /// True if encode/decode cover this format (typically width <= 16).
+  bool (*encodable)(const NumericFormat&) = nullptr;
+  /// Exact encoding of a representable value (quantize first otherwise).
+  std::uint64_t (*encode)(const ConcreteType&, double x) = nullptr;
+  /// Value of a bit pattern (only the low width() bits are read).
+  double (*decode)(const ConcreteType&, std::uint64_t bits) = nullptr;
+  /// Total-order rank of an encoding; decoded values are monotone in it.
+  std::int64_t (*ordering_key)(const ConcreteType&, std::uint64_t bits) = nullptr;
+};
+
+class FormatRegistry {
+public:
+  /// The process-wide registry, with the built-in classes and catalog
+  /// installed.
+  static FormatRegistry& instance();
+
+  /// Policy for a class. Fatal if the class has not been registered.
+  const FormatClassOps& ops(FormatClass cls) const;
+  bool has_class(FormatClass cls) const;
+
+  /// Installs (or replaces) the policy for `cls`. Extension classes use
+  /// the Ext0..Ext3 slots; replacing a built-in is allowed but on your
+  /// head be it.
+  void register_class(FormatClass cls, const FormatClassOps& ops);
+
+  /// Adds a format to the catalog: it becomes a standard_formats() member
+  /// (hence an ILP candidate for the Multi preset, a fuzz palette member,
+  /// and a parse_format name). Its class must already be registered.
+  /// No-op if an equal format is already cataloged.
+  void add_format(const NumericFormat& fmt);
+
+  /// A parametric spelling hook. Returns true and fills `out` on a match;
+  /// returns false with a non-empty `error` for a recognized-but-malformed
+  /// spelling (e.g. "posit99_1"); returns false with `error` untouched
+  /// when the spelling is not this parser's.
+  using ParserFn = bool (*)(std::string_view name, NumericFormat* out,
+                            std::string* error);
+  void add_parser(ParserFn parser);
+
+  /// The catalog, in registration order. Invalidated by add_format.
+  std::span<const NumericFormat> formats() const;
+
+  /// Name lookup: catalog names and aliases first, then parametric
+  /// parsers. On failure, a diagnostic is stored in `error` if non-null.
+  std::optional<NumericFormat> parse(std::string_view name,
+                                     std::string* error = nullptr) const;
+
+private:
+  FormatRegistry() = default;
+
+  FormatClassOps ops_[kNumFormatClasses] = {};
+  bool registered_[kNumFormatClasses] = {};
+  std::vector<NumericFormat> catalog_;
+  std::vector<ParserFn> parsers_;
+};
+
+/// Policy of a format's class (shorthand for the common lookup).
+inline const FormatClassOps& format_ops(const NumericFormat& fmt) {
+  return FormatRegistry::instance().ops(fmt.format_class());
+}
+inline const FormatClassOps& format_ops(const ConcreteType& type) {
+  return FormatRegistry::instance().ops(type.format.format_class());
+}
+
+} // namespace luis::numrep

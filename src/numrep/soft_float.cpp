@@ -35,7 +35,14 @@ bool is_executable_float(const NumericFormat& format) {
 double round_to_format(const NumericFormat& format, double x) {
   check_executable(format);
   if (format == kBinary64) return x; // identity: the host format
-  if (!std::isfinite(x)) return x;
+  // The FiniteOnly and Fnuz encodings have no infinity pattern: out-of-range
+  // values saturate at the largest finite magnitude (OCP FP8 saturating
+  // conversion), and an infinite input clamps the same way.
+  const bool saturating = format.encoding() != FloatEncoding::Ieee;
+  if (!std::isfinite(x)) {
+    if (std::isnan(x) || !saturating) return x;
+    return std::copysign(float_max_value(format), x);
+  }
   if (x == 0.0) return x;
 
   const int p = format.precision();
@@ -54,6 +61,11 @@ double round_to_format(const NumericFormat& format, double x) {
     rounded = round_to_quantum(x, e - p + 1);
   }
 
+  if (saturating) {
+    const double maxv = float_max_value(format);
+    if (std::abs(rounded) > maxv) return std::copysign(maxv, x);
+    return rounded;
+  }
   // Overflow: values that round to or beyond 2^(emax+1) - for IEEE round to
   // nearest even, anything >= (2 - 2^-p) * 2^emax becomes infinity.
   const double threshold =
@@ -67,7 +79,11 @@ double round_to_format(const NumericFormat& format, double x) {
 
 double float_max_value(const NumericFormat& f) {
   LUIS_ASSERT(f.is_float(), "float_max_value requires a float format");
-  return std::ldexp(2.0 - std::ldexp(1.0, 1 - f.precision()), f.max_exponent());
+  // FiniteOnly spends its all-ones (exp, mantissa) pattern on NaN, so the
+  // top binade stops one ULP early: (2 - 2^(2-p)) * 2^E (448 for E4M3).
+  const int top = f.encoding() == FloatEncoding::FiniteOnly ? 2 : 1;
+  return std::ldexp(2.0 - std::ldexp(1.0, top - f.precision()),
+                    f.max_exponent());
 }
 
 double float_min_normal(const NumericFormat& f) {

@@ -23,12 +23,16 @@ namespace luis::numrep {
 bool is_executable_float(const NumericFormat& format);
 
 /// Rounds a binary64 value into the given floating point format: round to
-/// nearest even, overflow to +-infinity, gradual underflow to subnormals and
-/// zero. NaN is propagated. `format` must be a floating point format with
+/// nearest even, gradual underflow to subnormals and zero, NaN propagated.
+/// Overflow behavior follows the encoding: Ieee overflows to +-infinity;
+/// FiniteOnly and Fnuz have no infinity pattern and saturate at the largest
+/// finite magnitude (OCP FP8 saturating conversion) — an infinite input
+/// clamps the same way. `format` must be a floating point format with
 /// p <= 53 and E <= 1023.
 double round_to_format(const NumericFormat& format, double x);
 
-/// Largest finite value of the format: (2 - 2^(1-p)) * 2^E.
+/// Largest finite value of the format: (2 - 2^(1-p)) * 2^E, except
+/// FiniteOnly where the all-ones pattern is NaN: (2 - 2^(2-p)) * 2^E.
 double float_max_value(const NumericFormat& format);
 
 /// Smallest positive normal value: 2^(1-E).

@@ -11,8 +11,8 @@ namespace {
 
 /// Reduces extension type classes to a class the table measures.
 std::string reduce_type(const std::string& type) {
-  if (type == "half" || type == "bfloat16") return "float";
-  if (type == "posit") return "float";
+  if (type == "half" || type == "bfloat16" || type == "fp8") return "float";
+  if (type == "posit" || type == "fposit") return "float";
   return type;
 }
 
@@ -22,7 +22,8 @@ std::pair<std::string, double> reduce_op(const std::string& op) {
     return {"add", 1.0};
   if (op == "sqrt") return {"div", 2.0};
   if (op == "exp" || op == "pow") return {"rem", 1.0};
-  if (op == "cast_half" || op == "cast_bfloat16" || op == "cast_posit")
+  if (op == "cast_half" || op == "cast_bfloat16" || op == "cast_posit" ||
+      op == "cast_fp8" || op == "cast_fposit")
     return {"cast_float", 1.0};
   return {op, 1.0};
 }
@@ -35,7 +36,9 @@ double OpTimeTable::op_time(const std::string& op, const std::string& type) cons
 
   double factor = 1.0;
   std::string t = reduce_type(type);
-  if (type == "posit") factor *= kPositSoftwareFactor;
+  // Posit-family representations have no hardware units on the measured
+  // machines; fixed-posits share the posit software-emulation penalty.
+  if (type == "posit" || type == "fposit") factor *= kPositSoftwareFactor;
   auto [o, op_factor] = reduce_op(op);
   factor *= op_factor;
 

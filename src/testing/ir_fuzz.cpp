@@ -10,6 +10,7 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "numrep/registry.hpp"
 #include "support/string_utils.hpp"
 
 namespace luis::testing {
@@ -103,21 +104,22 @@ interp::ArrayStore synth_ir_inputs(const ir::Function& f, std::uint64_t seed) {
 namespace {
 
 numrep::ConcreteType random_concrete_type(Rng& rng) {
-  switch (rng.next_below(7)) {
-  case 0: return {numrep::kBinary16, 0};
-  case 1: return {numrep::kBfloat16, 0};
-  case 2: return {numrep::kBinary32, 0};
-  case 3: return {numrep::kBinary64, 0};
-  case 4: return {numrep::kPosit16, 0};
-  case 5: return {numrep::kPosit32, 0};
-  default: {
-    const numrep::NumericFormat fmt = rng.next_bool(0.5)
-                                          ? numrep::kFixed32
-                                          : numrep::kFixed16;
+  // Every executable registry format is a candidate: differential runs
+  // must agree between the VM and the reference interpreter for FP8 and
+  // fixed-posit assignments exactly as they do for the classic trio.
+  static const std::vector<numrep::NumericFormat> kPool = [] {
+    std::vector<numrep::NumericFormat> out;
+    const numrep::FormatRegistry& reg = numrep::FormatRegistry::instance();
+    for (const numrep::NumericFormat& f : reg.formats())
+      if (reg.ops(f.format_class()).executable(f)) out.push_back(f);
+    return out;
+  }();
+  const numrep::NumericFormat fmt = kPool[rng.next_below(kPool.size())];
+  if (fmt.is_fixed()) {
     const int frac = static_cast<int>(rng.next_int(2, fmt.width() - 4));
     return {fmt, frac};
   }
-  }
+  return {fmt, 0};
 }
 
 bool stores_bit_equal(const interp::ArrayStore& a, const interp::ArrayStore& b,

@@ -1,0 +1,223 @@
+// The format registry's contracts: name <-> parse_format fixpoint over
+// everything the registry can reach, diagnostics for malformed spellings,
+// run-time pluggability of an extension class, and the end-to-end claim
+// that a registered format is automatically an ILP candidate whose tuned
+// assignment certifies finite error bounds.
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "ir/kernel_builder.hpp"
+#include "numrep/iebw.hpp"
+#include "numrep/quantize.hpp"
+#include "numrep/registry.hpp"
+#include "platform/optime.hpp"
+
+namespace luis::numrep {
+namespace {
+
+TEST(FormatRegistry, CatalogNamesRoundTripThroughParse) {
+  for (const NumericFormat& f : FormatRegistry::instance().formats()) {
+    const std::string name = f.name();
+    std::string error;
+    const auto parsed = parse_format(name, &error);
+    ASSERT_TRUE(parsed.has_value()) << name << ": " << error;
+    EXPECT_EQ(*parsed, f) << name << " parsed to " << parsed->name();
+  }
+}
+
+TEST(FormatRegistry, ParametricSpellingsRoundTripThroughName) {
+  // Formats reachable only through the parametric parsers (not cataloged):
+  // name() must produce a spelling parse_format maps back to the same
+  // descriptor.
+  for (const char* spelling :
+       {"fix24", "ufix12", "fix2", "posit12_2", "posit3_0", "fposit12_1_4",
+        "fposit3_0_1", "float5_6", "float_p7_E30", "float4_8_finite",
+        "float4_7_fnuz", "float3_15_fnuz"}) {
+    std::string error;
+    const auto fmt = parse_format(spelling, &error);
+    ASSERT_TRUE(fmt.has_value()) << spelling << ": " << error;
+    const auto reparsed = parse_format(fmt->name(), &error);
+    ASSERT_TRUE(reparsed.has_value()) << fmt->name() << ": " << error;
+    EXPECT_EQ(*reparsed, *fmt) << spelling << " -> " << fmt->name();
+  }
+  // The canonical FP8 spellings are aliases of catalog formats.
+  EXPECT_EQ(*parse_format("float4_8_finite"), kFp8E4M3);
+  EXPECT_EQ(*parse_format("float4_7_fnuz"), kFp8E4M3Fnuz);
+  EXPECT_EQ(*parse_format("float3_15"), kFp8E5M2);
+}
+
+TEST(FormatRegistry, AliasesResolve) {
+  EXPECT_EQ(*parse_format("float"), kBinary32);
+  EXPECT_EQ(*parse_format("double"), kBinary64);
+  EXPECT_EQ(*parse_format("half"), kBinary16);
+  EXPECT_EQ(*parse_format("fix"), kFixed32);
+}
+
+TEST(FormatRegistry, MalformedSpellingsAreRejectedWithDiagnostics) {
+  // Recognized-but-malformed spellings must produce a parser-specific
+  // diagnostic, not the generic unknown-format one.
+  const struct {
+    const char* spelling;
+    const char* expect_substring;
+  } kCases[] = {
+      {"fix1", "width must be in [2, 64]"},
+      {"fix65", "width must be in [2, 64]"},
+      {"posit99_1", "posit width must be in [3, 32]"},
+      {"posit8_9", "es in [0, 4]"},
+      {"fposit8_0_9", "fixed-posit"},
+      {"fposit4_2_3", "nonnegative fraction"},
+      {"float1_1", "minifloat spelling"},
+      {"float999_1", "minifloat spelling"},
+  };
+  for (const auto& c : kCases) {
+    std::string error;
+    const auto fmt = parse_format(c.spelling, &error);
+    EXPECT_FALSE(fmt.has_value()) << c.spelling;
+    EXPECT_NE(error.find(c.expect_substring), std::string::npos)
+        << c.spelling << " diagnosed as: " << error;
+  }
+  // Unrecognized junk gets the catalog pointer.
+  std::string error;
+  EXPECT_FALSE(parse_format("no_such_format", &error).has_value());
+  EXPECT_NE(error.find("luis formats"), std::string::npos) << error;
+}
+
+// --- Run-time pluggability: a from-scratch Ext0 class. ---
+// An "integer grid" toy format: values are integers in [-100, 100]. The
+// policy exists to prove the registration axis is open, not to be useful.
+
+double grid_quantize(const ConcreteType&, double x) {
+  if (std::isnan(x)) return x;
+  const double r = std::nearbyint(x);
+  return std::copysign(std::min(std::abs(r), 100.0), x);
+}
+int grid_iebw(const ConcreteType&, double) { return 0; }
+double grid_max(const ConcreteType&) { return 100.0; }
+double grid_minpos(const ConcreteType&) { return 1.0; }
+bool grid_exec(const NumericFormat&) { return true; }
+bool grid_feasible(const NumericFormat&, double lo, double hi) {
+  return std::max(std::abs(lo), std::abs(hi)) <= 100.0;
+}
+std::string grid_cost(const NumericFormat&) { return "fix"; }
+std::string grid_name(const NumericFormat&) { return "grid100"; }
+bool grid_true(const NumericFormat&) { return true; }
+bool grid_false(const NumericFormat&) { return false; }
+
+TEST(FormatRegistry, ExtensionClassIsPluggable) {
+  FormatRegistry& reg = FormatRegistry::instance();
+  FormatClassOps ops;
+  ops.class_label = "integer grid";
+  ops.name = &grid_name;
+  ops.quantize = &grid_quantize;
+  ops.iebw = &grid_iebw;
+  ops.max_value = &grid_max;
+  ops.min_positive = &grid_minpos;
+  ops.executable = &grid_exec;
+  ops.feasible = &grid_feasible;
+  ops.cost_class = &grid_cost;
+  ops.saturates = &grid_true;
+  ops.never_underflows = &grid_false;
+  ops.eps_is_half_step = &grid_false;
+  ops.encodable = &grid_false;
+  reg.register_class(FormatClass::Ext0, ops);
+  ASSERT_TRUE(reg.has_class(FormatClass::Ext0));
+
+  const NumericFormat grid = NumericFormat::ext(FormatClass::Ext0, 8);
+  reg.add_format(grid);
+
+  // The format flows through every registry-backed entry point.
+  EXPECT_EQ(grid.name(), "grid100");
+  const auto parsed = parse_format("grid100");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, grid);
+  bool in_catalog = false;
+  for (const NumericFormat& f : standard_formats())
+    if (f == grid) in_catalog = true;
+  EXPECT_TRUE(in_catalog);
+
+  const ConcreteType t{grid, 0};
+  EXPECT_EQ(quantize(t, 2.4), 2.0);
+  EXPECT_EQ(quantize(t, 2.5), 2.0); // nearbyint ties-to-even
+  EXPECT_EQ(quantize(t, 1e9), 100.0);
+  EXPECT_EQ(quantize(t, -1e9), -100.0);
+  EXPECT_EQ(iebw_of_value(grid, 7.0), 0);
+}
+
+// --- End-to-end: registered formats become ILP candidates and certify. ---
+
+ir::Function* build_dot_kernel(ir::Module& m) {
+  ir::KernelBuilder kb(m, "dot");
+  const std::int64_t n = 8;
+  ir::Array* A = kb.array("A", {n}, 0.25, 4.0);
+  ir::Array* B = kb.array("B", {n}, 0.25, 4.0);
+  ir::Array* C = kb.array("C", {n}, 0.0, 16.0);
+  kb.for_loop("i", 0, n, [&](ir::IVal i) {
+    kb.store(kb.load(A, {i}) * kb.load(B, {i}), C, {i});
+  });
+  return kb.finish();
+}
+
+core::PipelineResult tune_with(ir::Function& f,
+                               std::vector<NumericFormat> types, double w1,
+                               double w2) {
+  core::TuningConfig config;
+  config.name = "test";
+  config.types = std::move(types);
+  config.w1 = w1;
+  config.w2 = w2;
+  core::PipelineOptions options;
+  options.analyze_errors = true;
+  return core::tune_kernel(f, platform::stm32_table(), config, options);
+}
+
+TEST(FormatRegistry, Fp8IsAnIlpCandidateAndWinsOnCost) {
+  ir::Module m;
+  ir::Function* f = build_dot_kernel(m);
+  // Time-heavy weights, and the only cheap candidate is e4m3 (cost class
+  // fp8 -> float datapath, cheaper than double): the allocator must pick
+  // it, and the certificate must stay finite (e4m3 saturates).
+  const auto result = tune_with(*f, {kFp8E4M3, kBinary64}, 1000.0, 1.0);
+  EXPECT_EQ(result.allocation.stats.status, ilp::SolveStatus::Optimal);
+  const auto& mix = result.allocation.stats.instruction_mix;
+  ASSERT_TRUE(mix.count("fp8")) << "e4m3 was never assigned";
+  EXPECT_GT(mix.at("fp8"), 0);
+  for (const auto& [value, bound] : result.errors.errors.entries())
+    EXPECT_TRUE(std::isfinite(bound)) << value->name();
+}
+
+TEST(FormatRegistry, FixedPositTunesEndToEndWithFiniteBounds) {
+  ir::Module m;
+  ir::Function* f = build_dot_kernel(m);
+  // fposit16_1_4 is feasible for the whole kernel (|values| <= 16 <<
+  // maxpos) and, as the lone candidate, must carry the full assignment.
+  const auto result = tune_with(*f, {kFixedPosit16}, 50.0, 50.0);
+  EXPECT_EQ(result.allocation.stats.status, ilp::SolveStatus::Optimal);
+  const auto& mix = result.allocation.stats.instruction_mix;
+  ASSERT_TRUE(mix.count("fposit")) << "fixed-posit was never assigned";
+  EXPECT_GT(mix.at("fposit"), 0);
+  for (const auto& [value, bound] : result.errors.errors.entries())
+    EXPECT_TRUE(std::isfinite(bound)) << value->name();
+}
+
+TEST(FormatRegistry, MultiPresetDrawsFromTheRegistry) {
+  const core::TuningConfig multi = core::TuningConfig::multi();
+  auto contains = [&](const NumericFormat& f) {
+    for (const NumericFormat& t : multi.types)
+      if (t == f) return true;
+    return false;
+  };
+  EXPECT_TRUE(contains(kFp8E4M3));
+  EXPECT_TRUE(contains(kFp8E5M2Fnuz));
+  EXPECT_TRUE(contains(kFixedPosit8));
+  EXPECT_TRUE(contains(kFixedPosit16));
+  EXPECT_TRUE(contains(kBinary64));
+  // Non-executable descriptors must not leak into the candidate set.
+  EXPECT_FALSE(contains(kBinary128));
+  EXPECT_FALSE(contains(kBinary256));
+}
+
+} // namespace
+} // namespace luis::numrep

@@ -86,10 +86,17 @@ TEST(Iebw, FloatKnownValues) {
 }
 
 TEST(Iebw, FloatSubnormalLosesHiddenBit) {
-  // In the subnormal range p_hat = 1.
-  const double sub = std::ldexp(1.0, kBinary32.min_exponent() - 3);
-  const int e = std::ilogb(sub);
-  EXPECT_EQ(iebw_float(kBinary32, sub), 24 - 1 - e);
+  // In the subnormal range p_hat = 1 and e_v clamps at emin: every
+  // subnormal shares the lattice step 2^(emin - p + 1), so the IEBW is
+  // constant below 2^emin rather than growing with -ilogb(x) (the
+  // unclamped formula would overclaim resolution the format lacks).
+  const int emin = kBinary32.min_exponent();
+  const double sub = std::ldexp(1.0, emin - 3);
+  EXPECT_EQ(iebw_float(kBinary32, sub), 24 - 1 - emin);
+  EXPECT_EQ(iebw_float(kBinary32, std::ldexp(1.0, emin - 10)),
+            iebw_float(kBinary32, sub));
+  // At the minimum normal the two regimes agree.
+  EXPECT_EQ(iebw_float(kBinary32, std::ldexp(1.0, emin)), 24 - 1 - emin);
 }
 
 TEST(Iebw, FloatGrowsAsMagnitudeShrinks) {

@@ -1,6 +1,9 @@
 // luis — command line driver for the LUIS precision tuner.
 //
 //   luis kernels                          list the bundled PolyBench kernels
+//   luis formats                          list every registered number
+//                                         format (name, class, width,
+//                                         executability, range)
 //   luis emit <kernel> [-o out.ir]        write a kernel's textual IR
 //   luis print <file.ir>                  parse + verify + pretty-print
 //   luis verify <file.ir>                 verify and report problems
@@ -80,7 +83,9 @@
 //
 // sweep options:
 //   --kernels a,b,c       subset of PolyBench kernels (default: all 30)
-//   --configs a,b         subset of Precise,Balanced,Fast (default: all)
+//   --configs a,b         subset of Precise,Balanced,Fast,Multi (default:
+//                         Precise,Balanced,Fast; Multi tunes over every
+//                         executable registry format)
 //   --platforms a,b       subset of Stm32,Raspberry,Intel,AMD (default: all)
 //   --threads N           worker threads (default: hardware concurrency;
 //                         1 = serial reference path, same results)
@@ -121,8 +126,12 @@
 //
 // tune options:
 //   --platform Stm32|Raspberry|Intel|AMD|host     (default Stm32)
-//   --config Fast|Balanced|Precise                (default Balanced)
-//   --types fix32,binary32,binary64               candidate set T
+//   --config Fast|Balanced|Precise|Multi          (default Balanced; Multi
+//                                                 draws T from the format
+//                                                 registry and overrides
+//                                                 --types)
+//   --types fix32,binary32,binary64               candidate set T (any
+//                                                 `luis formats` name)
 //   --literal                                     paper-exact ILP model
 //   --optimize                                    IR cleanup passes first
 //   --lint=warn|error                             precision lint the result
@@ -175,6 +184,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "numrep/registry.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/microbench.hpp"
 #include "polybench/polybench.hpp"
@@ -192,7 +202,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: luis [--trace-out F] [--metrics-out F] [--log-level L] "
                "[--lp-core revised|dense] "
-               "<kernels|emit|compile|print|verify|ranges|tune|"
+               "<kernels|formats|emit|compile|print|verify|ranges|tune|"
                "lint|check|run|disasm|characterize|sweep|fuzz|profile|version> "
                "[args]\n(see the "
                "header of tools/luis_cli.cpp for the full option list)\n");
@@ -284,6 +294,12 @@ bool apply_config_preset(const std::string& config_name,
     config = core::TuningConfig::fast();
   } else if (config_name == "Precise") {
     config = core::TuningConfig::precise();
+  } else if (config_name == "Multi") {
+    // Multi's whole point is its registry-derived candidate set, so it
+    // overrides --types instead of preserving it.
+    config = core::TuningConfig::multi();
+    config.literal_model = literal;
+    return true;
   } else {
     std::fprintf(stderr, "luis: unknown config '%s'\n", config_name.c_str());
     return false;
@@ -293,13 +309,16 @@ bool apply_config_preset(const std::string& config_name,
   return true;
 }
 
-/// Parses a --types list into `config.types`; false on unknown formats.
+/// Parses a --types list into `config.types`; false on unknown formats
+/// (the registry's parser diagnostics name the offending token and point
+/// at `luis formats`).
 bool parse_types_list(const std::string& list, core::TuningConfig& config) {
   config.types.clear();
   for (const std::string& tok : split_fields(list, ',')) {
-    const auto fmt = numrep::parse_format(std::string(trim(tok)));
+    std::string error;
+    const auto fmt = numrep::parse_format(std::string(trim(tok)), &error);
     if (!fmt) {
-      std::fprintf(stderr, "luis: unknown format '%s'\n", tok.c_str());
+      std::fprintf(stderr, "luis: %s\n", error.c_str());
       return false;
     }
     config.types.push_back(*fmt);
@@ -341,6 +360,33 @@ void print_array_summary(const interp::ArrayStore& store) {
 int cmd_kernels() {
   for (const std::string& name : polybench::kernel_names())
     std::printf("%s\n", name.c_str());
+  return 0;
+}
+
+const char* format_class_label(numrep::FormatClass cls) {
+  switch (cls) {
+  case numrep::FormatClass::FixedPoint: return "fixed";
+  case numrep::FormatClass::FloatingPoint: return "float";
+  case numrep::FormatClass::Posit: return "posit";
+  case numrep::FormatClass::FixedPosit: return "fixed-posit";
+  default: return "ext";
+  }
+}
+
+int cmd_formats() {
+  const numrep::FormatRegistry& reg = numrep::FormatRegistry::instance();
+  std::printf("%-16s %-11s %5s %4s %-8s %13s %13s\n", "name", "class", "width",
+              "exec", "cost", "max", "minpos");
+  for (const numrep::NumericFormat& f : reg.formats()) {
+    const numrep::FormatClassOps& ops = reg.ops(f.format_class());
+    // Fixed point's range depends on the per-variable fractional split;
+    // report the integer-only layout (frac = 0) for it.
+    const numrep::ConcreteType t{f, 0};
+    std::printf("%-16s %-11s %5d %4s %-8s %13.6g %13.6g\n", f.name().c_str(),
+                format_class_label(f.format_class()), f.width(),
+                ops.executable(f) ? "yes" : "no", ops.cost_class(f).c_str(),
+                ops.max_value(t), ops.min_positive(t));
+  }
   return 0;
 }
 
@@ -1316,6 +1362,7 @@ bool extract_global_flags(const std::vector<std::string>& all,
 
 int run_command(const std::string& cmd, const std::vector<std::string>& args) {
   if (cmd == "kernels") return cmd_kernels();
+  if (cmd == "formats") return cmd_formats();
   if (cmd == "emit") return cmd_emit(args);
   if (cmd == "print") return cmd_print(args);
   if (cmd == "verify") return cmd_verify(args);
