@@ -5,7 +5,10 @@
 
 #include "core/pipeline.hpp"
 #include "ilp/branch_and_bound.hpp"
+#include <cmath>
+
 #include "numrep/fixed_point.hpp"
+#include "numrep/fixed_posit.hpp"
 #include "numrep/posit.hpp"
 #include "numrep/soft_float.hpp"
 #include "platform/optime.hpp"
@@ -50,6 +53,90 @@ void BM_PositRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PositRoundTrip);
+
+// --- Software-emulation op-time pass ------------------------------------
+//
+// Measures what one arithmetic op costs in a software-emulated format the
+// way the VM actually executes it — a double op followed by a quantize
+// into the format — against the native float op it displaces. Operands
+// are pre-quantized into the format, as they are in the register file.
+// The time ratios (emulated / native float) from this pass are recorded
+// as the explicit fp8/fposit rows in src/platform/optime.cpp; re-run with
+//
+//   bench_micro --benchmark_filter=SoftEmu
+//
+// when re-characterizing a host, and update the provenance comment there.
+
+/// 1024 operand pairs drawn from (lo, hi), quantized by `quant`.
+template <typename Quant>
+std::vector<std::pair<double, double>> emu_operands(unsigned seed, double lo,
+                                                    double hi, Quant quant) {
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> xs(1024);
+  for (auto& [a, b] : xs) {
+    a = quant(rng.next_double(lo, hi));
+    b = quant(rng.next_double(lo, hi));
+    if (b == 0.0) b = quant(1.0);
+  }
+  return xs;
+}
+
+template <typename Op>
+void BM_SoftEmuFloat(benchmark::State& state, Op op) {
+  const auto xs = emu_operands(11, -100, 100, [](double x) {
+    return static_cast<double>(static_cast<float>(x));
+  });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = xs[i++ & 1023];
+    benchmark::DoNotOptimize(static_cast<float>(
+        op(static_cast<float>(a), static_cast<float>(b))));
+  }
+}
+
+template <typename Op>
+void BM_SoftEmuFp8(benchmark::State& state, Op op) {
+  const auto xs = emu_operands(12, -100, 100, [](double x) {
+    return round_to_format(kFp8E4M3, x);
+  });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = xs[i++ & 1023];
+    benchmark::DoNotOptimize(round_to_format(kFp8E4M3, op(a, b)));
+  }
+}
+
+template <typename Op>
+void BM_SoftEmuFposit(benchmark::State& state, Op op) {
+  const auto xs = emu_operands(13, -100, 100, [](double x) {
+    return quantize_fixed_posit(kFixedPosit16, x);
+  });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = xs[i++ & 1023];
+    benchmark::DoNotOptimize(quantize_fixed_posit(kFixedPosit16, op(a, b)));
+  }
+}
+
+const auto kEmuAdd = [](auto a, auto b) { return a + b; };
+const auto kEmuMul = [](auto a, auto b) { return a * b; };
+const auto kEmuDiv = [](auto a, auto b) { return a / b; };
+const auto kEmuRem = [](auto a, auto b) {
+  return std::fmod(static_cast<double>(a), static_cast<double>(b));
+};
+
+BENCHMARK_CAPTURE(BM_SoftEmuFloat, add, kEmuAdd);
+BENCHMARK_CAPTURE(BM_SoftEmuFloat, mul, kEmuMul);
+BENCHMARK_CAPTURE(BM_SoftEmuFloat, div, kEmuDiv);
+BENCHMARK_CAPTURE(BM_SoftEmuFloat, rem, kEmuRem);
+BENCHMARK_CAPTURE(BM_SoftEmuFp8, add, kEmuAdd);
+BENCHMARK_CAPTURE(BM_SoftEmuFp8, mul, kEmuMul);
+BENCHMARK_CAPTURE(BM_SoftEmuFp8, div, kEmuDiv);
+BENCHMARK_CAPTURE(BM_SoftEmuFp8, rem, kEmuRem);
+BENCHMARK_CAPTURE(BM_SoftEmuFposit, add, kEmuAdd);
+BENCHMARK_CAPTURE(BM_SoftEmuFposit, mul, kEmuMul);
+BENCHMARK_CAPTURE(BM_SoftEmuFposit, div, kEmuDiv);
+BENCHMARK_CAPTURE(BM_SoftEmuFposit, rem, kEmuRem);
 
 void BM_SimplexKnapsackLp(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));

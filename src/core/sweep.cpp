@@ -1,6 +1,7 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -331,6 +332,8 @@ SweepResult run_sweep(const SweepOptions& options) {
   }
 
   // Phase 2: the ILP jobs, parallel over (kernel x platform x config).
+  // With batching on, jobs only tune here; the interpretation runs in the
+  // batched phase below.
   {
     obs::TraceSpan phase("sweep.jobs", "sweep", [&] {
       return obs::Args().num("jobs", ilp_jobs.size()).done();
@@ -351,11 +354,111 @@ SweepResult run_sweep(const SweepOptions& options) {
             .done();
       });
       run_ilp_job(ctx, *table_of[j], options, cache_ptr, *engine,
-                  /*execute=*/true, job);
+                  /*execute=*/!options.batch, job);
       LUIS_LOG(progress_level, "[sweep] " + job.kernel + "/" + job.config +
                                    "/" + job.platform +
                                    (job.ok ? " ok" : " FAILED"));
     });
+  }
+
+  // Phase 2b (batch mode): execute each kernel's tuned assignments as
+  // lanes of one batched engine run. Duplicate assignments — presets that
+  // converged to the same allocation, or the same preset across platforms
+  // (tuning is platform-specific but often agrees) — collapse into one
+  // lane; every job sharing a lane reads that lane's counters and store.
+  // Speedup/MPE come out bit-identical to the scalar path because the
+  // batched VM is bit-identical per lane.
+  if (options.batch) {
+    obs::TraceSpan phase("sweep.batch_execute", "sweep", [&] {
+      return obs::Args().num("kernels", kernels.size()).done();
+    });
+    std::vector<std::array<long, 3>> per_kernel(kernels.size(),
+                                                {0, 0, 0}); // runs/lanes/unique
+    support::parallel_for(kernels.size(), threads, [&](std::size_t ki) {
+      const KernelContext& ctx = contexts[ki];
+      if (!ctx.ok) return;
+      std::vector<std::size_t> kernel_jobs;
+      for (const std::size_t j : ilp_jobs)
+        if (ctx_of[j] == &contexts[ki] && result.jobs[j].ok)
+          kernel_jobs.push_back(j);
+      if (kernel_jobs.empty()) return;
+
+      ir::Module module;
+      const ir::ParseResult parsed = ir::parse_function(module, ctx.ir_text);
+      LUIS_ASSERT(parsed.ok(),
+                  ("sweep: kernel IR re-parse failed: " + parsed.error).c_str());
+      ir::Function& f = *parsed.function;
+
+      // Dedup the tuned assignments into unique lanes.
+      std::vector<std::string> lane_texts;
+      std::vector<interp::TypeAssignment> lane_types;
+      std::vector<int> lane_shares;
+      std::vector<std::size_t> lane_of(kernel_jobs.size());
+      for (std::size_t k = 0; k < kernel_jobs.size(); ++k) {
+        const std::string& text =
+            result.jobs[kernel_jobs[k]].assignment_text;
+        const auto it =
+            std::find(lane_texts.begin(), lane_texts.end(), text);
+        if (it != lane_texts.end()) {
+          lane_of[k] = static_cast<std::size_t>(it - lane_texts.begin());
+          ++lane_shares[lane_of[k]];
+          continue;
+        }
+        const AssignmentParseResult reloaded = assignment_from_text(f, text);
+        LUIS_ASSERT(reloaded.ok(),
+                    ("sweep: tuned assignment does not reload: " +
+                     reloaded.error)
+                        .c_str());
+        lane_of[k] = lane_texts.size();
+        lane_texts.push_back(text);
+        lane_types.push_back(reloaded.assignment);
+        lane_shares.push_back(1);
+      }
+
+      std::vector<interp::ArrayStore> lane_stores(lane_types.size(),
+                                                  ctx.inputs);
+      std::vector<interp::BatchRequest> requests(lane_types.size());
+      for (std::size_t l = 0; l < lane_types.size(); ++l)
+        requests[l] = {&lane_types[l], &lane_stores[l], nullptr};
+      const std::vector<interp::RunResult> runs =
+          engine->run_batch(f, requests, {});
+      per_kernel[ki] = {1, static_cast<long>(kernel_jobs.size()),
+                        static_cast<long>(lane_types.size())};
+
+      for (std::size_t k = 0; k < kernel_jobs.size(); ++k) {
+        SweepJobResult& job = result.jobs[kernel_jobs[k]];
+        const interp::RunResult& run = runs[lane_of[k]];
+        // Lane costs are shared by every job the lane serves, so the
+        // stage totals still sum to the wall-clock actually spent.
+        const double share =
+            static_cast<double>(lane_shares[lane_of[k]]);
+        job.timings.interp_compile_seconds = run.compile_seconds / share;
+        job.timings.interp_execute_seconds = run.execute_seconds / share;
+        if (!run.ok) {
+          job.ok = false;
+          job.error =
+              ctx.name + "/" + job.config + " run failed: " + run.error;
+          continue;
+        }
+        const double t_base = platform::simulated_time(
+            ctx.base_counters, *table_of[kernel_jobs[k]]);
+        job.speedup_percent = platform::speedup_percent(
+            t_base,
+            platform::simulated_time(run.counters,
+                                     *table_of[kernel_jobs[k]]));
+        job.mpe = kernel_mpe(ctx.outputs, ctx.reference,
+                             lane_stores[lane_of[k]]);
+      }
+      LUIS_LOG(progress_level,
+               "[sweep] " + ctx.name + " batch-executed " +
+                   std::to_string(lane_types.size()) + " lanes for " +
+                   std::to_string(kernel_jobs.size()) + " jobs");
+    });
+    for (const auto& [r, l, u] : per_kernel) {
+      result.stats.batch_runs += r;
+      result.stats.batch_lanes += l;
+      result.stats.batch_unique_lanes += u;
+    }
   }
 
   // Determinism check: serially re-tune every ILP job and compare. The
@@ -434,6 +537,10 @@ std::string sweep_summary_text(const SweepResult& result) {
                        "execute %.2fs\n",
                        s.engine.c_str(), t.interp_compile_seconds,
                        t.interp_execute_seconds);
+  if (s.batch_runs > 0)
+    out += format_string("batched execution: %ld kernel batches served %ld "
+                         "job lanes (%ld unique assignments)\n",
+                         s.batch_runs, s.batch_lanes, s.batch_unique_lanes);
   out += format_string("solver: %ld nodes, %ld simplex iterations\n",
                        s.solver_nodes, s.solver_iterations);
   out += format_string("cache: %ld lookups, %ld hits (%.1f%%)\n",
@@ -531,6 +638,15 @@ std::string sweep_report_json(const SweepResult& result) {
   w.key("program_cache");
   write_cache_stats(w, s.program_cache.lookups, s.program_cache.hits,
                     s.program_cache.insertions, s.program_cache.hit_rate());
+  w.key("batch");
+  w.begin_object();
+  w.key("runs");
+  w.value(s.batch_runs);
+  w.key("lanes");
+  w.value(s.batch_lanes);
+  w.key("unique_lanes");
+  w.value(s.batch_unique_lanes);
+  w.end_object();
   w.key("determinism_mismatches");
   w.value(s.determinism_mismatches);
   w.key("stage_totals");

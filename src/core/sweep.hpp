@@ -44,6 +44,13 @@ struct SweepOptions {
   /// bytecode engine, default) or "ref" (the tree-walking reference).
   /// Results are bit-identical either way.
   std::string engine = "vm";
+  /// Execute the tuned assignments of each kernel as parallel lanes of
+  /// one batched engine run (ExecutionEngine::run_batch) instead of one
+  /// scalar run per job: the kernel is parsed once, duplicate assignments
+  /// collapse into a single lane, and the VM walks the shared control
+  /// skeleton once per lane group. Per-job speedup/MPE are bit-identical
+  /// to the scalar path; only the timing split differs.
+  bool batch = true;
   /// After the (possibly parallel) sweep, serially re-tune every ILP job
   /// and verify it reproduces the same assignment and objective.
   bool check_determinism = true;
@@ -85,6 +92,14 @@ struct SweepStats {
   /// -1 when the check is disabled; otherwise the number of jobs whose
   /// serial re-tune disagreed with the sweep result (0 = proven).
   int determinism_mismatches = -1;
+  /// Batched-execution stats (all zero with SweepOptions::batch off): one
+  /// "run" per kernel whose tuned jobs executed as lanes of a single
+  /// batched engine call; `lanes` counts the job executions served that
+  /// way and `unique_lanes` the deduplicated assignments actually
+  /// interpreted.
+  long batch_runs = 0;
+  long batch_lanes = 0;
+  long batch_unique_lanes = 0;
   /// The VRA knobs every job ran under (echoed into the JSON report).
   vra::VraOptions vra;
 };

@@ -1,0 +1,815 @@
+#include "interp/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "support/diag.hpp"
+
+namespace luis::interp {
+
+namespace {
+
+using ir::Instruction;
+using ir::Opcode;
+
+template <typename T> bool compare(ir::CmpPred pred, T a, T b) {
+  switch (pred) {
+  case ir::CmpPred::EQ: return a == b;
+  case ir::CmpPred::NE: return a != b;
+  case ir::CmpPred::LT: return a < b;
+  case ir::CmpPred::LE: return a <= b;
+  case ir::CmpPred::GT: return a > b;
+  case ir::CmpPred::GE: return a >= b;
+  }
+  LUIS_UNREACHABLE("unknown predicate");
+}
+
+/// Compile-time taint analysis over the shared skeleton: which integer /
+/// boolean registers can differ across lanes. Real registers are always
+/// per-lane (their values are quantized into per-lane formats). The only
+/// source of lane-dependence outside the reals is RealCmp (it compares
+/// per-lane stored representations); the taint propagates through int
+/// arithmetic, int comparisons, int selects, and int phi moves. Because
+/// every lane of a *group* has the same control history, a register whose
+/// sources are all untainted holds one value per group — which is what
+/// lets the executor run the control skeleton once per group instead of
+/// once per lane.
+std::vector<std::uint8_t> compute_varying(const CompiledProgram& p) {
+  std::vector<std::uint8_t> varying(static_cast<std::size_t>(p.num_regs), 0);
+  const auto tainted = [&](const IntArg& a) {
+    return a.reg >= 0 && varying[static_cast<std::size_t>(a.reg)];
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto mark = [&](std::int32_t r) {
+      if (r >= 0 && !varying[static_cast<std::size_t>(r)]) {
+        varying[static_cast<std::size_t>(r)] = 1;
+        changed = true;
+      }
+    };
+    for (const BInst& bi : p.code) {
+      switch (bi.kind) {
+      case BInst::Kind::RealCmp:
+        mark(bi.dst);
+        break;
+      case BInst::Kind::IntCmp:
+      case BInst::Kind::IntArith:
+        if (tainted(bi.ia) || tainted(bi.ib)) mark(bi.dst);
+        break;
+      case BInst::Kind::SelectInt:
+        if ((bi.cond >= 0 && varying[static_cast<std::size_t>(bi.cond)]) ||
+            tainted(bi.ia) || tainted(bi.ib))
+          mark(bi.dst);
+        break;
+      default:
+        break;
+      }
+    }
+    for (const PhiMove& m : p.moves)
+      if (!m.is_real && m.isrc.reg >= 0 &&
+          varying[static_cast<std::size_t>(m.isrc.reg)])
+        mark(m.dst);
+  }
+  return varying;
+}
+
+/// A set of lanes executing in lockstep: same pc, same control history.
+/// Type-independent ("uniform") registers are stored once per group; a
+/// divergent CondBr splits the group, each half inheriting a copy.
+struct Group {
+  std::vector<std::int32_t> lanes;
+  long steps = 0;
+  long non_real = 0;
+  std::int32_t edge = -1;  ///< edge to apply when (re)scheduled
+  std::int32_t block = -1; ///< block entered after the edge
+  std::vector<std::int64_t> uints;
+  std::vector<std::uint8_t> ubools;
+};
+
+} // namespace
+
+std::vector<RunResult>
+run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
+                   const BatchRunOptions& options) {
+  const auto L = static_cast<std::int32_t>(lanes.size());
+  LUIS_ASSERT(L > 0, "run_batch_programs needs at least one lane");
+  const CompiledProgram& p0 = *lanes[0].program;
+  const RunOptions& opt = options.run;
+  std::vector<RunResult> results(static_cast<std::size_t>(L));
+
+  // Shape checks: every lane must come from one compile_programs() batch
+  // over this function (identical skeleton).
+  LUIS_ASSERT(f.instruction_count() == p0.source_instruction_count,
+              "compiled program does not match the function shape");
+  LUIS_ASSERT(f.arrays().size() == p0.arrays.size(),
+              "compiled program does not match the function arrays");
+  std::vector<const CompiledProgram*> progs(static_cast<std::size_t>(L));
+  for (std::int32_t l = 0; l < L; ++l) {
+    const CompiledProgram& p = *lanes[static_cast<std::size_t>(l)].program;
+    progs[static_cast<std::size_t>(l)] = &p;
+    LUIS_ASSERT(p.code.size() == p0.code.size() &&
+                    p.num_regs == p0.num_regs &&
+                    p.blocks.size() == p0.blocks.size() &&
+                    p.edges.size() == p0.edges.size() &&
+                    p.moves.size() == p0.moves.size() &&
+                    p.arrays.size() == p0.arrays.size() &&
+                    p.entry_edge == p0.entry_edge,
+                "batch lanes do not share one compiled skeleton");
+  }
+
+  const bool track_regs = opt.track_register_ranges;
+  const bool track_arrays = opt.track_array_ranges;
+
+  // Per-lane array range observation (same NaN-skipping min/max as the
+  // scalar VM).
+  std::vector<std::map<std::string, std::pair<double, double>>> array_ranges(
+      static_cast<std::size_t>(L));
+  const auto observe_array = [&](std::int32_t l, const std::string& name,
+                                 double v) {
+    if (std::isnan(v)) return;
+    auto [it, fresh] =
+        array_ranges[static_cast<std::size_t>(l)].try_emplace(name, v, v);
+    if (!fresh) {
+      it->second.first = std::min(it->second.first, v);
+      it->second.second = std::max(it->second.second, v);
+    }
+  };
+
+  // Bind every lane's array buffers by name and quantize initial contents
+  // with the lane's own array formats: buffers[array * L + lane].
+  std::vector<std::vector<double>*> buffers(p0.arrays.size() *
+                                            static_cast<std::size_t>(L));
+  for (std::int32_t l = 0; l < L; ++l) {
+    const CompiledProgram& p = *progs[static_cast<std::size_t>(l)];
+    ArrayStore& store = *lanes[static_cast<std::size_t>(l)].store;
+    for (std::size_t ai = 0; ai < p.arrays.size(); ++ai) {
+      const ArrayBinding& ab = p.arrays[ai];
+      auto& buf = store[ab.name];
+      buf.resize(static_cast<std::size_t>(ab.element_count), 0.0);
+      const numrep::QuantSpec& spec =
+          p.specs[static_cast<std::size_t>(ab.spec)];
+      for (double& v : buf) {
+        v = ab.init_conv(spec, v);
+        if (track_arrays) observe_array(l, ab.name, v);
+      }
+      buffers[ai * static_cast<std::size_t>(L) +
+              static_cast<std::size_t>(l)] = &buf;
+    }
+  }
+
+  if (p0.blocks.empty()) {
+    for (RunResult& r : results) r.error = "no entry block";
+    return results;
+  }
+
+  // Register ordinal -> Instruction*, for range attribution only.
+  std::vector<const Instruction*> inst_of;
+  std::vector<std::map<const Instruction*, std::pair<double, double>>>
+      register_ranges(static_cast<std::size_t>(L));
+  if (track_regs) {
+    inst_of.reserve(static_cast<std::size_t>(p0.num_regs));
+    for (const auto& bb : f.blocks())
+      for (const auto& inst : bb->instructions()) inst_of.push_back(inst.get());
+  }
+  const auto observe_reg = [&](std::int32_t l, std::int32_t r, double v) {
+    if (std::isnan(v)) return;
+    auto [it, fresh] = register_ranges[static_cast<std::size_t>(l)].try_emplace(
+        inst_of[static_cast<std::size_t>(r)], v, v);
+    if (!fresh) {
+      it->second.first = std::min(it->second.first, v);
+      it->second.second = std::max(it->second.second, v);
+    }
+  };
+
+  // Struct-of-arrays register file: slot r of lane l at [r * L + l].
+  const auto nregs = static_cast<std::size_t>(p0.num_regs);
+  std::vector<double> reals(nregs * static_cast<std::size_t>(L), 0.0);
+  std::vector<std::int64_t> vints(nregs * static_cast<std::size_t>(L), 0);
+  std::vector<std::uint8_t> vbools(nregs * static_cast<std::size_t>(L), 0);
+  const std::vector<std::uint8_t> varying = compute_varying(p0);
+
+  // Per-lane dense counters over the lane's own counter table.
+  std::vector<std::vector<long>> counts(static_cast<std::size_t>(L));
+  for (std::int32_t l = 0; l < L; ++l)
+    counts[static_cast<std::size_t>(l)].assign(
+        progs[static_cast<std::size_t>(l)]->counter_keys.size(), 0);
+
+  // Per-lane profiles (per-pc counts attributed to each lane).
+  bool any_profile = false;
+  for (std::int32_t l = 0; l < L; ++l) {
+    VmProfile* const prof = lanes[static_cast<std::size_t>(l)].profile;
+    if (!prof) continue;
+    any_profile = true;
+    prof->instr_executions.assign(p0.code.size(), 0);
+    prof->edge_applications.assign(p0.edges.size(), 0);
+    prof->select_real_first.assign(p0.code.size(), 0);
+  }
+
+  const auto fetch_real = [&](const RealArg& a, std::int32_t l) {
+    double v = a.reg >= 0 ? reals[static_cast<std::size_t>(a.reg) *
+                                      static_cast<std::size_t>(L) +
+                                  static_cast<std::size_t>(l)]
+                          : a.imm;
+    if (a.cast_counter >= 0)
+      ++counts[static_cast<std::size_t>(l)]
+              [static_cast<std::size_t>(a.cast_counter)];
+    if (a.conv)
+      v = a.conv(progs[static_cast<std::size_t>(l)]
+                     ->specs[static_cast<std::size_t>(a.spec)],
+                 v);
+    return v;
+  };
+  const auto fetch_exact = [&](const RealArg& a, std::int32_t l) {
+    if (a.cast_counter >= 0)
+      ++counts[static_cast<std::size_t>(l)]
+              [static_cast<std::size_t>(a.cast_counter)];
+    return a.reg >= 0 ? reals[static_cast<std::size_t>(a.reg) *
+                                  static_cast<std::size_t>(L) +
+                              static_cast<std::size_t>(l)]
+                      : a.imm;
+  };
+  // Integer/boolean reads route to the group's uniform copy or the
+  // per-lane slot depending on the taint analysis.
+  const auto geti = [&](const IntArg& a, const Group& g, std::int32_t l) {
+    if (a.reg < 0) return a.imm;
+    const auto r = static_cast<std::size_t>(a.reg);
+    return varying[r] ? vints[r * static_cast<std::size_t>(L) +
+                              static_cast<std::size_t>(l)]
+                      : g.uints[r];
+  };
+  const auto getb = [&](std::int32_t reg, const Group& g, std::int32_t l) {
+    const auto r = static_cast<std::size_t>(reg);
+    return (varying[r] ? vbools[r * static_cast<std::size_t>(L) +
+                                static_cast<std::size_t>(l)]
+                       : g.ubools[r]) != 0;
+  };
+
+  // Does any index operand of this Load/Store differ across lanes?
+  std::vector<std::uint8_t> index_varying(p0.code.size(), 0);
+  for (std::size_t pc = 0; pc < p0.code.size(); ++pc) {
+    const BInst& bi = p0.code[pc];
+    if (bi.kind != BInst::Kind::Load && bi.kind != BInst::Kind::Store) continue;
+    for (std::int32_t d = 0; d < bi.index_count; ++d) {
+      const IntArg& a =
+          p0.index_args[static_cast<std::size_t>(bi.index_start + d)];
+      if (a.reg >= 0 && varying[static_cast<std::size_t>(a.reg)])
+        index_varying[pc] = 1;
+    }
+  }
+
+  const auto flat_index = [&](const BInst& bi, const Group& g,
+                              std::int32_t l) {
+    const ArrayBinding& ab = p0.arrays[static_cast<std::size_t>(bi.array)];
+    std::size_t flat = 0;
+    for (std::int32_t d = 0; d < bi.index_count; ++d) {
+      const std::int64_t idx = geti(
+          p0.index_args[static_cast<std::size_t>(bi.index_start + d)], g, l);
+      LUIS_ASSERT(idx >= 0 && idx < ab.dims[static_cast<std::size_t>(d)],
+                  "array index out of bounds on " + ab.name);
+      flat = flat * static_cast<std::size_t>(
+                        ab.dims[static_cast<std::size_t>(d)]) +
+             static_cast<std::size_t>(idx);
+    }
+    return flat;
+  };
+
+  // SWAR eligibility, resolved once per (pc, lane): an Arith2 Add/Sub in a
+  // fixed format of width w with w + 2 <= 16 (so the biased field fits an
+  // 8/16-bit subword; widths 15..16 use 32-bit fields) whose operands need
+  // no conversion and bill no cast — i.e. both are already in the result
+  // format, which makes the packed integer add exact. FP8 lanes are never
+  // packed: their ops are dominated by the software decode/encode, not the
+  // add itself (see docs/INTERP.md).
+  std::vector<const numrep::FixedSpec*> swar_spec;
+  if (options.swar && L > 1) {
+    swar_spec.assign(p0.code.size() * static_cast<std::size_t>(L), nullptr);
+    for (std::size_t pc = 0; pc < p0.code.size(); ++pc) {
+      const BInst& b0 = p0.code[pc];
+      if (b0.op != Opcode::Add && b0.op != Opcode::Sub) continue;
+      for (std::int32_t l = 0; l < L; ++l) {
+        const CompiledProgram& p = *progs[static_cast<std::size_t>(l)];
+        const BInst& bl = p.code[pc];
+        if (bl.kind != BInst::Kind::Arith2) continue;
+        const numrep::QuantSpec& spec =
+            p.specs[static_cast<std::size_t>(bl.spec)];
+        if (!spec.format.is_fixed()) continue;
+        if (spec.fixed.width > 16) continue;
+        if (bl.a.conv || bl.b.conv || bl.a.cast_counter >= 0 ||
+            bl.b.cast_counter >= 0)
+          continue;
+        swar_spec[pc * static_cast<std::size_t>(L) +
+                  static_cast<std::size_t>(l)] = &spec.fixed;
+      }
+    }
+  }
+
+  // Retirement: fill the lane results exactly as run_program() would at
+  // the same point. Counters and ranges are only materialized on Ret.
+  const auto retire_error = [&](const Group& g, const std::string& message) {
+    for (const std::int32_t l : g.lanes) {
+      RunResult& r = results[static_cast<std::size_t>(l)];
+      r.error = message;
+      r.steps = g.steps;
+    }
+  };
+  const auto retire_ok = [&](const Group& g) {
+    for (const std::int32_t l : g.lanes) {
+      RunResult& r = results[static_cast<std::size_t>(l)];
+      r.ok = true;
+      r.steps = g.steps;
+      if (opt.count_costs) {
+        const CompiledProgram& p = *progs[static_cast<std::size_t>(l)];
+        const std::vector<long>& c = counts[static_cast<std::size_t>(l)];
+        for (std::size_t i = 0; i < c.size(); ++i)
+          if (c[i] > 0) r.counters.ops[p.counter_keys[i]] = c[i];
+        r.counters.non_real_ops = g.non_real;
+      }
+      r.array_ranges = std::move(array_ranges[static_cast<std::size_t>(l)]);
+      r.register_ranges =
+          std::move(register_ranges[static_cast<std::size_t>(l)]);
+    }
+  };
+
+  // Phi scratch: simultaneous read, then commit, per lane.
+  std::size_t max_moves = 0;
+  for (const EdgeMoves& e : p0.edges)
+    max_moves = std::max(max_moves, static_cast<std::size_t>(e.count));
+  std::vector<double> scratch_real(max_moves * static_cast<std::size_t>(L));
+  std::vector<std::int64_t> scratch_int(max_moves *
+                                        static_cast<std::size_t>(L));
+  std::vector<std::int64_t> scratch_uint(max_moves);
+
+  // Applies one phi edge for the whole group. Returns false on an edge
+  // trap (the caller retires the group with the message).
+  std::string edge_trap_message;
+  const auto apply_edge = [&](Group& g, std::int32_t id) {
+    const EdgeMoves& e = p0.edges[static_cast<std::size_t>(id)];
+    if (e.trap_msg >= 0) {
+      edge_trap_message = p0.messages[static_cast<std::size_t>(e.trap_msg)];
+      return false;
+    }
+    if (any_profile)
+      for (const std::int32_t l : g.lanes)
+        if (VmProfile* const prof = lanes[static_cast<std::size_t>(l)].profile)
+          ++prof->edge_applications[static_cast<std::size_t>(id)];
+    for (std::int32_t i = 0; i < e.count; ++i) {
+      const PhiMove& m0 = p0.moves[static_cast<std::size_t>(e.start + i)];
+      if (m0.is_real) {
+        for (const std::int32_t l : g.lanes) {
+          const PhiMove& ml =
+              progs[static_cast<std::size_t>(l)]
+                  ->moves[static_cast<std::size_t>(e.start + i)];
+          scratch_real[static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(L) +
+                       static_cast<std::size_t>(l)] = fetch_real(ml.rsrc, l);
+        }
+      } else if (varying[static_cast<std::size_t>(m0.dst)]) {
+        for (const std::int32_t l : g.lanes)
+          scratch_int[static_cast<std::size_t>(i) *
+                          static_cast<std::size_t>(L) +
+                      static_cast<std::size_t>(l)] = geti(m0.isrc, g, l);
+      } else {
+        scratch_uint[static_cast<std::size_t>(i)] =
+            geti(m0.isrc, g, g.lanes.front());
+      }
+    }
+    for (std::int32_t i = 0; i < e.count; ++i) {
+      const PhiMove& m0 = p0.moves[static_cast<std::size_t>(e.start + i)];
+      const auto dst = static_cast<std::size_t>(m0.dst);
+      if (m0.is_real) {
+        for (const std::int32_t l : g.lanes) {
+          const double v = scratch_real[static_cast<std::size_t>(i) *
+                                            static_cast<std::size_t>(L) +
+                                        static_cast<std::size_t>(l)];
+          reals[dst * static_cast<std::size_t>(L) +
+                static_cast<std::size_t>(l)] = v;
+          if (track_regs) observe_reg(l, m0.dst, v);
+        }
+      } else if (varying[dst]) {
+        for (const std::int32_t l : g.lanes)
+          vints[dst * static_cast<std::size_t>(L) +
+                static_cast<std::size_t>(l)] =
+              scratch_int[static_cast<std::size_t>(i) *
+                              static_cast<std::size_t>(L) +
+                          static_cast<std::size_t>(l)];
+      } else {
+        g.uints[dst] = scratch_uint[static_cast<std::size_t>(i)];
+      }
+    }
+    g.steps += e.count;
+    return true;
+  };
+
+  // Packed fixed-point Add/Sub over a run of same-spec lanes. Raw values
+  // are biased by 2^w into fields of 2^ceil(log2(w+2)) bits, summed in one
+  // 64-bit op (the bias keeps every field non-negative so no carry or
+  // borrow crosses a boundary), then unpacked, saturated, and rescaled —
+  // bit-identical to the scalar kernel because in-format operands make
+  // both the double add and the llround inside quantize_fixed exact.
+  const auto swar_run = [&](const BInst& b0, std::int32_t pc, const Group& g,
+                            std::size_t first, std::size_t last,
+                            const numrep::FixedSpec& spec) {
+    const bool is_sub = b0.op == Opcode::Sub;
+    const int w = spec.width;
+    const int fb = w + 2 <= 8 ? 8 : (w + 2 <= 16 ? 16 : 32);
+    const std::size_t per = static_cast<std::size_t>(64 / fb);
+    const std::uint64_t mask = (std::uint64_t{1} << fb) - 1;
+    const std::int64_t beta = std::int64_t{1} << w;
+    const std::int64_t raw_max = spec.is_signed
+                                     ? (std::int64_t{1} << (w - 1)) - 1
+                                     : (std::int64_t{1} << w) - 1;
+    const std::int64_t raw_min =
+        spec.is_signed ? -(std::int64_t{1} << (w - 1)) : 0;
+    for (std::size_t k0 = first; k0 < last; k0 += per) {
+      const std::size_t cnt = std::min(per, last - k0);
+      std::uint64_t wa = 0, wb = 0, wbias = 0;
+      for (std::size_t t = 0; t < cnt; ++t) {
+        const std::int32_t l = g.lanes[k0 + t];
+        const BInst& bl = progs[static_cast<std::size_t>(l)]
+                              ->code[static_cast<std::size_t>(pc)];
+        const double av =
+            bl.a.reg >= 0 ? reals[static_cast<std::size_t>(bl.a.reg) *
+                                      static_cast<std::size_t>(L) +
+                                  static_cast<std::size_t>(l)]
+                          : bl.a.imm;
+        const double bv =
+            bl.b.reg >= 0 ? reals[static_cast<std::size_t>(bl.b.reg) *
+                                      static_cast<std::size_t>(L) +
+                                  static_cast<std::size_t>(l)]
+                          : bl.b.imm;
+        const auto ma = static_cast<std::int64_t>(std::ldexp(av, spec.frac));
+        const auto mb = static_cast<std::int64_t>(std::ldexp(bv, spec.frac));
+        const int shift = static_cast<int>(t) * fb;
+        wa |= static_cast<std::uint64_t>(ma + beta) << shift;
+        wb |= static_cast<std::uint64_t>(mb + beta) << shift;
+        wbias |= static_cast<std::uint64_t>(beta) << shift;
+      }
+      // add: fields hold (ma+b)+(mb+b) = ma+mb+2b; sub: (ma+2b)-(mb+b) =
+      // ma-mb+b. Both stay in (0, 2^(w+2)) <= field size, so fieldwise.
+      const std::uint64_t sum = is_sub ? (wa + wbias) - wb : wa + wb;
+      const std::int64_t unbias = is_sub ? beta : 2 * beta;
+      for (std::size_t t = 0; t < cnt; ++t) {
+        const std::int32_t l = g.lanes[k0 + t];
+        const BInst& bl = progs[static_cast<std::size_t>(l)]
+                              ->code[static_cast<std::size_t>(pc)];
+        std::int64_t m = static_cast<std::int64_t>(
+                             (sum >> (static_cast<int>(t) * fb)) & mask) -
+                         unbias;
+        m = std::clamp(m, raw_min, raw_max);
+        const double r = std::ldexp(static_cast<double>(m), -spec.frac);
+        reals[static_cast<std::size_t>(bl.dst) * static_cast<std::size_t>(L) +
+              static_cast<std::size_t>(l)] = r;
+        ++counts[static_cast<std::size_t>(l)]
+                [static_cast<std::size_t>(bl.op_counter)];
+        if (track_regs) observe_reg(l, bl.dst, r);
+      }
+    }
+  };
+
+  // Initial group: every lane, lockstep, about to apply the entry edge.
+  std::vector<Group> work;
+  {
+    Group g0;
+    g0.lanes.resize(static_cast<std::size_t>(L));
+    for (std::int32_t l = 0; l < L; ++l)
+      g0.lanes[static_cast<std::size_t>(l)] = l;
+    g0.edge = p0.entry_edge;
+    g0.block = 0;
+    g0.uints.assign(nregs, 0);
+    g0.ubools.assign(nregs, 0);
+    work.push_back(std::move(g0));
+  }
+
+  while (!work.empty()) {
+    Group g = std::move(work.back());
+    work.pop_back();
+    if (!apply_edge(g, g.edge)) {
+      retire_error(g, edge_trap_message);
+      continue;
+    }
+    std::int32_t pc = p0.blocks[static_cast<std::size_t>(g.block)].entry;
+    bool running = true;
+    while (running) {
+      const BInst& bi = p0.code[static_cast<std::size_t>(pc)];
+      if (bi.kind == BInst::Kind::Trap) {
+        retire_error(g, p0.messages[static_cast<std::size_t>(bi.trap_msg)]);
+        break;
+      }
+      if (++g.steps > opt.max_steps) {
+        retire_error(g, "step limit exceeded");
+        break;
+      }
+      if (any_profile)
+        for (const std::int32_t l : g.lanes)
+          if (VmProfile* const prof =
+                  lanes[static_cast<std::size_t>(l)].profile)
+            ++prof->instr_executions[static_cast<std::size_t>(pc)];
+      switch (bi.kind) {
+      case BInst::Kind::Arith2:
+      case BInst::Kind::ExactFixed2: {
+        // Kinds may differ per lane (exact fixed only fires on fixed
+        // result types), so dispatch on the lane's own instruction.
+        const auto scalar_one = [&](std::int32_t l) {
+          const CompiledProgram& p = *progs[static_cast<std::size_t>(l)];
+          const BInst& bl = p.code[static_cast<std::size_t>(pc)];
+          double r;
+          if (bl.kind == BInst::Kind::ExactFixed2) {
+            const double a = fetch_exact(bl.a, l);
+            const double b = fetch_exact(bl.b, l);
+            r = bl.exact(
+                p.exact_binds[static_cast<std::size_t>(bl.exact_bind)], a, b);
+          } else {
+            const double a = fetch_real(bl.a, l);
+            const double b = fetch_real(bl.b, l);
+            r = bl.kernel2(p.specs[static_cast<std::size_t>(bl.spec)], a, b);
+          }
+          reals[static_cast<std::size_t>(bl.dst) *
+                    static_cast<std::size_t>(L) +
+                static_cast<std::size_t>(l)] = r;
+          ++counts[static_cast<std::size_t>(l)]
+                  [static_cast<std::size_t>(bl.op_counter)];
+          if (track_regs) observe_reg(l, bl.dst, r);
+        };
+        if (!swar_spec.empty() &&
+            (bi.op == Opcode::Add || bi.op == Opcode::Sub)) {
+          // Pack maximal runs of adjacent same-spec eligible lanes.
+          std::size_t i = 0;
+          while (i < g.lanes.size()) {
+            const numrep::FixedSpec* s =
+                swar_spec[static_cast<std::size_t>(pc) *
+                              static_cast<std::size_t>(L) +
+                          static_cast<std::size_t>(g.lanes[i])];
+            if (!s) {
+              scalar_one(g.lanes[i]);
+              ++i;
+              continue;
+            }
+            std::size_t j = i + 1;
+            while (j < g.lanes.size()) {
+              const numrep::FixedSpec* s2 =
+                  swar_spec[static_cast<std::size_t>(pc) *
+                                static_cast<std::size_t>(L) +
+                            static_cast<std::size_t>(g.lanes[j])];
+              if (!s2 || !(*s2 == *s)) break;
+              ++j;
+            }
+            if (j - i >= 2) {
+              swar_run(bi, pc, g, i, j, *s);
+            } else {
+              scalar_one(g.lanes[i]);
+            }
+            i = j;
+          }
+        } else {
+          for (const std::int32_t l : g.lanes) scalar_one(l);
+        }
+        ++pc;
+        break;
+      }
+      case BInst::Kind::Arith1: {
+        for (const std::int32_t l : g.lanes) {
+          const CompiledProgram& p = *progs[static_cast<std::size_t>(l)];
+          const BInst& bl = p.code[static_cast<std::size_t>(pc)];
+          const double a = fetch_real(bl.a, l);
+          const double r =
+              bl.kernel1(p.specs[static_cast<std::size_t>(bl.spec)], a);
+          reals[static_cast<std::size_t>(bl.dst) *
+                    static_cast<std::size_t>(L) +
+                static_cast<std::size_t>(l)] = r;
+          ++counts[static_cast<std::size_t>(l)]
+                  [static_cast<std::size_t>(bl.op_counter)];
+          if (track_regs) observe_reg(l, bl.dst, r);
+        }
+        ++pc;
+        break;
+      }
+      case BInst::Kind::CastReal: {
+        for (const std::int32_t l : g.lanes) {
+          const BInst& bl = progs[static_cast<std::size_t>(l)]
+                                ->code[static_cast<std::size_t>(pc)];
+          const double r = fetch_real(bl.a, l);
+          reals[static_cast<std::size_t>(bl.dst) *
+                    static_cast<std::size_t>(L) +
+                static_cast<std::size_t>(l)] = r;
+          if (track_regs) observe_reg(l, bl.dst, r);
+        }
+        ++pc;
+        break;
+      }
+      case BInst::Kind::IntToReal: {
+        for (const std::int32_t l : g.lanes) {
+          const CompiledProgram& p = *progs[static_cast<std::size_t>(l)];
+          const BInst& bl = p.code[static_cast<std::size_t>(pc)];
+          const double r =
+              bl.a.conv(p.specs[static_cast<std::size_t>(bl.a.spec)],
+                        static_cast<double>(geti(bi.ia, g, l)));
+          reals[static_cast<std::size_t>(bl.dst) *
+                    static_cast<std::size_t>(L) +
+                static_cast<std::size_t>(l)] = r;
+          ++counts[static_cast<std::size_t>(l)]
+                  [static_cast<std::size_t>(bl.op_counter)];
+          if (track_regs) observe_reg(l, bl.dst, r);
+        }
+        ++pc;
+        break;
+      }
+      case BInst::Kind::Load: {
+        std::size_t flat = 0;
+        const bool uniform_index = !index_varying[static_cast<std::size_t>(pc)];
+        if (uniform_index) flat = flat_index(bi, g, g.lanes.front());
+        for (const std::int32_t l : g.lanes) {
+          const CompiledProgram& p = *progs[static_cast<std::size_t>(l)];
+          const BInst& bl = p.code[static_cast<std::size_t>(pc)];
+          const std::size_t fi = uniform_index ? flat : flat_index(bi, g, l);
+          double v = (*buffers[static_cast<std::size_t>(bi.array) *
+                                   static_cast<std::size_t>(L) +
+                               static_cast<std::size_t>(l)])[fi];
+          if (bl.a.cast_counter >= 0)
+            ++counts[static_cast<std::size_t>(l)]
+                    [static_cast<std::size_t>(bl.a.cast_counter)];
+          if (bl.a.conv)
+            v = bl.a.conv(p.specs[static_cast<std::size_t>(bl.a.spec)], v);
+          reals[static_cast<std::size_t>(bl.dst) *
+                    static_cast<std::size_t>(L) +
+                static_cast<std::size_t>(l)] = v;
+          if (track_regs) observe_reg(l, bl.dst, v);
+        }
+        ++g.non_real;
+        ++pc;
+        break;
+      }
+      case BInst::Kind::Store: {
+        std::size_t flat = 0;
+        const bool uniform_index = !index_varying[static_cast<std::size_t>(pc)];
+        if (uniform_index) flat = flat_index(bi, g, g.lanes.front());
+        for (const std::int32_t l : g.lanes) {
+          const BInst& bl = progs[static_cast<std::size_t>(l)]
+                                ->code[static_cast<std::size_t>(pc)];
+          const std::size_t fi = uniform_index ? flat : flat_index(bi, g, l);
+          const double v = fetch_real(bl.a, l);
+          (*buffers[static_cast<std::size_t>(bi.array) *
+                        static_cast<std::size_t>(L) +
+                    static_cast<std::size_t>(l)])[fi] = v;
+          if (track_arrays)
+            observe_array(
+                l, p0.arrays[static_cast<std::size_t>(bi.array)].name, v);
+        }
+        ++g.non_real;
+        ++pc;
+        break;
+      }
+      case BInst::Kind::IntArith: {
+        const auto eval = [&](std::int64_t a, std::int64_t b) {
+          switch (bi.op) {
+          case Opcode::IAdd: return a + b;
+          case Opcode::ISub: return a - b;
+          case Opcode::IMul: return a * b;
+          case Opcode::IDiv: return b == 0 ? 0 : a / b;
+          case Opcode::IRem: return b == 0 ? 0 : a % b;
+          case Opcode::IMin: return std::min(a, b);
+          case Opcode::IMax: return std::max(a, b);
+          default: LUIS_UNREACHABLE("not an int op");
+          }
+        };
+        const auto dst = static_cast<std::size_t>(bi.dst);
+        if (varying[dst]) {
+          for (const std::int32_t l : g.lanes)
+            vints[dst * static_cast<std::size_t>(L) +
+                  static_cast<std::size_t>(l)] =
+                eval(geti(bi.ia, g, l), geti(bi.ib, g, l));
+        } else {
+          // Uniform dst implies uniform operands (taint analysis): the
+          // shared control work runs once per group, not once per lane.
+          const std::int32_t l0 = g.lanes.front();
+          g.uints[dst] = eval(geti(bi.ia, g, l0), geti(bi.ib, g, l0));
+        }
+        ++g.non_real;
+        ++pc;
+        break;
+      }
+      case BInst::Kind::IntCmp: {
+        const auto dst = static_cast<std::size_t>(bi.dst);
+        if (varying[dst]) {
+          for (const std::int32_t l : g.lanes)
+            vbools[dst * static_cast<std::size_t>(L) +
+                   static_cast<std::size_t>(l)] =
+                compare(bi.pred, geti(bi.ia, g, l), geti(bi.ib, g, l)) ? 1 : 0;
+        } else {
+          const std::int32_t l0 = g.lanes.front();
+          g.ubools[dst] =
+              compare(bi.pred, geti(bi.ia, g, l0), geti(bi.ib, g, l0)) ? 1 : 0;
+        }
+        ++g.non_real;
+        ++pc;
+        break;
+      }
+      case BInst::Kind::RealCmp: {
+        const auto dst = static_cast<std::size_t>(bi.dst);
+        for (const std::int32_t l : g.lanes) {
+          const BInst& bl = progs[static_cast<std::size_t>(l)]
+                                ->code[static_cast<std::size_t>(pc)];
+          vbools[dst * static_cast<std::size_t>(L) +
+                 static_cast<std::size_t>(l)] =
+              compare(bl.pred, fetch_real(bl.a, l), fetch_real(bl.b, l)) ? 1
+                                                                         : 0;
+        }
+        ++g.non_real;
+        ++pc;
+        break;
+      }
+      case BInst::Kind::SelectReal: {
+        for (const std::int32_t l : g.lanes) {
+          const BInst& bl = progs[static_cast<std::size_t>(l)]
+                                ->code[static_cast<std::size_t>(pc)];
+          const bool c = getb(bi.cond, g, l);
+          if (any_profile && c)
+            if (VmProfile* const prof =
+                    lanes[static_cast<std::size_t>(l)].profile)
+              ++prof->select_real_first[static_cast<std::size_t>(pc)];
+          const double v = fetch_real(c ? bl.a : bl.b, l);
+          reals[static_cast<std::size_t>(bl.dst) *
+                    static_cast<std::size_t>(L) +
+                static_cast<std::size_t>(l)] = v;
+          if (track_regs) observe_reg(l, bl.dst, v);
+        }
+        ++g.non_real;
+        ++pc;
+        break;
+      }
+      case BInst::Kind::SelectInt: {
+        const auto dst = static_cast<std::size_t>(bi.dst);
+        if (varying[dst]) {
+          for (const std::int32_t l : g.lanes) {
+            const bool c = getb(bi.cond, g, l);
+            vints[dst * static_cast<std::size_t>(L) +
+                  static_cast<std::size_t>(l)] = geti(c ? bi.ia : bi.ib, g, l);
+          }
+        } else {
+          const std::int32_t l0 = g.lanes.front();
+          const bool c = getb(bi.cond, g, l0);
+          g.uints[dst] = geti(c ? bi.ia : bi.ib, g, l0);
+        }
+        ++g.non_real;
+        ++pc;
+        break;
+      }
+      case BInst::Kind::Br:
+        ++g.non_real;
+        if (!apply_edge(g, bi.edge0)) {
+          retire_error(g, edge_trap_message);
+          running = false;
+          break;
+        }
+        pc = p0.blocks[static_cast<std::size_t>(bi.target0)].entry;
+        break;
+      case BInst::Kind::CondBr: {
+        ++g.non_real;
+        bool uniform = !varying[static_cast<std::size_t>(bi.cond)];
+        bool c0 = getb(bi.cond, g, g.lanes.front());
+        if (!uniform) {
+          // A varying condition may still agree across this group's lanes.
+          std::vector<std::int32_t> taken, other;
+          for (const std::int32_t l : g.lanes)
+            (getb(bi.cond, g, l) == c0 ? taken : other).push_back(l);
+          if (other.empty()) {
+            uniform = true;
+          } else {
+            // Divergence: the not-taken half resumes later with a private
+            // copy of the uniform registers and the same step count.
+            Group rest;
+            rest.lanes = std::move(other);
+            rest.steps = g.steps;
+            rest.non_real = g.non_real;
+            rest.edge = c0 ? bi.edge1 : bi.edge0;
+            rest.block = c0 ? bi.target1 : bi.target0;
+            rest.uints = g.uints;
+            rest.ubools = g.ubools;
+            work.push_back(std::move(rest));
+            g.lanes = std::move(taken);
+          }
+        }
+        if (!apply_edge(g, c0 ? bi.edge0 : bi.edge1)) {
+          retire_error(g, edge_trap_message);
+          running = false;
+          break;
+        }
+        pc = p0.blocks[static_cast<std::size_t>(c0 ? bi.target0 : bi.target1)]
+                 .entry;
+        break;
+      }
+      case BInst::Kind::Ret:
+        retire_ok(g);
+        running = false;
+        break;
+      case BInst::Kind::Trap:
+        LUIS_UNREACHABLE("handled before the step check");
+      }
+    }
+  }
+  return results;
+}
+
+} // namespace luis::interp

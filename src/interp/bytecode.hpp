@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -155,6 +156,20 @@ struct CompiledProgram {
 CompiledProgram compile_program(const ir::Function& f,
                                 const TypeAssignment& types,
                                 const CompileOptions& options = {});
+
+/// Batched lowering: walks `f` once and emits one program per type
+/// assignment ("lane"). All resulting programs share the same structural
+/// skeleton — identical pc layout, register numbering, block entries,
+/// edge/move counts, branch targets, and trap placement — because none of
+/// those depend on the type assignment; only the numeric bindings
+/// (kernels, quant specs, immediates, conversions, cast counters, array
+/// init quantizers) differ per lane. That invariant is what the batched
+/// executor (interp/batch.hpp) relies on to run all lanes in lockstep off
+/// lane 0's control flow. compile_program() is the one-lane special case.
+std::vector<CompiledProgram>
+compile_programs(const ir::Function& f,
+                 std::span<const TypeAssignment* const> lanes,
+                 const CompileOptions& options = {});
 
 /// Executes a compiled program. `f` must have the same printed IR as the
 /// compile-time function (asserted by shape); it is consulted only to

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "interp/batch.hpp"
 #include "interp/bytecode.hpp"
 #include "interp/interpreter.hpp"
 
@@ -57,6 +58,15 @@ private:
   Stats stats_;
 };
 
+/// One lane of a batched run: a type assignment plus its private array
+/// store (and optional per-lane VM profile). Stores must be distinct
+/// objects per lane.
+struct BatchRequest {
+  const TypeAssignment* types = nullptr;
+  ArrayStore* store = nullptr;
+  VmProfile* profile = nullptr;
+};
+
 /// Abstract executor of a function under a type assignment. Engines are
 /// stateless apart from an optional shared program cache, and safe to use
 /// from multiple threads.
@@ -72,6 +82,18 @@ public:
   virtual RunResult run(const ir::Function& f, const TypeAssignment& types,
                         ArrayStore& store,
                         const RunOptions& options = {}) const = 0;
+
+  /// Runs `f` once per lane and returns one RunResult per lane,
+  /// bit-identical (outputs, steps, counters, ranges, trap diagnostics)
+  /// to calling run() per lane. The base implementation is exactly that
+  /// scalar loop; VmEngine overrides it with the multi-lane executor
+  /// (interp/batch.hpp), which compiles the function once for all
+  /// cache-missing lanes and interprets the shared control skeleton once
+  /// per lane group. Per-lane compile/execute seconds are the batch
+  /// totals split evenly.
+  virtual std::vector<RunResult>
+  run_batch(const ir::Function& f, std::span<const BatchRequest> lanes,
+            const BatchRunOptions& options = {}) const;
 };
 
 /// The tree-walking interpreter behind the interface.
@@ -92,6 +114,9 @@ public:
   RunResult run(const ir::Function& f, const TypeAssignment& types,
                 ArrayStore& store,
                 const RunOptions& options = {}) const override;
+  std::vector<RunResult>
+  run_batch(const ir::Function& f, std::span<const BatchRequest> lanes,
+            const BatchRunOptions& options = {}) const override;
 
 private:
   ProgramCache* cache_;

@@ -9,7 +9,9 @@
 namespace luis::platform {
 namespace {
 
-/// Reduces extension type classes to a class the table measures.
+/// Reduces extension type classes to a class the table measures. fp8 and
+/// fposit arithmetic has explicit measured rows (kSoftEmulated below), so
+/// this fallback only fires for their unmeasured ops (casts).
 std::string reduce_type(const std::string& type) {
   if (type == "half" || type == "bfloat16" || type == "fp8") return "float";
   if (type == "posit" || type == "fposit") return "float";
@@ -34,13 +36,21 @@ double OpTimeTable::op_time(const std::string& op, const std::string& type) cons
   const auto exact = times_.find({op, type});
   if (exact != times_.end()) return exact->second;
 
-  double factor = 1.0;
-  std::string t = reduce_type(type);
-  // Posit-family representations have no hardware units on the measured
-  // machines; fixed-posits share the posit software-emulation penalty.
-  if (type == "posit" || type == "fposit") factor *= kPositSoftwareFactor;
   auto [o, op_factor] = reduce_op(op);
-  factor *= op_factor;
+  // An intrinsic reduced to a measured op keeps the original type class
+  // when that class has its own row (the fp8/fposit measured rows): neg
+  // on fp8 costs like the measured fp8 add, not like a hardware float
+  // add.
+  const auto reduced_op = times_.find({o, type});
+  if (reduced_op != times_.end()) return reduced_op->second * op_factor;
+
+  double factor = op_factor;
+  std::string t = reduce_type(type);
+  // Posits have no hardware units on the measured machines and no
+  // measured rows either; their ops fall back to float times a software
+  // factor. (fposit casts share the penalty — fposit arithmetic has
+  // measured rows and never reaches this fallback.)
+  if (type == "posit" || type == "fposit") factor *= kPositSoftwareFactor;
 
   const auto reduced = times_.find({o, t});
   if (reduced != times_.end()) return reduced->second * factor;
@@ -130,9 +140,43 @@ constexpr Row kTable2[] = {
     {"cast_double", "float", 1.79, 5.91, 1.17, 1.65},
 };
 
+// Software-emulated representations (no hardware units on any Table II
+// machine): explicit arithmetic rows derived from the bench_micro SoftEmu
+// pass instead of the old scaled cost-class factors (fp8 used to price
+// like hardware float, fposit like float x kPositSoftwareFactor — both
+// guesses). The pass times the VM's emulation sequence (double op +
+// quantize into the format, operands pre-quantized) against the native
+// float op it displaces; the per-op time ratio below is that quotient.
+//
+// Provenance — re-measure with `bench_micro --benchmark_filter=SoftEmu`
+// and update when the emulation code changes:
+//   2026-08-08, Intel Xeon @ 2.70GHz, gcc 12.2.0 -O2, google-benchmark
+//   CPU time, >= 4.7M iterations per op.
+//     float   : add 0.92ns  mul 0.92ns  div 1.05ns  rem 6.58ns
+//     e4m3    : add 29.8ns  mul 34.0ns  div 32.4ns  rem 37.9ns
+//     fposit16: add 58.8ns  mul 64.4ns  div 63.2ns  rem 72.8ns
+// The ratio is dominated by the host's integer pipeline (decode, clamp,
+// re-encode), not the float datapath, so it transfers across machines far
+// better than an absolute time: each platform's row is its own float row
+// scaled by the measured ratio. rem ratios are small only because float
+// rem is itself a library call.
+struct SoftEmulatedRow {
+  const char* op;
+  double fp8, fposit; ///< measured time ratio vs. the native float op
+};
+constexpr SoftEmulatedRow kSoftEmulated[] = {
+    {"add", 32.5, 64.1}, {"sub", 32.5, 64.1}, {"mul", 37.0, 70.1},
+    {"div", 30.9, 60.2}, {"rem", 5.76, 11.1},
+};
+
 OpTimeTable make_table(const std::string& name, double Row::*column) {
   OpTimeTable table(name);
   for (const Row& row : kTable2) table.set(row.op, row.type, row.*column);
+  for (const SoftEmulatedRow& row : kSoftEmulated) {
+    const double f = table.op_time(row.op, "float");
+    table.set(row.op, "fp8", row.fp8 * f);
+    table.set(row.op, "fposit", row.fposit * f);
+  }
   return table;
 }
 

@@ -33,9 +33,13 @@ public:
   ///
   /// Fallback rules for entries a table does not measure directly:
   ///  - half and bfloat16 fall back to the float datapath;
+  ///  - fp8 and fposit arithmetic uses explicit measured rows (the
+  ///    bench_micro SoftEmu pass; see optime.cpp) — only their casts
+  ///    fall back;
   ///  - posit arithmetic falls back to float times a software-emulation
   ///    factor (posits have no hardware here);
-  ///  - neg/abs/min/max cost like add;
+  ///  - neg/abs/min/max cost like add (keeping a measured row's type
+  ///    class when one exists);
   ///  - sqrt costs 2x div; exp/pow cost like rem (library calls).
   double op_time(const std::string& op, const std::string& type) const;
 

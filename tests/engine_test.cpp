@@ -330,6 +330,334 @@ entry:
   EXPECT_EQ(cache.stats().insertions, 1);
 }
 
+// ---- Batched execution (interp/batch.hpp, VmEngine::run_batch) ----------
+
+/// Runs the lane set through VmEngine::run_batch — once with SWAR packing
+/// and once without — and asserts every lane is bit-identical to a scalar
+/// ReferenceEngine run of that assignment: outputs, steps, counters,
+/// ranges, and trap diagnostics.
+void expect_batch_matches_reference(const ir::Function& f,
+                                    const std::vector<TypeAssignment>& lanes,
+                                    const ArrayStore& inputs,
+                                    const RunOptions& options = {}) {
+  const ReferenceEngine ref;
+  ProgramCache cache;
+  const VmEngine vm(&cache);
+  for (const bool swar : {true, false}) {
+    std::vector<ArrayStore> stores(lanes.size(), inputs);
+    std::vector<BatchRequest> reqs(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+      reqs[i] = {&lanes[i], &stores[i], nullptr};
+    BatchRunOptions bopt;
+    bopt.run = options;
+    bopt.swar = swar;
+    const std::vector<RunResult> got = vm.run_batch(f, reqs, bopt);
+    ASSERT_EQ(got.size(), lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      ArrayStore ref_store = inputs;
+      const RunResult want = ref.run(f, lanes[i], ref_store, options);
+      EXPECT_EQ(want.ok, got[i].ok)
+          << "lane " << i << " swar=" << swar << " ref: " << want.error
+          << " batch: " << got[i].error;
+      EXPECT_EQ(want.error, got[i].error) << "lane " << i;
+      EXPECT_EQ(want.steps, got[i].steps) << "lane " << i;
+      EXPECT_EQ(want.counters.ops, got[i].counters.ops) << "lane " << i;
+      EXPECT_EQ(want.counters.non_real_ops, got[i].counters.non_real_ops)
+          << "lane " << i;
+      EXPECT_EQ(want.array_ranges, got[i].array_ranges) << "lane " << i;
+      EXPECT_EQ(want.register_ranges, got[i].register_ranges) << "lane " << i;
+      for (const auto& [name, buf] : ref_store)
+        EXPECT_TRUE(buffers_bit_equal(buf, stores[i].at(name)))
+            << "lane " << i << " swar=" << swar << " array " << name;
+    }
+  }
+}
+
+TEST(EngineBatch, CorpusSeedsMatchReferencePerLane) {
+  int replayed = 0;
+  for (int i = 1;; ++i) {
+    const std::string path = std::string(LUIS_TEST_DATA_DIR) +
+                             "/corpus/pipeline_seed_" + std::to_string(i) +
+                             ".ir";
+    std::ifstream is(path);
+    if (!is.good()) break;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+
+    ir::Module m;
+    const ir::ParseResult parsed = ir::parse_function(m, ss.str());
+    ASSERT_TRUE(parsed.ok()) << path << ": " << parsed.error;
+    const ArrayStore inputs =
+        synth_inputs(*parsed.function, 0xBA7C0000u + static_cast<unsigned>(i));
+    RunOptions opt;
+    opt.track_array_ranges = true;
+    opt.track_register_ranges = true;
+    expect_batch_matches_reference(*parsed.function,
+                                   assignment_grid(*parsed.function), inputs,
+                                   opt);
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 5) << "seed corpus missing from tests/corpus";
+}
+
+TEST(EngineBatch, LaneCountOneBitIdenticalWithScalarVm) {
+  ir::Module m;
+  KernelBuilder kb(m, "one_lane");
+  Array* A = kb.array("A", {8}, 0.0, 1.0);
+  kb.for_loop("i", 0, 8, [&](IVal i) {
+    kb.store(kb.load(A, {i}) * kb.real(3.0) + kb.real(0.125), A, {i});
+  });
+  ir::Function* f = kb.finish();
+  const ArrayStore inputs = synth_inputs(*f, 11);
+  const TypeAssignment fix = TypeAssignment::uniform(*f, {numrep::kFixed32, 12});
+
+  const VmEngine vm;
+  ArrayStore scalar_store = inputs;
+  const RunResult want = vm.run(*f, fix, scalar_store, {});
+
+  ArrayStore batch_store = inputs;
+  const std::vector<BatchRequest> reqs = {{&fix, &batch_store, nullptr}};
+  const std::vector<RunResult> got = vm.run_batch(*f, reqs, {});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0].ok);
+  EXPECT_EQ(want.steps, got[0].steps);
+  EXPECT_EQ(want.counters.ops, got[0].counters.ops);
+  EXPECT_EQ(want.counters.non_real_ops, got[0].counters.non_real_ops);
+  EXPECT_TRUE(buffers_bit_equal(scalar_store.at("A"), batch_store.at("A")));
+}
+
+TEST(EngineBatch, TrapRetiresOneLaneWhileOthersFinish) {
+  // acc += 0.001 until acc >= 1.0. In a coarse fixed format the increment
+  // quantizes to zero, so that lane spins until the step limit while the
+  // float lanes terminate normally — the trapped lane must retire with
+  // the scalar VM's exact diagnostics and step count without disturbing
+  // the survivors.
+  const char* text = R"(func @stall {
+  array @A[1] range [0.0, 4.0]
+entry:
+  br loop
+loop:
+  %0 = phi real [ 0.0, entry ], [ %1, loop ]
+  %1 = add %0, 0.001
+  %2 = fcmp lt %1, 1.0
+  condbr %2, loop, done
+done:
+  store %1, @A[0]
+  ret
+})";
+  ir::Module m;
+  const ir::ParseResult parsed = ir::parse_function(m, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const ir::Function& f = *parsed.function;
+
+  const std::vector<TypeAssignment> lanes = {
+      {}, // binary64: terminates
+      TypeAssignment::uniform(f, {numrep::kFixed32, 6}), // 0.001 -> 0: spins
+      TypeAssignment::uniform(f, {numrep::kBinary32, 0}), // terminates
+  };
+  RunOptions opt;
+  opt.max_steps = 50'000;
+  const ArrayStore inputs = synth_inputs(f, 12);
+  expect_batch_matches_reference(f, lanes, inputs, opt);
+
+  // And the expected shape, explicitly: lane 1 trapped, lanes 0/2 ran on.
+  const VmEngine vm;
+  std::vector<ArrayStore> stores(lanes.size(), inputs);
+  std::vector<BatchRequest> reqs(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    reqs[i] = {&lanes[i], &stores[i], nullptr};
+  BatchRunOptions bopt;
+  bopt.run = opt;
+  const std::vector<RunResult> got = vm.run_batch(f, reqs, bopt);
+  EXPECT_TRUE(got[0].ok);
+  EXPECT_FALSE(got[1].ok);
+  EXPECT_NE(got[1].error.find("step limit"), std::string::npos);
+  EXPECT_EQ(got[1].steps, opt.max_steps + 1);
+  EXPECT_TRUE(got[2].ok);
+  EXPECT_LT(got[0].steps, opt.max_steps);
+}
+
+TEST(EngineBatch, PhiBatchSimultaneousReadAcrossLanes) {
+  // A swap loop: both phis of an edge must read their sources before
+  // either destination is written, in every lane. An odd trip count
+  // leaves the values exchanged; per-lane quantization makes each lane's
+  // pair distinct.
+  const char* text = R"(func @swap {
+  array @A[2] range [0.0, 4.0]
+entry:
+  %0 = load @A[0]
+  %1 = load @A[1]
+  br loop
+loop:
+  %2 = phi int [ 0, entry ], [ %5, loop ]
+  %3 = phi real [ %0, entry ], [ %4, loop ]
+  %4 = phi real [ %1, entry ], [ %3, loop ]
+  %5 = iadd %2, 1
+  %6 = icmp lt %5, 6
+  condbr %6, loop, done
+done:
+  store %3, @A[0]
+  store %4, @A[1]
+  ret
+})";
+  ir::Module m;
+  const ir::ParseResult parsed = ir::parse_function(m, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const ir::Function& f = *parsed.function;
+  ArrayStore inputs;
+  inputs["A"] = {0.625, 2.75};
+  expect_batch_matches_reference(f, assignment_grid(f), inputs);
+
+  // The swap actually happened (odd number of exchanges).
+  const VmEngine vm;
+  ArrayStore store = inputs;
+  TypeAssignment none;
+  const std::vector<BatchRequest> reqs = {{&none, &store, nullptr}};
+  ASSERT_TRUE(vm.run_batch(f, reqs, {}).at(0).ok);
+  EXPECT_EQ(store.at("A")[0], 2.75);
+  EXPECT_EQ(store.at("A")[1], 0.625);
+}
+
+TEST(EngineBatch, MixedSwarAndScalarLaneSets) {
+  // Lane set mixing every SWAR field width (8 lanes/word at w<=6, 4 at
+  // w<=14, 2 at w<=16) with float and posit lanes that can never pack,
+  // plus repeated specs so maximal runs form and split mid-set.
+  ir::Module m;
+  KernelBuilder kb(m, "mixed");
+  Array* A = kb.array("A", {16}, 0.0, 1.0);
+  Array* B = kb.array("B", {16}, -4.0, 4.0);
+  ScalarCell acc = kb.scalar("acc", -8.0, 8.0);
+  kb.set(acc, kb.real(0.0));
+  kb.for_loop("i", 0, 16, [&](IVal i) {
+    RVal x = kb.load(A, {i});
+    RVal y = kb.load(B, {i});
+    kb.store(kb.sub(kb.add(x, y), kb.real(0.25)), B, {i});
+    kb.set(acc, kb.get(acc) + x);
+  });
+  kb.store(kb.get(acc), B, {kb.idx(0)});
+  ir::Function* f = kb.finish();
+  ASSERT_TRUE(ir::verify(*f).ok());
+
+  const numrep::NumericFormat fix6 = numrep::NumericFormat::fixed(6);
+  const numrep::NumericFormat fix12 = numrep::NumericFormat::fixed(12);
+  const std::vector<TypeAssignment> lanes = {
+      TypeAssignment::uniform(*f, {fix6, 3}),
+      TypeAssignment::uniform(*f, {fix6, 3}),
+      TypeAssignment::uniform(*f, {fix6, 3}), // run of three 8-per-word lanes
+      TypeAssignment::uniform(*f, {fix12, 7}),
+      TypeAssignment::uniform(*f, {fix12, 7}), // 4-per-word pair
+      TypeAssignment::uniform(*f, {numrep::kBinary32, 0}), // splits the runs
+      TypeAssignment::uniform(*f, {numrep::kFixed16, 8}),
+      TypeAssignment::uniform(*f, {numrep::kFixed16, 8}), // 2-per-word pair
+      TypeAssignment::uniform(*f, {numrep::kPosit16, 0}),
+      TypeAssignment::uniform(*f, {numrep::kFixed16, 9}), // lone: stays scalar
+      {},
+  };
+  RunOptions opt;
+  opt.track_array_ranges = true;
+  opt.track_register_ranges = true;
+  expect_batch_matches_reference(*f, lanes, synth_inputs(*f, 13), opt);
+}
+
+TEST(EngineBatch, PerLaneProfilesMatchScalarVm) {
+  ir::Module m;
+  KernelBuilder kb(m, "profiled");
+  Array* A = kb.array("A", {8}, 0.0, 1.0);
+  kb.for_loop("i", 0, 8, [&](IVal i) {
+    RVal x = kb.load(A, {i});
+    kb.store(kb.select(kb.fcmp(ir::CmpPred::LT, x, kb.real(0.5)), x,
+                       kb.mul(x, kb.real(0.5))),
+             A, {i});
+  });
+  ir::Function* f = kb.finish();
+  const ArrayStore inputs = synth_inputs(*f, 14);
+  const std::vector<TypeAssignment> lanes = {
+      {},
+      TypeAssignment::uniform(*f, {numrep::kFixed32, 10}),
+      TypeAssignment::uniform(*f, {numrep::kBfloat16, 0}),
+  };
+
+  const VmEngine vm;
+  std::vector<ArrayStore> stores(lanes.size(), inputs);
+  std::vector<VmProfile> profiles(lanes.size());
+  std::vector<BatchRequest> reqs(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    reqs[i] = {&lanes[i], &stores[i], &profiles[i]};
+  const std::vector<RunResult> got = vm.run_batch(*f, reqs, {});
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    ASSERT_TRUE(got[i].ok) << got[i].error;
+    ArrayStore scalar_store = inputs;
+    VmProfile want;
+    RunOptions opt;
+    opt.vm_profile = &want;
+    ASSERT_TRUE(vm.run(*f, lanes[i], scalar_store, opt).ok);
+    EXPECT_EQ(want.instr_executions, profiles[i].instr_executions)
+        << "lane " << i;
+    EXPECT_EQ(want.edge_applications, profiles[i].edge_applications)
+        << "lane " << i;
+    EXPECT_EQ(want.select_real_first, profiles[i].select_real_first)
+        << "lane " << i;
+  }
+}
+
+TEST(EngineBatch, ReferenceEngineBatchFallsBackToScalarLoop) {
+  ir::Module m;
+  KernelBuilder kb(m, "fallback");
+  Array* A = kb.array("A", {4}, 0.0, 1.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) {
+    kb.store(kb.load(A, {i}) + kb.real(1.0), A, {i});
+  });
+  ir::Function* f = kb.finish();
+  const ArrayStore inputs = synth_inputs(*f, 15);
+  const std::vector<TypeAssignment> lanes = {
+      {}, TypeAssignment::uniform(*f, {numrep::kBinary32, 0})};
+
+  const ReferenceEngine ref;
+  std::vector<ArrayStore> stores(lanes.size(), inputs);
+  std::vector<BatchRequest> reqs(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    reqs[i] = {&lanes[i], &stores[i], nullptr};
+  const std::vector<RunResult> got = ref.run_batch(*f, reqs, {});
+  ASSERT_EQ(got.size(), 2u);
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    ArrayStore want_store = inputs;
+    const RunResult want = ref.run(*f, lanes[i], want_store, {});
+    EXPECT_EQ(want.steps, got[i].steps);
+    EXPECT_TRUE(buffers_bit_equal(want_store.at("A"), stores[i].at("A")));
+  }
+}
+
+TEST(EngineBatch, SharesProgramCacheWithScalarRuns) {
+  ir::Module m;
+  KernelBuilder kb(m, "batch_cached");
+  Array* A = kb.array("A", {4}, 0.0, 1.0);
+  kb.for_loop("i", 0, 4, [&](IVal i) {
+    kb.store(kb.load(A, {i}) * kb.real(2.0), A, {i});
+  });
+  ir::Function* f = kb.finish();
+  const ArrayStore inputs = synth_inputs(*f, 16);
+  const std::vector<TypeAssignment> lanes = {
+      {}, TypeAssignment::uniform(*f, {numrep::kBinary32, 0})};
+
+  ProgramCache cache;
+  const VmEngine vm(&cache);
+  ArrayStore s0 = inputs;
+  ASSERT_TRUE(vm.run(*f, lanes[0], s0, {}).ok); // pre-warms lane 0
+  std::vector<ArrayStore> stores(lanes.size(), inputs);
+  std::vector<BatchRequest> reqs(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    reqs[i] = {&lanes[i], &stores[i], nullptr};
+  ASSERT_TRUE(vm.run_batch(*f, reqs, {}).at(1).ok);
+  EXPECT_EQ(cache.stats().hits, 1);       // lane 0 served from the cache
+  EXPECT_EQ(cache.stats().insertions, 2); // scalar run + missing lane 1
+  // A second batch is all hits.
+  std::vector<ArrayStore> stores2(lanes.size(), inputs);
+  for (std::size_t i = 0; i < lanes.size(); ++i) reqs[i].store = &stores2[i];
+  ASSERT_TRUE(vm.run_batch(*f, reqs, {}).at(0).ok);
+  EXPECT_EQ(cache.stats().insertions, 2);
+  EXPECT_EQ(cache.stats().hits, 3);
+}
+
 TEST(Engine, DisassembleSmoke) {
   ir::Module m;
   KernelBuilder kb(m, "disasm");

@@ -47,6 +47,38 @@ TEST(OpTimeTable, ExtensionTypeFallbacks) {
   EXPECT_DOUBLE_EQ(t.cast_time("half", "double"), t.cast_time("float", "double"));
 }
 
+TEST(OpTimeTable, SoftwareEmulatedRowsAreMeasuredNotScaled) {
+  // fp8 and fposit arithmetic carries explicit rows from the bench_micro
+  // SoftEmu pass (emulated op / native float op time ratios), replacing
+  // the old scaled-class guesses (fp8 = float, fposit = float x 8).
+  for (const OpTimeTable* t : standard_platforms()) {
+    EXPECT_TRUE(t->has("add", "fp8")) << t->machine();
+    EXPECT_TRUE(t->has("mul", "fposit")) << t->machine();
+    // Measured ratios applied to the platform's own float row.
+    EXPECT_DOUBLE_EQ(t->op_time("add", "fp8"),
+                     32.5 * t->op_time("add", "float"));
+    EXPECT_DOUBLE_EQ(t->op_time("div", "fposit"),
+                     60.2 * t->op_time("div", "float"));
+    EXPECT_DOUBLE_EQ(t->op_time("sub", "fp8"), t->op_time("add", "fp8"));
+    // Emulation is far more expensive than the hardware-float guess and
+    // fposit decode/encode costs more than the fp8 one.
+    EXPECT_GT(t->op_time("mul", "fp8"), t->op_time("mul", "float"));
+    EXPECT_GT(t->op_time("mul", "fposit"), t->op_time("mul", "fp8"));
+  }
+}
+
+TEST(OpTimeTable, IntrinsicsKeepMeasuredTypeClass) {
+  // neg/sqrt on a software-emulated class reduce onto that class's own
+  // measured rows, not onto the hardware float fallback.
+  const OpTimeTable& t = intel_table();
+  EXPECT_DOUBLE_EQ(t.op_time("neg", "fp8"), t.op_time("add", "fp8"));
+  EXPECT_DOUBLE_EQ(t.op_time("sqrt", "fposit"),
+                   2.0 * t.op_time("div", "fposit"));
+  // Posit has no measured rows; its fallback is unchanged.
+  EXPECT_DOUBLE_EQ(t.op_time("neg", "posit"),
+                   t.op_time("add", "float") * kPositSoftwareFactor);
+}
+
 TEST(OpTimeTable, NormalizeDividesByMinimum) {
   OpTimeTable t("test");
   t.set("add", "fix", 10.0);

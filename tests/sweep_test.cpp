@@ -115,6 +115,47 @@ std::string json_shape(const std::string& json) {
   return out;
 }
 
+TEST(Sweep, BatchedExecutionMatchesScalarBitIdentical) {
+  // Batching only changes how tuned assignments are interpreted (lanes of
+  // one run_batch per kernel vs one scalar run per job); every reported
+  // metric must be bit-identical, and the batch stats must account for
+  // every ILP job.
+  SweepOptions batched = small_grid();
+  batched.threads = 2;
+  const SweepResult a = run_sweep(batched);
+
+  SweepOptions scalar = small_grid();
+  scalar.threads = 2;
+  scalar.batch = false;
+  const SweepResult b = run_sweep(scalar);
+
+  const long ilp_jobs =
+      static_cast<long>(batched.kernels.size() * batched.configs.size() *
+                        batched.platforms.size());
+  EXPECT_EQ(a.stats.batch_runs, static_cast<long>(batched.kernels.size()));
+  EXPECT_EQ(a.stats.batch_lanes, ilp_jobs);
+  EXPECT_GT(a.stats.batch_unique_lanes, 0);
+  EXPECT_LE(a.stats.batch_unique_lanes, a.stats.batch_lanes);
+  EXPECT_EQ(b.stats.batch_runs, 0);
+  EXPECT_EQ(b.stats.batch_lanes, 0);
+
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const SweepJobResult& ja = a.jobs[i];
+    const SweepJobResult& jb = b.jobs[i];
+    ASSERT_EQ(ja.kernel, jb.kernel);
+    ASSERT_EQ(ja.config, jb.config);
+    ASSERT_EQ(ja.platform, jb.platform);
+    EXPECT_TRUE(ja.ok) << ja.error;
+    EXPECT_TRUE(jb.ok) << jb.error;
+    EXPECT_EQ(ja.assignment_text, jb.assignment_text);
+    EXPECT_EQ(ja.speedup_percent, jb.speedup_percent)
+        << ja.kernel << "/" << ja.config << "/" << ja.platform;
+    EXPECT_EQ(ja.mpe, jb.mpe)
+        << ja.kernel << "/" << ja.config << "/" << ja.platform;
+  }
+}
+
 TEST(Sweep, JsonReportShapeMatchesGolden) {
   SweepOptions opt;
   opt.kernels = {"trisolv"};

@@ -91,6 +91,8 @@
 //                         1 = serial reference path, same results)
 //   --max-nodes N         branch & bound node limit per solve (default 3000)
 //   --no-taffo            skip the greedy TAFFO baseline rows
+//   --no-batch            one scalar engine run per job instead of batched
+//                         per-kernel lane execution (results identical)
 //   --engine vm|ref       execution engine for every interpretation
 //                         (default vm: compile once per (kernel,
 //                         assignment), cache the program)
@@ -1079,6 +1081,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
       opt.use_cache = false;
     } else if (a == "--no-check") {
       opt.check_determinism = false;
+    } else if (a == "--no-batch") {
+      opt.batch = false;
     } else if (a == "--json" && has_value) {
       json_path = args[++i];
     } else if (a == "--vra-max-passes" && has_value) {
