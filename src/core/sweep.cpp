@@ -133,6 +133,23 @@ void prepare_kernel(KernelContext& ctx, bool include_taffo,
   ctx.ok = true;
 }
 
+/// Copies a finished shadow-execution profile's telemetry into a job row.
+/// Max deviations scan every per-pc and per-phi-move cell — the same
+/// accumulators the per-line error report aggregates.
+void fold_error_profile(const interp::ErrorProfile& ep, SweepJobResult& out) {
+  out.errors_profiled = true;
+  out.shadow_mpe = ep.program_mpe;
+  out.control_divergences = ep.control_divergences;
+  out.max_abs_error = 0.0;
+  out.max_rel_error = 0.0;
+  const auto fold = [&](const interp::ErrorCell& c) {
+    out.max_abs_error = std::max(out.max_abs_error, c.max_abs);
+    out.max_rel_error = std::max(out.max_rel_error, c.max_rel);
+  };
+  for (const interp::ErrorCell& c : ep.instr) fold(c);
+  for (const interp::ErrorCell& c : ep.moves) fold(c);
+}
+
 /// Tunes one (kernel, config, platform) job on a private clone of the
 /// kernel. With `execute` the tuned kernel is also interpreted for the
 /// speedup/MPE metrics; the determinism re-check skips that (the
@@ -164,8 +181,11 @@ void run_ilp_job(const KernelContext& ctx, const platform::OpTimeTable& table,
 
   if (execute) {
     interp::ArrayStore store = ctx.inputs;
+    interp::ErrorProfile errors;
+    interp::RunOptions ropt;
+    if (opt.errors) ropt.error_profile = &errors;
     const interp::RunResult run =
-        engine.run(f, tuned.allocation.assignment, store);
+        engine.run(f, tuned.allocation.assignment, store, ropt);
     out.timings.interp_compile_seconds = run.compile_seconds;
     out.timings.interp_execute_seconds = run.execute_seconds;
     if (!run.ok) {
@@ -176,6 +196,7 @@ void run_ilp_job(const KernelContext& ctx, const platform::OpTimeTable& table,
     out.speedup_percent = platform::speedup_percent(
         t_base, platform::simulated_time(run.counters, table));
     out.mpe = kernel_mpe(ctx.outputs, ctx.reference, store);
+    if (opt.errors && errors.finalized) fold_error_profile(errors, out);
   }
   out.ok = true;
 }
@@ -417,9 +438,12 @@ SweepResult run_sweep(const SweepOptions& options) {
 
       std::vector<interp::ArrayStore> lane_stores(lane_types.size(),
                                                   ctx.inputs);
+      std::vector<interp::ErrorProfile> lane_errors(
+          options.errors ? lane_types.size() : 0);
       std::vector<interp::BatchRequest> requests(lane_types.size());
       for (std::size_t l = 0; l < lane_types.size(); ++l)
-        requests[l] = {&lane_types[l], &lane_stores[l], nullptr};
+        requests[l] = {&lane_types[l], &lane_stores[l], nullptr,
+                       options.errors ? &lane_errors[l] : nullptr};
       const std::vector<interp::RunResult> runs =
           engine->run_batch(f, requests, {});
       per_kernel[ki] = {1, static_cast<long>(kernel_jobs.size()),
@@ -448,6 +472,10 @@ SweepResult run_sweep(const SweepOptions& options) {
                                      *table_of[kernel_jobs[k]]));
         job.mpe = kernel_mpe(ctx.outputs, ctx.reference,
                              lane_stores[lane_of[k]]);
+        // Jobs sharing a lane share that lane's shadow profile — the
+        // assignment fully determines the deviations.
+        if (options.errors && lane_errors[lane_of[k]].finalized)
+          fold_error_profile(lane_errors[lane_of[k]], job);
       }
       LUIS_LOG(progress_level,
                "[sweep] " + ctx.name + " batch-executed " +
@@ -517,6 +545,21 @@ SweepResult run_sweep(const SweepOptions& options) {
   obs::metrics().counter("sweep.failed_jobs").inc(result.stats.failed);
   obs::metrics().set_gauge("sweep.last_wall_seconds",
                            result.stats.wall_seconds);
+  if (options.errors) {
+    // Per-job error telemetry into the registry: the MPE/deviation
+    // distributions across the grid, plus the divergence total.
+    long profiled = 0, divergences = 0;
+    for (const SweepJobResult& job : result.jobs) {
+      if (!job.errors_profiled) continue;
+      ++profiled;
+      divergences += job.control_divergences;
+      obs::metrics().histogram("sweep.shadow_mpe").observe(job.shadow_mpe);
+      obs::metrics().histogram("sweep.max_rel_error")
+          .observe(job.max_rel_error);
+    }
+    obs::metrics().counter("sweep.error_profiled_jobs").inc(profiled);
+    obs::metrics().counter("sweep.control_divergences").inc(divergences);
+  }
   return result;
 }
 
@@ -549,6 +592,21 @@ std::string sweep_summary_text(const SweepResult& result) {
   out += format_string("program cache: %ld lookups, %ld hits (%.1f%%)\n",
                        s.program_cache.lookups, s.program_cache.hits,
                        100.0 * s.program_cache.hit_rate());
+  {
+    long profiled = 0, divergences = 0;
+    double worst_rel = 0.0;
+    for (const SweepJobResult& job : result.jobs) {
+      if (!job.errors_profiled) continue;
+      ++profiled;
+      divergences += job.control_divergences;
+      worst_rel = std::max(worst_rel, job.max_rel_error);
+    }
+    if (profiled > 0)
+      out += format_string("error profiling: %ld jobs shadow-executed, "
+                           "worst rel deviation %.4g, %ld control "
+                           "divergence(s)\n",
+                           profiled, worst_rel, divergences);
+  }
   if (s.determinism_mismatches < 0)
     out += "determinism check: skipped\n";
   else if (s.determinism_mismatches == 0)
@@ -585,6 +643,16 @@ std::string sweep_report_json(const SweepResult& result) {
     w.value(job.speedup_percent, "%.6g");
     w.key("mpe");
     w.value(job.mpe, "%.6g");
+    if (job.errors_profiled) {
+      w.key("shadow_mpe");
+      w.value(job.shadow_mpe, "%.6g");
+      w.key("max_abs_error");
+      w.value(job.max_abs_error, "%.6g");
+      w.key("max_rel_error");
+      w.value(job.max_rel_error, "%.6g");
+      w.key("control_divergences");
+      w.value(job.control_divergences);
+    }
     w.key("status");
     w.value(ilp::to_string(job.stats.status));
     w.key("objective");

@@ -54,6 +54,12 @@ struct SweepOptions {
   /// After the (possibly parallel) sweep, serially re-tune every ILP job
   /// and verify it reproduces the same assignment and objective.
   bool check_determinism = true;
+  /// Shadow-execute every tuned job (scalar and batched paths alike): the
+  /// VM carries a lockstep binary64 shadow and each job's row gains the
+  /// in-engine MPE, max abs/rel deviation, and control-divergence count
+  /// (see docs/OBSERVABILITY.md, "Numerical-error profiling"). Quantized
+  /// outputs are bit-identical with this on.
+  bool errors = false;
   /// VRA fixpoint knobs, applied to every job's pipeline and recorded in
   /// the JSON report (so a sweep is reproducible from its own artifact).
   vra::VraOptions vra;
@@ -68,6 +74,15 @@ struct SweepJobResult {
   std::string error;
   double speedup_percent = 0.0; ///< vs. the all-binary64 kernel
   double mpe = 0.0;             ///< vs. the all-binary64 outputs
+  /// Shadow-execution telemetry (SweepOptions::errors; zeros otherwise).
+  /// shadow_mpe is the in-engine whole-program MPE vs the lockstep
+  /// binary64 shadow — with zero control divergences it equals `mpe`
+  /// computed externally against the binary64 reference outputs.
+  bool errors_profiled = false;
+  double shadow_mpe = 0.0;
+  double max_abs_error = 0.0; ///< over every recorded register/array write
+  double max_rel_error = 0.0;
+  long control_divergences = 0;
   StageTimings timings;
   AllocationStats stats;
   std::string engine; ///< resolved engine that executed this job

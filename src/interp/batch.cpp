@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "support/diag.hpp"
+#include "support/statistics.hpp"
 
 namespace luis::interp {
 
@@ -138,10 +141,36 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
     }
   };
 
+  // Shadow execution: when any lane carries an ErrorProfile, the batch
+  // maintains a lockstep binary64 shadow for every lane (uniform indexing
+  // keeps the hot loop simple; sweep batches enable errors for all lanes
+  // or none). Deviations are recorded only into lanes that asked.
+  bool any_errors = false;
+  for (std::int32_t l = 0; l < L; ++l) {
+    ErrorProfile* const ep = lanes[static_cast<std::size_t>(l)].errors;
+    if (!ep) continue;
+    any_errors = true;
+    ep->instr.assign(p0.code.size(), ErrorCell{});
+    ep->moves.assign(p0.moves.size(), ErrorCell{});
+    ep->first_spike_step = -1;
+    ep->first_spike_pc = -1;
+    ep->first_spike_src = -1;
+    ep->first_spike_rel = 0.0;
+    ep->control_divergences = 0;
+    ep->first_control_divergence_step = -1;
+    ep->arrays.clear();
+    ep->program_mpe = 0.0;
+    ep->finalized = false;
+    ep->shadow_arrays.clear();
+  }
+
   // Bind every lane's array buffers by name and quantize initial contents
-  // with the lane's own array formats: buffers[array * L + lane].
+  // with the lane's own array formats: buffers[array * L + lane]. Shadow
+  // buffers capture the raw (pre-quantization) contents.
   std::vector<std::vector<double>*> buffers(p0.arrays.size() *
                                             static_cast<std::size_t>(L));
+  std::vector<std::vector<double>> shadow_buffers(
+      any_errors ? p0.arrays.size() * static_cast<std::size_t>(L) : 0);
   for (std::int32_t l = 0; l < L; ++l) {
     const CompiledProgram& p = *progs[static_cast<std::size_t>(l)];
     ArrayStore& store = *lanes[static_cast<std::size_t>(l)].store;
@@ -149,6 +178,9 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
       const ArrayBinding& ab = p.arrays[ai];
       auto& buf = store[ab.name];
       buf.resize(static_cast<std::size_t>(ab.element_count), 0.0);
+      if (any_errors)
+        shadow_buffers[ai * static_cast<std::size_t>(L) +
+                       static_cast<std::size_t>(l)] = buf;
       const numrep::QuantSpec& spec =
           p.specs[static_cast<std::size_t>(ab.spec)];
       for (double& v : buf) {
@@ -187,6 +219,8 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
   // Struct-of-arrays register file: slot r of lane l at [r * L + l].
   const auto nregs = static_cast<std::size_t>(p0.num_regs);
   std::vector<double> reals(nregs * static_cast<std::size_t>(L), 0.0);
+  std::vector<double> shadow_reals(
+      any_errors ? nregs * static_cast<std::size_t>(L) : 0, 0.0);
   std::vector<std::int64_t> vints(nregs * static_cast<std::size_t>(L), 0);
   std::vector<std::uint8_t> vbools(nregs * static_cast<std::size_t>(L), 0);
   const std::vector<std::uint8_t> varying = compute_varying(p0);
@@ -231,6 +265,51 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
                               static_cast<std::size_t>(l)]
                       : a.imm;
   };
+  // Shadow operand fetch / register write: raw values, never converted.
+  const auto fetch_shadow = [&](const RealArg& a, std::int32_t l) {
+    return a.reg >= 0 ? shadow_reals[static_cast<std::size_t>(a.reg) *
+                                         static_cast<std::size_t>(L) +
+                                     static_cast<std::size_t>(l)]
+                      : a.shadow_imm;
+  };
+  const auto set_shadow = [&](std::int32_t r, std::int32_t l, double s) {
+    shadow_reals[static_cast<std::size_t>(r) * static_cast<std::size_t>(L) +
+                 static_cast<std::size_t>(l)] = s;
+  };
+  // Same deviation accounting as the scalar VM's record() — step counts,
+  // spike placement, and cell contents are bit-identical per lane.
+  const auto record = [&](std::int32_t l, ErrorCell& cell, double q, double s,
+                          std::int32_t at_pc, std::int32_t at_src, long step) {
+    ErrorProfile& ep = *lanes[static_cast<std::size_t>(l)].errors;
+    double abs_err = std::fabs(q - s);
+    if (std::isnan(abs_err)) abs_err = std::numeric_limits<double>::infinity();
+    double rel_err;
+    if (std::fabs(s) > 0.0)
+      rel_err = abs_err / std::fabs(s);
+    else
+      rel_err = abs_err > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    const bool spike = rel_err > ep.spike_rel_threshold &&
+                       cell.max_rel <= ep.spike_rel_threshold;
+    cell.observe(abs_err, rel_err);
+    if (spike) {
+      if (ep.first_spike_step < 0) {
+        ep.first_spike_step = step;
+        ep.first_spike_pc = at_pc;
+        ep.first_spike_src = at_src;
+        ep.first_spike_rel = rel_err;
+      }
+      obs::instant("vm.error_spike", "vm",
+                   obs::Args()
+                       .str("function", p0.function_name)
+                       .num("lane", l)
+                       .num("pc", at_pc)
+                       .num("src", at_src)
+                       .num("rel", rel_err)
+                       .num("step", step)
+                       .done());
+    }
+  };
+
   // Integer/boolean reads route to the group's uniform copy or the
   // per-lane slot depending on the taint analysis.
   const auto geti = [&](const IntArg& a, const Group& g, std::int32_t l) {
@@ -284,7 +363,7 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
   // packed: their ops are dominated by the software decode/encode, not the
   // add itself (see docs/INTERP.md).
   std::vector<const numrep::FixedSpec*> swar_spec;
-  if (options.swar && L > 1) {
+  if (options.swar && L > 1 && !any_errors) {
     swar_spec.assign(p0.code.size() * static_cast<std::size_t>(L), nullptr);
     for (std::size_t pc = 0; pc < p0.code.size(); ++pc) {
       const BInst& b0 = p0.code[pc];
@@ -327,6 +406,19 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
           if (c[i] > 0) r.counters.ops[p.counter_keys[i]] = c[i];
         r.counters.non_real_ops = g.non_real;
       }
+      if (ErrorProfile* const ep = lanes[static_cast<std::size_t>(l)].errors) {
+        std::vector<const std::vector<double>*> qp, sp;
+        qp.reserve(p0.arrays.size());
+        sp.reserve(p0.arrays.size());
+        for (std::size_t ai = 0; ai < p0.arrays.size(); ++ai) {
+          const std::size_t slot =
+              ai * static_cast<std::size_t>(L) + static_cast<std::size_t>(l);
+          qp.push_back(buffers[slot]);
+          sp.push_back(&shadow_buffers[slot]);
+        }
+        finalize_error_profile(*ep, *progs[static_cast<std::size_t>(l)], qp,
+                               sp);
+      }
       r.array_ranges = std::move(array_ranges[static_cast<std::size_t>(l)]);
       r.register_ranges =
           std::move(register_ranges[static_cast<std::size_t>(l)]);
@@ -338,6 +430,8 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
   for (const EdgeMoves& e : p0.edges)
     max_moves = std::max(max_moves, static_cast<std::size_t>(e.count));
   std::vector<double> scratch_real(max_moves * static_cast<std::size_t>(L));
+  std::vector<double> scratch_shadow(
+      any_errors ? max_moves * static_cast<std::size_t>(L) : 0);
   std::vector<std::int64_t> scratch_int(max_moves *
                                         static_cast<std::size_t>(L));
   std::vector<std::int64_t> scratch_uint(max_moves);
@@ -365,6 +459,11 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
           scratch_real[static_cast<std::size_t>(i) *
                            static_cast<std::size_t>(L) +
                        static_cast<std::size_t>(l)] = fetch_real(ml.rsrc, l);
+          if (any_errors)
+            scratch_shadow[static_cast<std::size_t>(i) *
+                               static_cast<std::size_t>(L) +
+                           static_cast<std::size_t>(l)] =
+                fetch_shadow(ml.rsrc, l);
         }
       } else if (varying[static_cast<std::size_t>(m0.dst)]) {
         for (const std::int32_t l : g.lanes)
@@ -386,6 +485,16 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
                                         static_cast<std::size_t>(l)];
           reals[dst * static_cast<std::size_t>(L) +
                 static_cast<std::size_t>(l)] = v;
+          if (any_errors) {
+            const double s = scratch_shadow[static_cast<std::size_t>(i) *
+                                                static_cast<std::size_t>(L) +
+                                            static_cast<std::size_t>(l)];
+            set_shadow(m0.dst, l, s);
+            if (ErrorProfile* const ep =
+                    lanes[static_cast<std::size_t>(l)].errors)
+              record(l, ep->moves[static_cast<std::size_t>(e.start + i)], v,
+                     s, -1, m0.dst, g.steps);
+          }
           if (track_regs) observe_reg(l, m0.dst, v);
         }
       } else if (varying[dst]) {
@@ -529,6 +638,15 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
           reals[static_cast<std::size_t>(bl.dst) *
                     static_cast<std::size_t>(L) +
                 static_cast<std::size_t>(l)] = r;
+          if (any_errors) {
+            const double s = shadow_op2(bl.op, fetch_shadow(bl.a, l),
+                                        fetch_shadow(bl.b, l));
+            set_shadow(bl.dst, l, s);
+            if (ErrorProfile* const ep =
+                    lanes[static_cast<std::size_t>(l)].errors)
+              record(l, ep->instr[static_cast<std::size_t>(pc)], r, s, pc,
+                     bl.src, g.steps);
+          }
           ++counts[static_cast<std::size_t>(l)]
                   [static_cast<std::size_t>(bl.op_counter)];
           if (track_regs) observe_reg(l, bl.dst, r);
@@ -579,6 +697,14 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
           reals[static_cast<std::size_t>(bl.dst) *
                     static_cast<std::size_t>(L) +
                 static_cast<std::size_t>(l)] = r;
+          if (any_errors) {
+            const double s = shadow_op1(bl.op, fetch_shadow(bl.a, l));
+            set_shadow(bl.dst, l, s);
+            if (ErrorProfile* const ep =
+                    lanes[static_cast<std::size_t>(l)].errors)
+              record(l, ep->instr[static_cast<std::size_t>(pc)], r, s, pc,
+                     bl.src, g.steps);
+          }
           ++counts[static_cast<std::size_t>(l)]
                   [static_cast<std::size_t>(bl.op_counter)];
           if (track_regs) observe_reg(l, bl.dst, r);
@@ -594,6 +720,16 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
           reals[static_cast<std::size_t>(bl.dst) *
                     static_cast<std::size_t>(L) +
                 static_cast<std::size_t>(l)] = r;
+          if (any_errors) {
+            // Casts are exact in the shadow world: the binary64 value
+            // passes through unconverted (same as the scalar VM).
+            const double s = fetch_shadow(bl.a, l);
+            set_shadow(bl.dst, l, s);
+            if (ErrorProfile* const ep =
+                    lanes[static_cast<std::size_t>(l)].errors)
+              record(l, ep->instr[static_cast<std::size_t>(pc)], r, s, pc,
+                     bl.src, g.steps);
+          }
           if (track_regs) observe_reg(l, bl.dst, r);
         }
         ++pc;
@@ -603,12 +739,21 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
         for (const std::int32_t l : g.lanes) {
           const CompiledProgram& p = *progs[static_cast<std::size_t>(l)];
           const BInst& bl = p.code[static_cast<std::size_t>(pc)];
+          const std::int64_t iv = geti(bi.ia, g, l);
           const double r =
               bl.a.conv(p.specs[static_cast<std::size_t>(bl.a.spec)],
-                        static_cast<double>(geti(bi.ia, g, l)));
+                        static_cast<double>(iv));
           reals[static_cast<std::size_t>(bl.dst) *
                     static_cast<std::size_t>(L) +
                 static_cast<std::size_t>(l)] = r;
+          if (any_errors) {
+            const double s = static_cast<double>(iv);
+            set_shadow(bl.dst, l, s);
+            if (ErrorProfile* const ep =
+                    lanes[static_cast<std::size_t>(l)].errors)
+              record(l, ep->instr[static_cast<std::size_t>(pc)], r, s, pc,
+                     bl.src, g.steps);
+          }
           ++counts[static_cast<std::size_t>(l)]
                   [static_cast<std::size_t>(bl.op_counter)];
           if (track_regs) observe_reg(l, bl.dst, r);
@@ -635,6 +780,16 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
           reals[static_cast<std::size_t>(bl.dst) *
                     static_cast<std::size_t>(L) +
                 static_cast<std::size_t>(l)] = v;
+          if (any_errors) {
+            const double s = shadow_buffers[static_cast<std::size_t>(bi.array) *
+                                                static_cast<std::size_t>(L) +
+                                            static_cast<std::size_t>(l)][fi];
+            set_shadow(bl.dst, l, s);
+            if (ErrorProfile* const ep =
+                    lanes[static_cast<std::size_t>(l)].errors)
+              record(l, ep->instr[static_cast<std::size_t>(pc)], v, s, pc,
+                     bl.src, g.steps);
+          }
           if (track_regs) observe_reg(l, bl.dst, v);
         }
         ++g.non_real;
@@ -653,6 +808,16 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
           (*buffers[static_cast<std::size_t>(bi.array) *
                         static_cast<std::size_t>(L) +
                     static_cast<std::size_t>(l)])[fi] = v;
+          if (any_errors) {
+            const double s = fetch_shadow(bl.a, l);
+            shadow_buffers[static_cast<std::size_t>(bi.array) *
+                               static_cast<std::size_t>(L) +
+                           static_cast<std::size_t>(l)][fi] = s;
+            if (ErrorProfile* const ep =
+                    lanes[static_cast<std::size_t>(l)].errors)
+              record(l, ep->instr[static_cast<std::size_t>(pc)], v, s, pc,
+                     bl.src, g.steps);
+          }
           if (track_arrays)
             observe_array(
                 l, p0.arrays[static_cast<std::size_t>(bi.array)].name, v);
@@ -711,10 +876,25 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
         for (const std::int32_t l : g.lanes) {
           const BInst& bl = progs[static_cast<std::size_t>(l)]
                                 ->code[static_cast<std::size_t>(pc)];
+          const bool c =
+              compare(bl.pred, fetch_real(bl.a, l), fetch_real(bl.b, l));
           vbools[dst * static_cast<std::size_t>(L) +
-                 static_cast<std::size_t>(l)] =
-              compare(bl.pred, fetch_real(bl.a, l), fetch_real(bl.b, l)) ? 1
-                                                                         : 0;
+                 static_cast<std::size_t>(l)] = c ? 1 : 0;
+          if (any_errors) {
+            if (ErrorProfile* const ep =
+                    lanes[static_cast<std::size_t>(l)].errors) {
+              // Control stays lockstep on the quantized outcome; a
+              // disagreement with the shadow values means an independent
+              // binary64 run could take a different path from here on.
+              const bool sc = compare(bl.pred, fetch_shadow(bl.a, l),
+                                      fetch_shadow(bl.b, l));
+              if (sc != c) {
+                if (ep->control_divergences == 0)
+                  ep->first_control_divergence_step = g.steps;
+                ++ep->control_divergences;
+              }
+            }
+          }
         }
         ++g.non_real;
         ++pc;
@@ -733,6 +913,15 @@ run_batch_programs(std::span<const BatchLane> lanes, const ir::Function& f,
           reals[static_cast<std::size_t>(bl.dst) *
                     static_cast<std::size_t>(L) +
                 static_cast<std::size_t>(l)] = v;
+          if (any_errors) {
+            // The shadow takes the side the quantized condition chose.
+            const double s = fetch_shadow(c ? bl.a : bl.b, l);
+            set_shadow(bl.dst, l, s);
+            if (ErrorProfile* const ep =
+                    lanes[static_cast<std::size_t>(l)].errors)
+              record(l, ep->instr[static_cast<std::size_t>(pc)], v, s, pc,
+                     bl.src, g.steps);
+          }
           if (track_regs) observe_reg(l, bl.dst, v);
         }
         ++g.non_real;

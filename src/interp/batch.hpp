@@ -41,21 +41,25 @@ namespace luis::interp {
 
 /// One execution lane: a program from a compile_programs() batch plus the
 /// lane's private array store (seeded with inputs, receives outputs) and
-/// an optional per-lane profile (same layout as RunOptions::vm_profile).
+/// optional per-lane instrumentation (same layouts as
+/// RunOptions::vm_profile / ::error_profile).
 struct BatchLane {
   const CompiledProgram* program = nullptr;
   ArrayStore* store = nullptr;
   VmProfile* profile = nullptr;
+  ErrorProfile* errors = nullptr;
 };
 
 struct BatchRunOptions {
   /// Scalar run options applied to every lane (max_steps, count_costs,
-  /// range tracking, ...). RunOptions::vm_profile is ignored — use
-  /// BatchLane::profile for per-lane attribution.
+  /// range tracking, ...). RunOptions::vm_profile and ::error_profile are
+  /// ignored — use BatchLane::profile / ::errors for per-lane attribution.
   RunOptions run;
   /// Pack eligible <=16-bit fixed-point additive lanes into 64-bit SWAR
   /// words. Bit-identical either way; off is useful for differential
-  /// testing of the packing itself.
+  /// testing of the packing itself. Shadow execution (any lane with an
+  /// ErrorProfile) disables packing for the whole batch — the packed path
+  /// computes no shadow values, and packing is bit-identical anyway.
   bool swar = true;
 };
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <utility>
 
 #include "ir/printer.hpp"
 #include "numrep/quantize.hpp"
+#include "obs/trace.hpp"
 #include "support/diag.hpp"
+#include "support/statistics.hpp"
 #include "support/string_utils.hpp"
 
 namespace luis::interp {
@@ -192,6 +195,7 @@ private:
     if (v->is_constant()) {
       const double raw = const_real_value(v);
       a.imm = align ? numrep::quantize(target, raw) : raw;
+      a.shadow_imm = raw;
       return a;
     }
     a.reg = reg(v);
@@ -266,6 +270,7 @@ private:
             const ConcreteType to_ty = L.types->of(phi);
             if (in->is_constant()) {
               m.rsrc.imm = numrep::quantize(to_ty, const_real_value(in));
+              m.rsrc.shadow_imm = const_real_value(in);
             } else {
               m.rsrc.reg = reg(in);
               const ConcreteType& from_ty = L.types->of(in);
@@ -527,6 +532,52 @@ compile_programs(const ir::Function& f,
   return Compiler(f, lanes, options).compile();
 }
 
+void finalize_error_profile(
+    ErrorProfile& ep, const CompiledProgram& p,
+    std::span<const std::vector<double>* const> quantized,
+    std::span<const std::vector<double>* const> shadow) {
+  LUIS_ASSERT(quantized.size() == p.arrays.size() &&
+                  shadow.size() == p.arrays.size(),
+              "error-profile finalization needs one buffer pair per array");
+  std::vector<std::uint8_t> is_stored(p.arrays.size(), 0);
+  for (const BInst& bi : p.code)
+    if (bi.kind == BInst::Kind::Store && bi.array >= 0)
+      is_stored[static_cast<std::size_t>(bi.array)] = 1;
+
+  // Whole-program MPE: the stored-to arrays concatenated in binding order,
+  // shadow as the reference — the same mean_percentage_error definition
+  // the sweep driver applies to its binary64 baseline.
+  std::vector<double> all_q, all_s;
+  for (std::size_t ai = 0; ai < p.arrays.size(); ++ai) {
+    const std::vector<double>& q = *quantized[ai];
+    const std::vector<double>& s = *shadow[ai];
+    ArrayErrorStats st;
+    st.name = p.arrays[ai].name;
+    st.stored = is_stored[ai] != 0;
+    st.elements = static_cast<long>(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (!std::isfinite(q[i]) || !std::isfinite(s[i])) st.finite = false;
+      double abs_err = std::fabs(q[i] - s[i]);
+      if (std::isnan(abs_err))
+        abs_err = std::numeric_limits<double>::infinity();
+      st.max_abs = std::max(st.max_abs, abs_err);
+      if (std::fabs(s[i]) > 0.0)
+        st.max_rel = std::max(st.max_rel, abs_err / std::fabs(s[i]));
+      else if (abs_err > 0.0)
+        st.max_rel = std::numeric_limits<double>::infinity();
+    }
+    st.mpe = mean_percentage_error(s, q);
+    if (st.stored) {
+      all_q.insert(all_q.end(), q.begin(), q.end());
+      all_s.insert(all_s.end(), s.begin(), s.end());
+    }
+    ep.shadow_arrays[st.name] = s;
+    ep.arrays.push_back(std::move(st));
+  }
+  ep.program_mpe = mean_percentage_error(all_s, all_q);
+  ep.finalized = true;
+}
+
 RunResult run_program(const CompiledProgram& p, const ir::Function& f,
                       ArrayStore& store, const RunOptions& opt) {
   RunResult result;
@@ -548,12 +599,39 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
     }
   };
 
-  // Bind array buffers by name and quantize their initial contents.
+  // Shadow execution (RunOptions::error_profile): a lockstep binary64
+  // value per real register and array slot, following the quantized run's
+  // control flow. Everything below is gated on `ep` so shadow-off runs
+  // stay bit-identical (and nearly free).
+  ErrorProfile* const ep = opt.error_profile;
+  std::vector<double> shadow;
+  std::vector<std::vector<double>> shadow_bufs;
+  if (ep) {
+    ep->instr.assign(p.code.size(), ErrorCell{});
+    ep->moves.assign(p.moves.size(), ErrorCell{});
+    ep->first_spike_step = -1;
+    ep->first_spike_pc = -1;
+    ep->first_spike_src = -1;
+    ep->first_spike_rel = 0.0;
+    ep->control_divergences = 0;
+    ep->first_control_divergence_step = -1;
+    ep->arrays.clear();
+    ep->program_mpe = 0.0;
+    ep->finalized = false;
+    ep->shadow_arrays.clear();
+    shadow.assign(static_cast<std::size_t>(p.num_regs), 0.0);
+    shadow_bufs.reserve(p.arrays.size());
+  }
+
+  // Bind array buffers by name and quantize their initial contents. The
+  // shadow buffers capture the raw (pre-quantization) contents — the
+  // shadow world never quantizes, including at initialization.
   std::vector<std::vector<double>*> buffers;
   buffers.reserve(p.arrays.size());
   for (const ArrayBinding& ab : p.arrays) {
     auto& buf = store[ab.name];
     buf.resize(static_cast<std::size_t>(ab.element_count), 0.0);
+    if (ep) shadow_bufs.push_back(buf);
     const numrep::QuantSpec& spec = p.specs[static_cast<std::size_t>(ab.spec)];
     for (double& v : buf) {
       v = ab.init_conv(spec, v);
@@ -611,6 +689,41 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
   const auto fetch_int = [&](const IntArg& a) {
     return a.reg >= 0 ? regs[static_cast<std::size_t>(a.reg)].integer : a.imm;
   };
+  // Shadow operand fetch: raw register or raw constant, never converted.
+  const auto fetch_shadow = [&](const RealArg& a) {
+    return a.reg >= 0 ? shadow[static_cast<std::size_t>(a.reg)] : a.shadow_imm;
+  };
+  // Records the deviation of one quantized real write against its shadow
+  // value. `pc` is -1 for phi moves (they have no program counter; their
+  // spikes carry the move's destination register instead).
+  const auto record = [&](ErrorCell& cell, double q, double s,
+                          std::int32_t at_pc, std::int32_t at_src) {
+    double abs_err = std::fabs(q - s);
+    if (std::isnan(abs_err)) abs_err = std::numeric_limits<double>::infinity();
+    double rel_err;
+    if (std::fabs(s) > 0.0)
+      rel_err = abs_err / std::fabs(s);
+    else
+      rel_err = abs_err > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    const bool spike = rel_err > ep->spike_rel_threshold &&
+                       cell.max_rel <= ep->spike_rel_threshold;
+    cell.observe(abs_err, rel_err);
+    if (spike) {
+      if (ep->first_spike_step < 0) {
+        ep->first_spike_step = result.steps;
+        ep->first_spike_pc = at_pc;
+        ep->first_spike_src = at_src;
+        ep->first_spike_rel = rel_err;
+      }
+      obs::instant("vm.error_spike", "vm", obs::Args()
+                                               .str("function", p.function_name)
+                                               .num("pc", at_pc)
+                                               .num("src", at_src)
+                                               .num("rel", rel_err)
+                                               .num("step", result.steps)
+                                               .done());
+    }
+  };
   const auto flat_index = [&](const BInst& bi) {
     const ArrayBinding& ab = p.arrays[static_cast<std::size_t>(bi.array)];
     std::size_t flat = 0;
@@ -631,6 +744,7 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
   for (const EdgeMoves& e : p.edges)
     max_moves = std::max(max_moves, static_cast<std::size_t>(e.count));
   std::vector<Reg> scratch(max_moves);
+  std::vector<double> shadow_scratch(ep ? max_moves : 0);
 
   // Returns false when the edge traps (sets result.error).
   const auto apply_edge = [&](std::int32_t id) {
@@ -642,16 +756,26 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
     if (prof) ++prof->edge_applications[static_cast<std::size_t>(id)];
     for (std::int32_t i = 0; i < e.count; ++i) {
       const PhiMove& m = p.moves[static_cast<std::size_t>(e.start + i)];
-      if (m.is_real)
+      if (m.is_real) {
         scratch[static_cast<std::size_t>(i)].real = fetch_real(m.rsrc);
-      else
+        if (ep)
+          shadow_scratch[static_cast<std::size_t>(i)] = fetch_shadow(m.rsrc);
+      } else {
         scratch[static_cast<std::size_t>(i)].integer = fetch_int(m.isrc);
+      }
     }
     for (std::int32_t i = 0; i < e.count; ++i) {
       const PhiMove& m = p.moves[static_cast<std::size_t>(e.start + i)];
       if (m.is_real) {
         regs[static_cast<std::size_t>(m.dst)].real =
             scratch[static_cast<std::size_t>(i)].real;
+        if (ep) {
+          shadow[static_cast<std::size_t>(m.dst)] =
+              shadow_scratch[static_cast<std::size_t>(i)];
+          record(ep->moves[static_cast<std::size_t>(e.start + i)],
+                 scratch[static_cast<std::size_t>(i)].real,
+                 shadow_scratch[static_cast<std::size_t>(i)], -1, m.dst);
+        }
         if (track_regs)
           observe_reg(m.dst, scratch[static_cast<std::size_t>(i)].real);
       } else {
@@ -684,6 +808,12 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
       const double r = bi.kernel2(p.specs[static_cast<std::size_t>(bi.spec)], a, b);
       regs[static_cast<std::size_t>(bi.dst)].real = r;
       ++counts[static_cast<std::size_t>(bi.op_counter)];
+      if (ep) {
+        const double s =
+            shadow_op2(bi.op, fetch_shadow(bi.a), fetch_shadow(bi.b));
+        shadow[static_cast<std::size_t>(bi.dst)] = s;
+        record(ep->instr[static_cast<std::size_t>(pc)], r, s, pc, bi.src);
+      }
       if (track_regs) observe_reg(bi.dst, r);
       ++pc;
       break;
@@ -695,6 +825,12 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
           bi.exact(p.exact_binds[static_cast<std::size_t>(bi.exact_bind)], a, b);
       regs[static_cast<std::size_t>(bi.dst)].real = r;
       ++counts[static_cast<std::size_t>(bi.op_counter)];
+      if (ep) {
+        const double s =
+            shadow_op2(bi.op, fetch_shadow(bi.a), fetch_shadow(bi.b));
+        shadow[static_cast<std::size_t>(bi.dst)] = s;
+        record(ep->instr[static_cast<std::size_t>(pc)], r, s, pc, bi.src);
+      }
       if (track_regs) observe_reg(bi.dst, r);
       ++pc;
       break;
@@ -704,6 +840,11 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
       const double r = bi.kernel1(p.specs[static_cast<std::size_t>(bi.spec)], a);
       regs[static_cast<std::size_t>(bi.dst)].real = r;
       ++counts[static_cast<std::size_t>(bi.op_counter)];
+      if (ep) {
+        const double s = shadow_op1(bi.op, fetch_shadow(bi.a));
+        shadow[static_cast<std::size_t>(bi.dst)] = s;
+        record(ep->instr[static_cast<std::size_t>(pc)], r, s, pc, bi.src);
+      }
       if (track_regs) observe_reg(bi.dst, r);
       ++pc;
       break;
@@ -711,33 +852,57 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
     case BInst::Kind::CastReal: {
       const double r = fetch_real(bi.a);
       regs[static_cast<std::size_t>(bi.dst)].real = r;
+      if (ep) {
+        // Representation change only: the shadow value passes through.
+        const double s = fetch_shadow(bi.a);
+        shadow[static_cast<std::size_t>(bi.dst)] = s;
+        record(ep->instr[static_cast<std::size_t>(pc)], r, s, pc, bi.src);
+      }
       if (track_regs) observe_reg(bi.dst, r);
       ++pc;
       break;
     }
     case BInst::Kind::IntToReal: {
+      const std::int64_t iv = fetch_int(bi.ia);
       const double r = bi.a.conv(p.specs[static_cast<std::size_t>(bi.a.spec)],
-                                 static_cast<double>(fetch_int(bi.ia)));
+                                 static_cast<double>(iv));
       regs[static_cast<std::size_t>(bi.dst)].real = r;
       ++counts[static_cast<std::size_t>(bi.op_counter)];
+      if (ep) {
+        const double s = static_cast<double>(iv);
+        shadow[static_cast<std::size_t>(bi.dst)] = s;
+        record(ep->instr[static_cast<std::size_t>(pc)], r, s, pc, bi.src);
+      }
       if (track_regs) observe_reg(bi.dst, r);
       ++pc;
       break;
     }
     case BInst::Kind::Load: {
-      double v = (*buffers[static_cast<std::size_t>(bi.array)])[flat_index(bi)];
+      const std::size_t ix = flat_index(bi);
+      double v = (*buffers[static_cast<std::size_t>(bi.array)])[ix];
       if (bi.a.cast_counter >= 0)
         ++counts[static_cast<std::size_t>(bi.a.cast_counter)];
       if (bi.a.conv) v = bi.a.conv(p.specs[static_cast<std::size_t>(bi.a.spec)], v);
       regs[static_cast<std::size_t>(bi.dst)].real = v;
       ++non_real;
+      if (ep) {
+        const double s = shadow_bufs[static_cast<std::size_t>(bi.array)][ix];
+        shadow[static_cast<std::size_t>(bi.dst)] = s;
+        record(ep->instr[static_cast<std::size_t>(pc)], v, s, pc, bi.src);
+      }
       if (track_regs) observe_reg(bi.dst, v);
       ++pc;
       break;
     }
     case BInst::Kind::Store: {
+      const std::size_t ix = flat_index(bi);
       const double v = fetch_real(bi.a);
-      (*buffers[static_cast<std::size_t>(bi.array)])[flat_index(bi)] = v;
+      (*buffers[static_cast<std::size_t>(bi.array)])[ix] = v;
+      if (ep) {
+        const double s = fetch_shadow(bi.a);
+        shadow_bufs[static_cast<std::size_t>(bi.array)][ix] = s;
+        record(ep->instr[static_cast<std::size_t>(pc)], v, s, pc, bi.src);
+      }
       if (track_arrays)
         observe_array(p.arrays[static_cast<std::size_t>(bi.array)].name, v);
       ++non_real;
@@ -769,18 +934,37 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
       ++non_real;
       ++pc;
       break;
-    case BInst::Kind::RealCmp:
-      regs[static_cast<std::size_t>(bi.dst)].boolean =
-          compare(bi.pred, fetch_real(bi.a), fetch_real(bi.b));
+    case BInst::Kind::RealCmp: {
+      const bool c = compare(bi.pred, fetch_real(bi.a), fetch_real(bi.b));
+      regs[static_cast<std::size_t>(bi.dst)].boolean = c;
+      if (ep) {
+        // Control stays lockstep on the quantized outcome; a disagreement
+        // with the shadow values means an independent binary64 run could
+        // take a different path from here on.
+        const bool sc =
+            compare(bi.pred, fetch_shadow(bi.a), fetch_shadow(bi.b));
+        if (sc != c) {
+          if (ep->control_divergences == 0)
+            ep->first_control_divergence_step = result.steps;
+          ++ep->control_divergences;
+        }
+      }
       ++non_real;
       ++pc;
       break;
+    }
     case BInst::Kind::SelectReal: {
       const bool c = regs[static_cast<std::size_t>(bi.cond)].boolean;
       if (prof && c) ++prof->select_real_first[static_cast<std::size_t>(pc)];
       const double v = fetch_real(c ? bi.a : bi.b);
       regs[static_cast<std::size_t>(bi.dst)].real = v;
       ++non_real;
+      if (ep) {
+        // The shadow takes the side the quantized condition chose.
+        const double s = fetch_shadow(c ? bi.a : bi.b);
+        shadow[static_cast<std::size_t>(bi.dst)] = s;
+        record(ep->instr[static_cast<std::size_t>(pc)], v, s, pc, bi.src);
+      }
       if (track_regs) observe_reg(bi.dst, v);
       ++pc;
       break;
@@ -811,6 +995,14 @@ RunResult run_program(const CompiledProgram& p, const ir::Function& f,
         for (std::size_t i = 0; i < counts.size(); ++i)
           if (counts[i] > 0) result.counters.ops[p.counter_keys[i]] = counts[i];
         result.counters.non_real_ops = non_real;
+      }
+      if (ep) {
+        std::vector<const std::vector<double>*> qp(buffers.begin(),
+                                                   buffers.end());
+        std::vector<const std::vector<double>*> sp;
+        sp.reserve(shadow_bufs.size());
+        for (const auto& b : shadow_bufs) sp.push_back(&b);
+        finalize_error_profile(*ep, p, qp, sp);
       }
       result.array_ranges = std::move(array_ranges);
       result.register_ranges = std::move(register_ranges);

@@ -48,6 +48,7 @@ struct RealArg {
   std::int32_t cast_counter = -1; ///< counter slot billed on fetch; -1 = none
   numrep::QuantFn conv = nullptr; ///< alignment conversion; null = raw
   double imm = 0.0;               ///< immediate (quantized per align rules)
+  double shadow_imm = 0.0;        ///< raw source constant (shadow execution)
 };
 
 struct IntArg {
@@ -177,6 +178,15 @@ compile_programs(const ir::Function& f,
 /// RunOptions::track_register_ranges is set.
 RunResult run_program(const CompiledProgram& program, const ir::Function& f,
                       ArrayStore& store, const RunOptions& options = {});
+
+/// Fills an ErrorProfile's per-array stats, whole-program MPE, and shadow
+/// array snapshots from the final buffer contents of a successful run.
+/// `quantized` and `shadow` hold one buffer per ArrayBinding, in binding
+/// order. Shared by the scalar and batched executors; exposed so the fuzz
+/// oracle can recompute the same reduction independently.
+void finalize_error_profile(ErrorProfile& ep, const CompiledProgram& program,
+                            std::span<const std::vector<double>* const> quantized,
+                            std::span<const std::vector<double>* const> shadow);
 
 /// Human-readable listing of the program (opcodes via ir::opcode_name).
 std::string disassemble(const CompiledProgram& program);

@@ -79,6 +79,7 @@ ExecutionEngine::run_batch(const ir::Function& f,
   for (const BatchRequest& lane : lanes) {
     RunOptions ro = options.run;
     ro.vm_profile = lane.profile;
+    ro.error_profile = lane.errors;
     results.push_back(run(f, *lane.types, *lane.store, ro));
   }
   return results;
@@ -211,6 +212,7 @@ VmEngine::run_batch(const ir::Function& f, std::span<const BatchRequest> lanes,
       bl[i].program = programs[i].get();
       bl[i].store = lanes[i].store;
       bl[i].profile = lanes[i].profile;
+      bl[i].errors = lanes[i].errors;
     }
     results = run_batch_programs(bl, f, options);
   }

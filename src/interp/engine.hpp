@@ -65,6 +65,7 @@ struct BatchRequest {
   const TypeAssignment* types = nullptr;
   ArrayStore* store = nullptr;
   VmProfile* profile = nullptr;
+  ErrorProfile* errors = nullptr; ///< per-lane shadow-error profile
 };
 
 /// Abstract executor of a function under a type assignment. Engines are

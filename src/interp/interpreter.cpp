@@ -1,6 +1,8 @@
 #include "interp/interpreter.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "numrep/fixed_point.hpp"
 #include "numrep/quantize.hpp"
@@ -22,6 +24,72 @@ long CostCounters::total_real_ops() const {
 
 std::string cost_class(const ConcreteType& type) {
   return numrep::format_ops(type).cost_class(type.format);
+}
+
+int ErrorCell::bucket(double v) {
+  if (std::isnan(v)) return kBuckets - 1;
+  if (!(v > 1e-30)) return 0;
+  const double lg = std::ceil(std::log10(v));
+  if (lg > 2.0) return kBuckets - 1;
+  return static_cast<int>(lg) + 30;
+}
+
+double ErrorCell::bucket_upper_bound(int i) {
+  if (i >= kBuckets - 1)
+    return std::numeric_limits<double>::infinity();
+  return std::pow(10.0, i - 30);
+}
+
+void ErrorCell::observe(double abs_err, double rel_err) {
+  ++count;
+  sum_abs += abs_err;
+  if (abs_err > max_abs || std::isnan(abs_err))
+    max_abs = std::isnan(abs_err)
+                  ? std::numeric_limits<double>::infinity()
+                  : abs_err;
+  sum_rel += rel_err;
+  if (rel_err > max_rel || std::isnan(rel_err))
+    max_rel = std::isnan(rel_err)
+                  ? std::numeric_limits<double>::infinity()
+                  : rel_err;
+  ++hist_abs[bucket(abs_err)];
+  ++hist_rel[bucket(rel_err)];
+}
+
+void ErrorCell::merge(const ErrorCell& other) {
+  count += other.count;
+  sum_abs += other.sum_abs;
+  max_abs = std::max(max_abs, other.max_abs);
+  sum_rel += other.sum_rel;
+  max_rel = std::max(max_rel, other.max_rel);
+  for (int i = 0; i < kBuckets; ++i) {
+    hist_abs[i] += other.hist_abs[i];
+    hist_rel[i] += other.hist_rel[i];
+  }
+}
+
+double shadow_op2(Opcode op, double a, double b) {
+  switch (op) {
+  case Opcode::Add: return a + b;
+  case Opcode::Sub: return a - b;
+  case Opcode::Mul: return a * b;
+  case Opcode::Div: return a / b;
+  case Opcode::Rem: return std::fmod(a, b);
+  case Opcode::Pow: return std::pow(a, b);
+  case Opcode::Min: return std::fmin(a, b);
+  case Opcode::Max: return std::fmax(a, b);
+  default: LUIS_UNREACHABLE("not a binary real op");
+  }
+}
+
+double shadow_op1(Opcode op, double a) {
+  switch (op) {
+  case Opcode::Neg: return -a;
+  case Opcode::Abs: return std::abs(a);
+  case Opcode::Sqrt: return std::sqrt(a);
+  case Opcode::Exp: return std::exp(a);
+  default: LUIS_UNREACHABLE("not a unary real op");
+  }
 }
 
 namespace {

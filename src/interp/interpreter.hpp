@@ -78,6 +78,82 @@ struct VmProfile {
   std::vector<long> select_real_first;
 };
 
+/// Per-slot deviation accumulator of the shadow-execution error profiler.
+/// Histogram buckets are decades: bucket i (0 < i < kBuckets-1) counts
+/// errors in (10^(i-31), 10^(i-30)]; bucket 0 absorbs everything <= 1e-30
+/// (including exact zeros), the last bucket everything above 1e+2 plus
+/// non-finite deviations. Decade buckets from 1e-30 cover the full span
+/// from binary64 rounding noise to FP8/fixed saturation error — the
+/// obs::Histogram layout (4x from 1e-7) cannot resolve the small end.
+struct ErrorCell {
+  static constexpr int kBuckets = 34;
+  long count = 0;
+  double sum_abs = 0.0, max_abs = 0.0;
+  double sum_rel = 0.0, max_rel = 0.0;
+  long hist_abs[kBuckets] = {};
+  long hist_rel[kBuckets] = {};
+
+  /// Bucket index of one error magnitude (NaN maps to the top bucket).
+  static int bucket(double v);
+  /// Inclusive upper bound of bucket `i` (+inf for the last).
+  static double bucket_upper_bound(int i);
+  void observe(double abs_err, double rel_err);
+  void merge(const ErrorCell& other);
+};
+
+/// Final-contents deviation summary of one array after a shadow-mode run.
+struct ArrayErrorStats {
+  std::string name;
+  bool stored = false; ///< array was the target of at least one Store
+  long elements = 0;
+  double max_abs = 0.0; ///< max |quantized - shadow| over all elements
+  double max_rel = 0.0; ///< max relative deviation (vs the shadow value)
+  double mpe = 0.0;     ///< mean_percentage_error(shadow, quantized)
+  bool finite = true;   ///< no non-finite element in either buffer
+};
+
+/// Output of a shadow-mode run (RunOptions::error_profile): the VM carries
+/// a lockstep binary64 shadow value for every real register and array slot
+/// and records the deviation of every quantized real write here, indexed
+/// like VmProfile (per compiled pc, per phi-move ordinal). The shadow
+/// follows the *quantized* run's control flow; when control_divergences is
+/// zero, every dynamic comparison agreed between the two worlds, so the
+/// shadow outputs are bit-identical to an independent binary64 run of the
+/// same inputs (the fuzz oracle checks exactly that).
+struct ErrorProfile {
+  /// Input: relative deviation above which a write counts as a spike (one
+  /// trace instant per pc per run, plus the first_spike_* fields).
+  double spike_rel_threshold = 1e-3;
+
+  std::vector<ErrorCell> instr; ///< per compiled pc
+  std::vector<ErrorCell> moves; ///< per phi-move ordinal
+  /// First write whose relative deviation crossed the threshold. The pc
+  /// is -1 for phi moves; the src ordinal (phi: the phi's own ordinal)
+  /// always identifies the source line.
+  long first_spike_step = -1;
+  std::int32_t first_spike_pc = -1;
+  std::int32_t first_spike_src = -1;
+  double first_spike_rel = 0.0;
+  /// Dynamic comparisons (RealCmp) whose quantized outcome differed from
+  /// the outcome on the shadow values, and the step of the first one.
+  long control_divergences = 0;
+  long first_control_divergence_step = -1;
+  /// Filled at Ret from the final buffer contents (empty if the run
+  /// trapped first; `finalized` distinguishes the two).
+  std::vector<ArrayErrorStats> arrays;
+  /// MPE of the concatenated stored-to arrays, quantized vs shadow — the
+  /// in-engine whole-program MPE (same definition the sweep driver uses).
+  double program_mpe = 0.0;
+  bool finalized = false;
+  /// Final binary64 shadow contents of every array, for reconciliation.
+  std::map<std::string, std::vector<double>> shadow_arrays;
+};
+
+/// The binary64 shadow operations: the same libm entry points the numrep
+/// kernels fuse with their rounding step, minus the rounding step.
+double shadow_op2(ir::Opcode op, double a, double b);
+double shadow_op1(ir::Opcode op, double a);
+
 struct RunOptions {
   long max_steps = 500'000'000;
   bool count_costs = true;
@@ -93,6 +169,11 @@ struct RunOptions {
   /// vectors are sized and zeroed by run_program). Ignored by the
   /// reference engine.
   VmProfile* vm_profile = nullptr;
+  /// When set, the VM engine runs a lockstep binary64 shadow and records
+  /// per-pc deviation accumulators here (sized and zeroed by run_program).
+  /// Quantized results are bit-identical with or without the shadow.
+  /// Ignored by the reference engine.
+  ErrorProfile* error_profile = nullptr;
 };
 
 /// Executes `f` under `types`. `store` provides the initial contents of

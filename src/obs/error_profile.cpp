@@ -1,0 +1,223 @@
+#include "obs/error_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/build_info.hpp"
+#include "obs/profile.hpp"
+#include "support/diag.hpp"
+#include "support/json.hpp"
+#include "support/string_utils.hpp"
+
+namespace luis::obs {
+
+namespace {
+
+/// Smallest decade-bucket upper bound covering fraction `q` of the
+/// histogram's observations (the histogram's resolution: one decade).
+double hist_percentile(const long (&hist)[interp::ErrorCell::kBuckets],
+                       long count, double q) {
+  if (count <= 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  long cum = 0;
+  for (int i = 0; i < interp::ErrorCell::kBuckets; ++i) {
+    cum += hist[i];
+    if (static_cast<double>(cum) >= target)
+      return interp::ErrorCell::bucket_upper_bound(i);
+  }
+  return interp::ErrorCell::bucket_upper_bound(interp::ErrorCell::kBuckets -
+                                               1);
+}
+
+} // namespace
+
+ErrorReport build_error_report(const interp::CompiledProgram& p,
+                               const ir::Function& f,
+                               const interp::ErrorProfile& profile) {
+  LUIS_ASSERT(profile.instr.size() == p.code.size(),
+              "error profile does not match the compiled program");
+  LUIS_ASSERT(profile.moves.size() == p.moves.size(),
+              "error profile does not match the compiled program moves");
+
+  ErrorReport rep;
+  rep.function_name = p.function_name;
+  rep.program_mpe = profile.program_mpe;
+  rep.control_divergences = profile.control_divergences;
+  rep.first_control_divergence_step = profile.first_control_divergence_step;
+  rep.spike_rel_threshold = profile.spike_rel_threshold;
+  rep.first_spike_step = profile.first_spike_step;
+  rep.first_spike_ordinal = profile.first_spike_src;
+  rep.first_spike_rel = profile.first_spike_rel;
+  rep.arrays = profile.arrays;
+
+  // Merge cells by source ordinal; one extra slot for synthetic code.
+  const std::size_t n_ord = p.source_instruction_count;
+  std::vector<interp::ErrorCell> merged(n_ord + 1);
+  const auto slot = [&](std::int32_t src) {
+    return src >= 0 ? static_cast<std::size_t>(src) : n_ord;
+  };
+  for (std::size_t pc = 0; pc < p.code.size(); ++pc)
+    if (profile.instr[pc].count > 0)
+      merged[slot(p.code[pc].src)].merge(profile.instr[pc]);
+  // Phi-move deviations belong to the phi instruction (PhiMove::dst is
+  // the phi's ordinal) — same attribution rule as the hot-spot report.
+  for (std::size_t i = 0; i < p.moves.size(); ++i)
+    if (profile.moves[i].count > 0)
+      merged[slot(p.moves[i].dst)].merge(profile.moves[i]);
+
+  const std::vector<std::string> texts = instruction_texts(f);
+  LUIS_ASSERT(texts.size() == n_ord,
+              "printed instruction count does not match the program");
+  for (std::size_t i = 0; i <= n_ord; ++i) {
+    const interp::ErrorCell& c = merged[i];
+    if (c.count == 0) continue;
+    ErrorLine ln;
+    ln.ordinal = i < n_ord ? static_cast<int>(i) : -1;
+    ln.text = i < n_ord ? texts[i] : "<synthetic>";
+    ln.count = c.count;
+    ln.mean_abs = c.sum_abs / static_cast<double>(c.count);
+    ln.max_abs = c.max_abs;
+    ln.mean_rel = c.sum_rel / static_cast<double>(c.count);
+    ln.max_rel = c.max_rel;
+    ln.p50_rel = hist_percentile(c.hist_rel, c.count, 0.50);
+    ln.p90_rel = hist_percentile(c.hist_rel, c.count, 0.90);
+    ln.p99_rel = hist_percentile(c.hist_rel, c.count, 0.99);
+    rep.total_observations += c.count;
+    rep.max_abs = std::max(rep.max_abs, c.max_abs);
+    rep.max_rel = std::max(rep.max_rel, c.max_rel);
+    rep.lines.push_back(std::move(ln));
+  }
+  std::sort(rep.lines.begin(), rep.lines.end(),
+            [](const ErrorLine& a, const ErrorLine& b) {
+              if (a.max_rel != b.max_rel) return a.max_rel > b.max_rel;
+              return a.ordinal < b.ordinal;
+            });
+  return rep;
+}
+
+std::string error_report_text(const ErrorReport& rep, std::size_t top) {
+  std::string out = format_string(
+      "numerical errors of @%s: program MPE %.6g%% over %ld recorded "
+      "deviations, %ld control divergence(s)\n",
+      rep.function_name.c_str(), rep.program_mpe, rep.total_observations,
+      rep.control_divergences);
+  if (rep.first_spike_step >= 0)
+    out += format_string(
+        "first spike (rel > %.3g): step %ld, line %d, rel %.6g\n",
+        rep.spike_rel_threshold, rep.first_spike_step, rep.first_spike_ordinal,
+        rep.first_spike_rel);
+  out += format_string("%5s %12s %12s %12s %10s %10s %10s  %s\n", "rank",
+                       "max_rel", "mean_rel", "max_abs", "p50", "p90", "p99",
+                       "instruction");
+  std::size_t rank = 0;
+  for (const ErrorLine& ln : rep.lines) {
+    if (top > 0 && rank >= top) {
+      out += format_string("  ... %zu more\n", rep.lines.size() - rank);
+      break;
+    }
+    out += format_string("%5zu %12.4g %12.4g %12.4g %10.3g %10.3g %10.3g  %s\n",
+                         ++rank, ln.max_rel, ln.mean_rel, ln.max_abs,
+                         ln.p50_rel, ln.p90_rel, ln.p99_rel, ln.text.c_str());
+  }
+  if (!rep.arrays.empty()) {
+    out += format_string("%-12s %8s %10s %12s %12s %12s\n", "array", "stored",
+                         "elements", "max_abs", "max_rel", "mpe%");
+    for (const interp::ArrayErrorStats& a : rep.arrays)
+      out += format_string("%-12s %8s %10ld %12.4g %12.4g %12.4g%s\n",
+                           a.name.c_str(), a.stored ? "yes" : "no", a.elements,
+                           a.max_abs, a.max_rel, a.mpe,
+                           a.finite ? "" : "  [non-finite]");
+  }
+  return out;
+}
+
+std::string error_report_json(const ErrorReport& rep) {
+  JsonWriter w;
+  w.begin_object();
+  w.newline();
+  w.key("build");
+  w.raw_value(build_info_json());
+  w.newline();
+  w.key("function");
+  w.value(rep.function_name);
+  w.key("program_mpe");
+  w.value(rep.program_mpe, "%.17g");
+  w.key("total_observations");
+  w.value(rep.total_observations);
+  w.key("max_abs");
+  w.value(rep.max_abs, "%.17g");
+  w.key("max_rel");
+  w.value(rep.max_rel, "%.17g");
+  w.key("control_divergences");
+  w.value(rep.control_divergences);
+  w.key("first_control_divergence_step");
+  w.value(rep.first_control_divergence_step);
+  w.key("spike_rel_threshold");
+  w.value(rep.spike_rel_threshold, "%.17g");
+  w.key("first_spike_step");
+  w.value(rep.first_spike_step);
+  w.key("first_spike_ordinal");
+  w.value(static_cast<long>(rep.first_spike_ordinal));
+  w.key("first_spike_rel");
+  w.value(rep.first_spike_rel, "%.17g");
+  w.newline();
+  w.key("lines");
+  w.begin_array();
+  w.newline();
+  for (const ErrorLine& ln : rep.lines) {
+    w.begin_object();
+    w.key("ordinal");
+    w.value(static_cast<long>(ln.ordinal));
+    w.key("instruction");
+    w.value(ln.text);
+    w.key("count");
+    w.value(ln.count);
+    w.key("mean_abs");
+    w.value(ln.mean_abs, "%.17g");
+    w.key("max_abs");
+    w.value(ln.max_abs, "%.17g");
+    w.key("mean_rel");
+    w.value(ln.mean_rel, "%.17g");
+    w.key("max_rel");
+    w.value(ln.max_rel, "%.17g");
+    w.key("p50_rel");
+    w.value(ln.p50_rel, "%.17g");
+    w.key("p90_rel");
+    w.value(ln.p90_rel, "%.17g");
+    w.key("p99_rel");
+    w.value(ln.p99_rel, "%.17g");
+    w.end_object();
+    w.newline();
+  }
+  w.end_array();
+  w.newline();
+  w.key("arrays");
+  w.begin_array();
+  w.newline();
+  for (const interp::ArrayErrorStats& a : rep.arrays) {
+    w.begin_object();
+    w.key("name");
+    w.value(a.name);
+    w.key("stored");
+    w.value(a.stored);
+    w.key("elements");
+    w.value(a.elements);
+    w.key("max_abs");
+    w.value(a.max_abs, "%.17g");
+    w.key("max_rel");
+    w.value(a.max_rel, "%.17g");
+    w.key("mpe");
+    w.value(a.mpe, "%.17g");
+    w.key("finite");
+    w.value(a.finite);
+    w.end_object();
+    w.newline();
+  }
+  w.end_array();
+  w.newline();
+  w.end_object();
+  w.newline();
+  return w.take();
+}
+
+} // namespace luis::obs

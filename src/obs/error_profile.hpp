@@ -1,0 +1,70 @@
+// Numerical-error profiling: maps a shadow-execution error profile
+// (interp::ErrorProfile, filled by a run with RunOptions::error_profile
+// set) back to source IR instructions, producing a per-line "where does
+// the rounding error come from" report shaped like the hot-spot time
+// report — the two tables line up ordinal by ordinal.
+//
+// Attribution follows the profiler's rules exactly: every recorded
+// deviation — real instruction results and real phi moves on CFG edges —
+// belongs to exactly one source instruction ordinal (PhiMove::dst is the
+// phi's ordinal), so per-line observation counts sum to the run's total
+// and the report loses nothing. Percentiles are read off the ErrorCell
+// decade histograms and therefore resolve to bucket upper bounds (one
+// decade of precision), while max values are exact.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "interp/bytecode.hpp"
+
+namespace luis::obs {
+
+/// Aggregated deviations of one source IR line (instruction results plus
+/// phi moves writing that line's register).
+struct ErrorLine {
+  /// Source instruction ordinal (block order, phis and terminators
+  /// included); -1 collects synthetic deviations not tied to a line.
+  int ordinal = -1;
+  std::string text;    ///< the instruction as the IR printer renders it
+  long count = 0;      ///< recorded deviations (executions of the line)
+  double mean_abs = 0.0, max_abs = 0.0;
+  double mean_rel = 0.0, max_rel = 0.0;
+  /// Relative-error percentiles as decade-bucket upper bounds (exact
+  /// within one decade; +inf means the bucket collecting >1e2/non-finite).
+  double p50_rel = 0.0, p90_rel = 0.0, p99_rel = 0.0;
+};
+
+struct ErrorReport {
+  std::string function_name;
+  long total_observations = 0;
+  double max_rel = 0.0; ///< max over every recorded deviation
+  double max_abs = 0.0;
+  /// Whole-program mean percentage error of stored-to arrays against the
+  /// lockstep binary64 shadow (support::mean_percentage_error semantics).
+  double program_mpe = 0.0;
+  long control_divergences = 0;
+  long first_control_divergence_step = -1;
+  double spike_rel_threshold = 0.0;
+  long first_spike_step = -1; ///< -1: no line ever crossed the threshold
+  int first_spike_ordinal = -1;
+  double first_spike_rel = 0.0;
+  std::vector<ErrorLine> lines; ///< max_rel-descending, ties by ordinal
+  std::vector<interp::ArrayErrorStats> arrays; ///< binding order
+};
+
+/// Builds the report for one profiled run of `program` (compiled from
+/// `f`). `profile` must come from a run on the same program and have been
+/// finalized (the run reached Ret).
+ErrorReport build_error_report(const interp::CompiledProgram& program,
+                               const ir::Function& f,
+                               const interp::ErrorProfile& profile);
+
+/// Human-readable ranking. `top` limits the number of rows (0 = all).
+std::string error_report_text(const ErrorReport& report, std::size_t top = 0);
+
+/// JSON document with the build stamp, every line, and per-array stats.
+std::string error_report_json(const ErrorReport& report);
+
+} // namespace luis::obs

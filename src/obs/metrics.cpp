@@ -28,6 +28,34 @@ void Histogram::observe(double v) {
   ++data_.buckets[i];
 }
 
+double Histogram::Snapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Fractional rank in [0, count]; the covering bucket is the first whose
+  // cumulative count reaches it.
+  const double rank = q * static_cast<double>(count);
+  long before = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const long after = before + buckets[i];
+    if (static_cast<double>(after) >= rank) {
+      // Interpolate linearly inside the bucket, clamping the open edges
+      // (below the first bound, above the last) to the observed extrema.
+      double lo = i == 0 ? 0.0 : Histogram::upper_bound(i - 1);
+      double hi = Histogram::upper_bound(i);
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi <= lo) return lo;
+      const double frac =
+          (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+    before = after;
+  }
+  return max;
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return data_;
@@ -79,8 +107,10 @@ std::string MetricsRegistry::to_text() const {
   for (const auto& [name, h] : histograms_) {
     const Histogram::Snapshot s = h->snapshot();
     out += format_string(
-        "histogram %-40s count=%ld sum=%.6g mean=%.6g min=%.6g max=%.6g\n",
-        name.c_str(), s.count, s.sum, s.mean(), s.min, s.max);
+        "histogram %-40s count=%ld sum=%.6g mean=%.6g min=%.6g "
+        "p50=%.6g p90=%.6g p99=%.6g max=%.6g\n",
+        name.c_str(), s.count, s.sum, s.mean(), s.min, s.percentile(0.5),
+        s.percentile(0.9), s.percentile(0.99), s.max);
   }
   return out;
 }
@@ -123,6 +153,12 @@ std::string MetricsRegistry::to_json() const {
     w.value(s.mean(), "%.17g");
     w.key("min");
     w.value(s.min, "%.17g");
+    w.key("p50");
+    w.value(s.percentile(0.5), "%.17g");
+    w.key("p90");
+    w.value(s.percentile(0.9), "%.17g");
+    w.key("p99");
+    w.value(s.percentile(0.99), "%.17g");
     w.key("max");
     w.value(s.max, "%.17g");
     w.key("buckets");

@@ -61,6 +61,11 @@ public:
     double max = 0.0;
     long buckets[kBuckets] = {};
     double mean() const { return count > 0 ? sum / count : 0.0; }
+    /// Estimated q-quantile (q in [0, 1]) from the bucket counts:
+    /// linear interpolation across the covering bucket's range, with the
+    /// observed min/max substituted for the open bucket edges so the
+    /// estimate never leaves [min, max]. Returns 0 on an empty snapshot.
+    double percentile(double q) const;
   };
   Snapshot snapshot() const;
 

@@ -10,11 +10,6 @@
 
 namespace luis::obs {
 
-namespace {
-
-/// One text line per source instruction, in block order — the same
-/// ordinals the compiler assigns. Derived from the IR printer's output so
-/// the report shows instructions exactly as `luis` prints them.
 std::vector<std::string> instruction_texts(const ir::Function& f) {
   std::vector<std::string> out;
   const std::string printed = ir::print_function(f);
@@ -34,8 +29,6 @@ std::vector<std::string> instruction_texts(const ir::Function& f) {
   }
   return out;
 }
-
-} // namespace
 
 HotSpotReport build_hotspot_report(const interp::CompiledProgram& p,
                                    const ir::Function& f,

@@ -38,6 +38,12 @@ struct HotSpotReport {
   std::vector<HotSpot> entries; ///< cost-descending, ties by ordinal
 };
 
+/// One text line per source instruction, in block order — the same
+/// ordinals the compiler assigns. Derived from the IR printer's output so
+/// reports show instructions exactly as `luis` prints them. Shared by the
+/// hot-spot and numerical-error report builders.
+std::vector<std::string> instruction_texts(const ir::Function& f);
+
 /// Builds the report for one profiled run of `program` (compiled from
 /// `f`). `profile` must come from a run_program call on the same program.
 HotSpotReport build_hotspot_report(const interp::CompiledProgram& program,

@@ -1,5 +1,7 @@
 #include "support/json.hpp"
 
+#include <cmath>
+
 #include "support/diag.hpp"
 #include "support/string_utils.hpp"
 
@@ -101,7 +103,17 @@ void JsonWriter::value(std::size_t v) {
 
 void JsonWriter::value(double v, const char* fmt) {
   comma_for_value();
-  out_ += format_string(fmt, v);
+  // JSON has no literal for non-finite numbers; printf would emit the
+  // invalid tokens `inf`/`nan`. Encode them as the strings Python's json
+  // module uses for its (non-standard) literals, so documents stay
+  // strictly valid and the sentinel is recognizable.
+  if (std::isnan(v)) {
+    out_ += "\"NaN\"";
+  } else if (std::isinf(v)) {
+    out_ += v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
+  } else {
+    out_ += format_string(fmt, v);
+  }
 }
 
 void JsonWriter::raw_value(std::string_view json) {

@@ -43,6 +43,8 @@ public:
   void value(std::size_t v);
   /// Doubles take a printf format so reports keep their established
   /// precision conventions (%.6g timings, %.17g objectives, ...).
+  /// Non-finite values — which JSON cannot represent as numbers — are
+  /// emitted as the strings "Infinity", "-Infinity", "NaN".
   void value(double v, const char* fmt = "%.17g");
 
   /// Emits pre-rendered JSON as a value (the caller guarantees validity).

@@ -30,6 +30,15 @@ namespace luis::testing {
 /// element's measured |quantized - reference| against the summed bounds.
 /// Unbounded (infinite) certificates pass trivially — the analysis never
 /// claims anything about them. `engine` selects the executing engine.
+///
+/// Every trial additionally exercises the shadow-execution oracle: a
+/// VM run with RunOptions::error_profile attached must leave the
+/// quantized outputs bit-identical, its per-array stats and in-engine
+/// MPE must equal an external finalize_error_profile recomputation,
+/// zero recorded control divergences must make the shadow outputs
+/// bit-identical to the binary64 reference run, and the
+/// measured-vs-certified cross-check (analysis/certificate_check.hpp)
+/// must report no violation.
 CheckResult check_error_bounds_instance(
     const ir::Function& f, const interp::ArrayStore& inputs, Rng& type_rng,
     interp::EngineKind engine = interp::EngineKind::Reference);

@@ -600,6 +600,181 @@ TEST(EngineBatch, PerLaneProfilesMatchScalarVm) {
   }
 }
 
+void expect_error_cells_equal(const std::vector<ErrorCell>& want,
+                              const std::vector<ErrorCell>& got,
+                              const char* what, std::size_t lane) {
+  ASSERT_EQ(want.size(), got.size()) << what << " lane " << lane;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const ErrorCell& w = want[i];
+    const ErrorCell& g = got[i];
+    EXPECT_EQ(w.count, g.count) << what << "[" << i << "] lane " << lane;
+    EXPECT_EQ(w.sum_abs, g.sum_abs) << what << "[" << i << "] lane " << lane;
+    EXPECT_EQ(w.max_abs, g.max_abs) << what << "[" << i << "] lane " << lane;
+    EXPECT_EQ(w.sum_rel, g.sum_rel) << what << "[" << i << "] lane " << lane;
+    EXPECT_EQ(w.max_rel, g.max_rel) << what << "[" << i << "] lane " << lane;
+    for (int b = 0; b < ErrorCell::kBuckets; ++b) {
+      EXPECT_EQ(w.hist_abs[b], g.hist_abs[b])
+          << what << "[" << i << "] abs bucket " << b << " lane " << lane;
+      EXPECT_EQ(w.hist_rel[b], g.hist_rel[b])
+          << what << "[" << i << "] rel bucket " << b << " lane " << lane;
+    }
+  }
+}
+
+/// Field-by-field equality of a batch lane's shadow-error profile with
+/// the scalar VM's — down to histogram buckets and spike step numbers.
+void expect_error_profiles_equal(const ErrorProfile& want,
+                                 const ErrorProfile& got, std::size_t lane) {
+  expect_error_cells_equal(want.instr, got.instr, "instr", lane);
+  expect_error_cells_equal(want.moves, got.moves, "moves", lane);
+  EXPECT_EQ(want.first_spike_step, got.first_spike_step) << "lane " << lane;
+  EXPECT_EQ(want.first_spike_pc, got.first_spike_pc) << "lane " << lane;
+  EXPECT_EQ(want.first_spike_src, got.first_spike_src) << "lane " << lane;
+  EXPECT_EQ(want.first_spike_rel, got.first_spike_rel) << "lane " << lane;
+  EXPECT_EQ(want.control_divergences, got.control_divergences)
+      << "lane " << lane;
+  EXPECT_EQ(want.first_control_divergence_step,
+            got.first_control_divergence_step)
+      << "lane " << lane;
+  EXPECT_EQ(want.finalized, got.finalized) << "lane " << lane;
+  ASSERT_EQ(want.arrays.size(), got.arrays.size()) << "lane " << lane;
+  for (std::size_t a = 0; a < want.arrays.size(); ++a) {
+    EXPECT_EQ(want.arrays[a].name, got.arrays[a].name) << "lane " << lane;
+    EXPECT_EQ(want.arrays[a].stored, got.arrays[a].stored) << "lane " << lane;
+    EXPECT_EQ(want.arrays[a].elements, got.arrays[a].elements)
+        << "lane " << lane;
+    EXPECT_EQ(want.arrays[a].max_abs, got.arrays[a].max_abs)
+        << "lane " << lane;
+    EXPECT_EQ(want.arrays[a].max_rel, got.arrays[a].max_rel)
+        << "lane " << lane;
+    EXPECT_EQ(want.arrays[a].mpe, got.arrays[a].mpe) << "lane " << lane;
+    EXPECT_EQ(want.arrays[a].finite, got.arrays[a].finite) << "lane " << lane;
+  }
+  EXPECT_EQ(want.program_mpe, got.program_mpe) << "lane " << lane;
+  ASSERT_EQ(want.shadow_arrays.size(), got.shadow_arrays.size())
+      << "lane " << lane;
+  for (const auto& [name, buf] : want.shadow_arrays) {
+    const auto it = got.shadow_arrays.find(name);
+    ASSERT_NE(it, got.shadow_arrays.end()) << "lane " << lane << " " << name;
+    EXPECT_TRUE(buffers_bit_equal(buf, it->second))
+        << "lane " << lane << " shadow " << name;
+  }
+}
+
+TEST(EngineBatch, PerLaneErrorProfilesMatchScalarVm) {
+  // A loop-carried real phi keeps the phi-move cells busy; the fcmp/
+  // select pair gives coarse lanes room for control divergences. Every
+  // accumulator of every lane must agree with the scalar VM bit for bit.
+  ir::Module m;
+  KernelBuilder kb(m, "err_profiled");
+  Array* A = kb.array("A", {8}, 0.0, 1.0);
+  ScalarCell acc = kb.scalar("acc", -16.0, 16.0);
+  kb.set(acc, kb.real(0.0));
+  kb.for_loop("i", 0, 8, [&](IVal i) {
+    RVal x = kb.load(A, {i});
+    RVal y = kb.select(kb.fcmp(ir::CmpPred::LT, x, kb.real(0.5)),
+                       kb.add(x, kb.real(0.125)), kb.mul(x, kb.real(0.75)));
+    kb.store(y, A, {i});
+    kb.set(acc, kb.get(acc) + y);
+  });
+  kb.store(kb.get(acc), A, {kb.idx(0)});
+  ir::Function* f = kb.finish();
+  const ArrayStore inputs = synth_inputs(*f, 17);
+  const std::vector<TypeAssignment> lanes = {
+      {},
+      TypeAssignment::uniform(*f, {numrep::kFixed32, 10}),
+      TypeAssignment::uniform(*f, {numrep::kBfloat16, 0}),
+      TypeAssignment::uniform(*f, {numrep::NumericFormat::fixed(8), 4}),
+  };
+
+  const VmEngine vm;
+  std::vector<ArrayStore> stores(lanes.size(), inputs);
+  std::vector<ErrorProfile> errors(lanes.size());
+  std::vector<BatchRequest> reqs(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    reqs[i] = {&lanes[i], &stores[i], nullptr, &errors[i]};
+  const std::vector<RunResult> got = vm.run_batch(*f, reqs, {});
+  bool any_error_observed = false;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    ASSERT_TRUE(got[i].ok) << got[i].error;
+    ArrayStore scalar_store = inputs;
+    ErrorProfile want;
+    RunOptions opt;
+    opt.error_profile = &want;
+    ASSERT_TRUE(vm.run(*f, lanes[i], scalar_store, opt).ok);
+    EXPECT_TRUE(buffers_bit_equal(scalar_store.at("A"), stores[i].at("A")))
+        << "lane " << i;
+    expect_error_profiles_equal(want, errors[i], i);
+    for (const ErrorCell& c : errors[i].instr)
+      any_error_observed = any_error_observed || c.max_abs > 0.0;
+  }
+  // The coarse lanes really did deviate — the equality above is not
+  // comparing all-zero accumulators.
+  EXPECT_TRUE(any_error_observed);
+  EXPECT_GT(errors[3].program_mpe, 0.0);
+}
+
+TEST(EngineBatch, TrapRetiredLaneErrorProfileMatchesScalarVm) {
+  // The stall kernel again: the coarse fixed lane spins to the step
+  // limit and is trap-retired mid-batch. Its profile must freeze exactly
+  // where the scalar VM's does — same cell counts, not finalized, no
+  // per-array stats — while the surviving lanes finalize normally.
+  const char* text = R"(func @stall_err {
+  array @A[1] range [0.0, 4.0]
+entry:
+  br loop
+loop:
+  %0 = phi real [ 0.0, entry ], [ %1, loop ]
+  %1 = add %0, 0.001
+  %2 = fcmp lt %1, 1.0
+  condbr %2, loop, done
+done:
+  store %1, @A[0]
+  ret
+})";
+  ir::Module m;
+  const ir::ParseResult parsed = ir::parse_function(m, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const ir::Function& f = *parsed.function;
+  const std::vector<TypeAssignment> lanes = {
+      {},
+      TypeAssignment::uniform(f, {numrep::kFixed32, 6}), // 0.001 -> 0: spins
+      TypeAssignment::uniform(f, {numrep::kBinary32, 0}),
+  };
+  RunOptions opt;
+  opt.max_steps = 50'000;
+  const ArrayStore inputs = synth_inputs(f, 18);
+
+  const VmEngine vm;
+  std::vector<ArrayStore> stores(lanes.size(), inputs);
+  std::vector<ErrorProfile> errors(lanes.size());
+  std::vector<BatchRequest> reqs(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    reqs[i] = {&lanes[i], &stores[i], nullptr, &errors[i]};
+  BatchRunOptions bopt;
+  bopt.run = opt;
+  const std::vector<RunResult> got = vm.run_batch(f, reqs, bopt);
+  ASSERT_FALSE(got[1].ok);
+  EXPECT_FALSE(errors[1].finalized);
+  EXPECT_TRUE(errors[0].finalized && errors[2].finalized);
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    ArrayStore scalar_store = inputs;
+    ErrorProfile want;
+    RunOptions sopt = opt;
+    sopt.error_profile = &want;
+    const RunResult sres = vm.run(f, lanes[i], scalar_store, sopt);
+    EXPECT_EQ(sres.ok, got[i].ok) << "lane " << i;
+    EXPECT_EQ(sres.steps, got[i].steps) << "lane " << i;
+    expect_error_profiles_equal(want, errors[i], i);
+  }
+  // The spinning lane's phi-move cell saw every iteration: one move per
+  // loop-back edge, each with zero deviation (the shadow spins too).
+  ASSERT_FALSE(errors[1].moves.empty());
+  long move_count = 0;
+  for (const ErrorCell& c : errors[1].moves) move_count += c.count;
+  EXPECT_GT(move_count, 10'000);
+}
+
 TEST(EngineBatch, ReferenceEngineBatchFallsBackToScalarLoop) {
   ir::Module m;
   KernelBuilder kb(m, "fallback");

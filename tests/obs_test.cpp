@@ -300,6 +300,97 @@ TEST(Metrics, BucketBoundsGrowMonotonically) {
   EXPECT_TRUE(std::isinf(Histogram::upper_bound(Histogram::kBuckets - 1)));
 }
 
+TEST(Metrics, PercentileEdgeCases) {
+  // Empty snapshot: no samples, no estimate.
+  Histogram::Snapshot empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+  // One sample: every quantile collapses to it (the bucket edges are
+  // clamped to the observed min == max).
+  Histogram one;
+  one.observe(0.3);
+  const Histogram::Snapshot s1 = one.snapshot();
+  EXPECT_DOUBLE_EQ(s1.percentile(0.0), 0.3);
+  EXPECT_DOUBLE_EQ(s1.percentile(0.5), 0.3);
+  EXPECT_DOUBLE_EQ(s1.percentile(0.99), 0.3);
+  EXPECT_DOUBLE_EQ(s1.percentile(1.0), 0.3);
+
+  // All samples inside one bucket: the estimate interpolates inside
+  // [min, max], never escaping to the bucket's wider edges.
+  Histogram narrow;
+  narrow.observe(2e-7);
+  narrow.observe(3e-7);
+  const Histogram::Snapshot sn = narrow.snapshot();
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_GE(sn.percentile(q), 2e-7);
+    EXPECT_LE(sn.percentile(q), 3e-7);
+  }
+
+  // A sample in the last (unbounded) bucket: the +inf edge is clamped to
+  // the observed max, so the estimate stays finite.
+  Histogram top;
+  top.observe(1e30);
+  top.observe(2e30);
+  const Histogram::Snapshot st = top.snapshot();
+  EXPECT_LE(st.percentile(0.99), 2e30);
+  EXPECT_TRUE(std::isfinite(st.percentile(0.99)));
+
+  // A sample below the first upper bound: the bucket's lower edge is 0,
+  // clamped up to the observed min.
+  Histogram tiny;
+  tiny.observe(1e-9);
+  tiny.observe(1e-9);
+  const Histogram::Snapshot sy = tiny.snapshot();
+  EXPECT_GE(sy.percentile(0.5), 1e-9);
+  EXPECT_LE(sy.percentile(0.5), 1e-7);
+}
+
+TEST(Metrics, PercentileIsMonotoneAndBucketAccurate) {
+  // 100 samples: 50 around 1e-5, 40 around 1e-3, 10 around 1e-1. The
+  // decades are far enough apart that each lands in a distinct bucket.
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.observe(1e-5);
+  for (int i = 0; i < 40; ++i) h.observe(1e-3);
+  for (int i = 0; i < 10; ++i) h.observe(1e-1);
+  const Histogram::Snapshot s = h.snapshot();
+
+  // p50 must resolve within the 1e-5 sample's bucket, p90 within 1e-3's,
+  // p99 within 1e-1's (bucket = smallest upper bound >= the sample).
+  const auto bucket_of = [](double v) {
+    int i = 0;
+    while (i < Histogram::kBuckets - 1 && v > Histogram::upper_bound(i)) ++i;
+    return i;
+  };
+  const auto covers = [&](double estimate, double sample) {
+    const int b = bucket_of(sample);
+    const double lo = b == 0 ? 0.0 : Histogram::upper_bound(b - 1);
+    return estimate > lo && estimate <= Histogram::upper_bound(b);
+  };
+  EXPECT_TRUE(covers(s.percentile(0.5), 1e-5)) << s.percentile(0.5);
+  EXPECT_TRUE(covers(s.percentile(0.9), 1e-3)) << s.percentile(0.9);
+  EXPECT_TRUE(covers(s.percentile(0.99), 1e-1)) << s.percentile(0.99);
+
+  // Monotone in q, bounded by the extrema.
+  double prev = s.percentile(0.0);
+  EXPECT_DOUBLE_EQ(prev, s.min);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = s.percentile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), s.max);
+
+  // The dumps surface the summary quantiles.
+  MetricsRegistry reg;
+  reg.histogram("q.hist").observe(0.5);
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+}
+
 TEST(Metrics, InstrumentAddressesAreStable) {
   MetricsRegistry reg;
   Counter& c = reg.counter("stable");

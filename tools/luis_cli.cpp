@@ -57,6 +57,13 @@
 //   --assignment F        profile under a saved type assignment instead
 //   --top N               rows to print (default 20, 0 = all)
 //   --json FILE           also write the full report as JSON
+//   --errors              shadow-execute in binary64 alongside the
+//                         quantized run: adds the per-line numerical-
+//                         error table, the per-array deviation summary
+//                         with the in-engine whole-program MPE, and the
+//                         measured-vs-certified cross-check against the
+//                         `luis check` certificates (exits non-zero when
+//                         a measured error exceeds a certified bound)
 //
 // run/apply options:
 //   --engine vm|ref       execution engine (default vm; results are
@@ -93,6 +100,10 @@
 //   --no-taffo            skip the greedy TAFFO baseline rows
 //   --no-batch            one scalar engine run per job instead of batched
 //                         per-kernel lane execution (results identical)
+//   --errors              shadow-execute every tuned job: per-job rows
+//                         (text, JSON, metrics registry) gain the
+//                         in-engine shadow MPE, max abs/rel deviation,
+//                         and control-divergence count
 //   --engine vm|ref       execution engine for every interpretation
 //                         (default vm: compile once per (kernel,
 //                         assignment), cache the program)
@@ -169,6 +180,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/certificate_check.hpp"
 #include "analysis/error_bounds.hpp"
 #include "analysis/lint.hpp"
 #include "core/assignment_io.hpp"
@@ -183,6 +195,7 @@
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "obs/build_info.hpp"
+#include "obs/error_profile.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -1083,6 +1096,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
       opt.check_determinism = false;
     } else if (a == "--no-batch") {
       opt.batch = false;
+    } else if (a == "--errors") {
+      opt.errors = true;
     } else if (a == "--json" && has_value) {
       json_path = args[++i];
     } else if (a == "--vra-max-passes" && has_value) {
@@ -1102,18 +1117,23 @@ int cmd_sweep(const std::vector<std::string>& args) {
   }
   const core::SweepResult result = core::run_sweep(opt);
 
-  std::printf("%-14s %-9s %-10s %10s %10s %9s %6s\n", "kernel", "config",
-              "platform", "speedup%", "mpe%", "tune[ms]", "nodes");
+  std::printf("%-14s %-9s %-10s %10s %10s %9s %6s%s\n", "kernel", "config",
+              "platform", "speedup%", "mpe%", "tune[ms]", "nodes",
+              opt.errors ? "   shadow-mpe%    max-rel  div" : "");
   for (const core::SweepJobResult& job : result.jobs) {
     if (!job.ok) {
       std::printf("%-14s %-9s %-10s FAILED: %s\n", job.kernel.c_str(),
                   job.config.c_str(), job.platform.c_str(), job.error.c_str());
       continue;
     }
-    std::printf("%-14s %-9s %-10s %10.2f %10.3g %9.2f %6ld\n",
+    std::printf("%-14s %-9s %-10s %10.2f %10.3g %9.2f %6ld",
                 job.kernel.c_str(), job.config.c_str(), job.platform.c_str(),
                 job.speedup_percent, job.mpe,
                 job.timings.allocation_seconds * 1e3, job.stats.nodes);
+    if (job.errors_profiled)
+      std::printf(" %12.3g %10.3g %4ld", job.shadow_mpe, job.max_rel_error,
+                  job.control_divergences);
+    std::printf("\n");
   }
   std::printf("\n%s", core::sweep_summary_text(result).c_str());
 
@@ -1212,6 +1232,7 @@ int cmd_profile(const std::vector<std::string>& args) {
   std::string platform_name = "Stm32", assignment_path, json_path;
   numrep::ConcreteType type{numrep::kBinary64, 0};
   std::size_t top = 20;
+  bool with_errors = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> std::string {
@@ -1236,6 +1257,8 @@ int cmd_profile(const std::vector<std::string>& args) {
       top = static_cast<std::size_t>(std::atol(next().c_str()));
     } else if (a == "--json") {
       json_path = next();
+    } else if (a == "--errors") {
+      with_errors = true;
     } else {
       std::fprintf(stderr, "luis profile: unknown option %s\n", a.c_str());
       return usage();
@@ -1270,8 +1293,10 @@ int cmd_profile(const std::vector<std::string>& args) {
   const interp::CompiledProgram program = interp::compile_program(*f, types, {});
   interp::ArrayStore store = synth_inputs(*f);
   interp::VmProfile profile;
+  interp::ErrorProfile errors;
   interp::RunOptions ropt;
   ropt.vm_profile = &profile;
+  if (with_errors) ropt.error_profile = &errors;
   const interp::RunResult run = interp::run_program(program, *f, store, ropt);
   if (!run.ok) {
     std::fprintf(stderr, "luis: execution failed: %s\n", run.error.c_str());
@@ -1294,16 +1319,43 @@ int cmd_profile(const std::vector<std::string>& args) {
     return 1;
   }
 
+  int exit_code = 0;
+  std::string json_doc = obs::hotspot_json(report);
+  if (with_errors) {
+    // The per-line error table, priced next to the time table: same
+    // ordinals, so the two reports line up row for row.
+    const obs::ErrorReport erep = obs::build_error_report(program, *f, errors);
+    std::fputs(obs::error_report_text(erep, top).c_str(), stdout);
+    const analysis::CertificateCrossCheck cert =
+        analysis::cross_check_certificates(*f, types, errors.arrays,
+                                           errors.control_divergences);
+    std::fputs(analysis::certificate_check_text(cert).c_str(), stdout);
+    if (cert.any_violation) exit_code = 1;
+    JsonWriter w;
+    w.begin_object();
+    w.newline();
+    w.key("hotspots");
+    w.raw_value(json_doc);
+    w.key("errors");
+    w.raw_value(obs::error_report_json(erep));
+    w.key("certificate_check");
+    w.raw_value(analysis::certificate_check_json(cert));
+    w.newline();
+    w.end_object();
+    w.newline();
+    json_doc = w.take();
+  }
+
   if (!json_path.empty()) {
     std::ofstream os(json_path);
     if (!os) {
       std::fprintf(stderr, "luis profile: cannot write %s\n", json_path.c_str());
       return 1;
     }
-    os << obs::hotspot_json(report);
+    os << json_doc;
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return 0;
+  return exit_code;
 }
 
 int cmd_version() {

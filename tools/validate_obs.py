@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Validates LUIS observability JSON artifacts.
+
+Schema-checks the two structured dumps the CLI writes next to the Chrome
+trace (which tools/validate_trace.py covers):
+
+  --metrics FILE   a --metrics-out dump: build stamp plus counters (ints),
+                   gauges (numbers), and histograms whose bucket counts sum
+                   to the sample count and whose summary quantiles satisfy
+                   min <= p50 <= p90 <= p99 <= max.
+  --profile FILE   a `luis profile --json` dump: either the plain hot-spot
+                   report or, with --errors, the combined document
+                   {hotspots, errors, certificate_check}. Per-line error
+                   rows must have ordered quantiles and mean <= max; the
+                   certificate cross-check must be internally consistent
+                   (any_violation == OR of the per-array flags).
+
+Non-finite numbers are serialized as the JSON strings "NaN", "Infinity"
+and "-Infinity" (JSON has no literals for them); the validator folds them
+back to floats before range checks.
+
+Exit status 0 when every given artifact validates, 1 otherwise. With
+--fail-on-violation, a profile whose certificate cross-check reports a
+measured error above its certified bound also exits 1. Used by the
+observability and errprof-smoke CI jobs.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+_SENTINELS = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
+
+
+def fail(msg):
+    print("validate_obs: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot parse %s: %s" % (path, e))
+
+
+def num(doc, where, key):
+    """Fetches doc[key] as a float, accepting the non-finite sentinels."""
+    if key not in doc:
+        fail("%s missing %r" % (where, key))
+    v = doc[key]
+    if isinstance(v, str):
+        if v not in _SENTINELS:
+            fail("%s.%s: bad numeric string %r" % (where, key, v))
+        return _SENTINELS[v]
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        fail("%s.%s: not a number: %r" % (where, key, v))
+    return float(v)
+
+
+def integer(doc, where, key, lo=None):
+    if key not in doc or isinstance(doc[key], bool) or \
+            not isinstance(doc[key], int):
+        fail("%s missing integer %r" % (where, key))
+    if lo is not None and doc[key] < lo:
+        fail("%s.%s = %d below %d" % (where, key, doc[key], lo))
+    return doc[key]
+
+
+def check_metrics(path):
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail("metrics top level must be an object")
+    if "build" not in doc:
+        fail("metrics missing build stamp")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc or not isinstance(doc[section], dict):
+            fail("metrics missing object %r" % section)
+    for name, v in doc["counters"].items():
+        if isinstance(v, bool) or not isinstance(v, int):
+            fail("counter %r is not an integer: %r" % (name, v))
+    for name in doc["gauges"]:
+        num(doc["gauges"], "gauges", name)
+    for name, h in doc["histograms"].items():
+        where = "histogram %r" % name
+        if not isinstance(h, dict):
+            fail(where + " is not an object")
+        count = integer(h, where, "count", lo=0)
+        for key in ("sum", "mean", "min", "max"):
+            num(h, where, key)
+        quantiles = [num(h, where, k) for k in ("min", "p50", "p90",
+                                                "p99", "max")]
+        if count > 0 and all(math.isfinite(q) for q in quantiles):
+            for a, b in zip(quantiles, quantiles[1:]):
+                if a > b:
+                    fail("%s quantiles not ordered: %r" % (where, quantiles))
+        if "buckets" not in h or not isinstance(h["buckets"], list):
+            fail(where + " missing buckets array")
+        in_buckets = 0
+        prev_le = -math.inf
+        for i, b in enumerate(h["buckets"]):
+            bwhere = "%s bucket %d" % (where, i)
+            le = num(b, bwhere, "le")
+            if le <= prev_le:
+                fail(bwhere + " upper bounds not increasing")
+            prev_le = le
+            in_buckets += integer(b, bwhere, "count", lo=1)
+        if in_buckets != count:
+            fail("%s bucket counts sum to %d, count is %d"
+                 % (where, in_buckets, count))
+    print("validate_obs: OK: %s: %d counters, %d gauges, %d histograms"
+          % (path, len(doc["counters"]), len(doc["gauges"]),
+             len(doc["histograms"])))
+
+
+def check_hotspots(doc):
+    if "build" not in doc:
+        fail("hotspot report missing build stamp")
+    for key in ("function", "platform"):
+        if not isinstance(doc.get(key), str):
+            fail("hotspot report missing string %r" % key)
+    num(doc, "hotspots", "total_cost")
+    integer(doc, "hotspots", "total_executions", lo=0)
+    if not isinstance(doc.get("hotspots"), list):
+        fail("hotspot report missing hotspots array")
+    share = 0.0
+    for i, h in enumerate(doc["hotspots"]):
+        where = "hotspot %d" % i
+        integer(h, where, "ordinal")
+        integer(h, where, "executions", lo=0)
+        num(h, where, "cost")
+        share += num(h, where, "share")
+        if not isinstance(h.get("instruction"), str):
+            fail(where + " missing instruction text")
+    # Shares are serialized at 6 significant digits; the sum check only
+    # guards against gross attribution loss, not rounding.
+    if doc["hotspots"] and abs(share - 1.0) > 1e-3:
+        fail("hotspot shares sum to %r, expected 1" % share)
+
+
+def check_errors(doc):
+    where = "error report"
+    if "build" not in doc:
+        fail(where + " missing build stamp")
+    num(doc, where, "program_mpe")
+    integer(doc, where, "total_observations", lo=0)
+    max_rel = num(doc, where, "max_rel")
+    num(doc, where, "max_abs")
+    integer(doc, where, "control_divergences", lo=0)
+    num(doc, where, "spike_rel_threshold")
+    integer(doc, where, "first_spike_step")
+    worst = 0.0
+    for i, ln in enumerate(doc.get("lines", ())):
+        lwhere = "error line %d" % i
+        integer(ln, lwhere, "ordinal")
+        integer(ln, lwhere, "count", lo=1)
+        if not isinstance(ln.get("instruction"), str):
+            fail(lwhere + " missing instruction text")
+        quantiles = [num(ln, lwhere, k)
+                     for k in ("p50_rel", "p90_rel", "p99_rel")]
+        line_max = num(ln, lwhere, "max_rel")
+        worst = max(worst, line_max)
+        if num(ln, lwhere, "mean_rel") > line_max or \
+                num(ln, lwhere, "mean_abs") > num(ln, lwhere, "max_abs"):
+            fail(lwhere + ": mean exceeds max")
+        for a, b in zip(quantiles, quantiles[1:]):
+            if a > b:
+                fail("%s quantiles not ordered: %r" % (lwhere, quantiles))
+    if doc.get("lines") and not (math.isnan(worst) or math.isnan(max_rel)) \
+            and worst > max_rel:
+        fail("per-line max_rel %r exceeds report max_rel %r"
+             % (worst, max_rel))
+    for i, a in enumerate(doc.get("arrays", ())):
+        awhere = "error array %d" % i
+        if not isinstance(a.get("name"), str):
+            fail(awhere + " missing name")
+        if not isinstance(a.get("stored"), bool) or \
+                not isinstance(a.get("finite"), bool):
+            fail(awhere + " missing stored/finite flags")
+        integer(a, awhere, "elements", lo=0)
+        for key in ("max_abs", "max_rel", "mpe"):
+            num(a, awhere, key)
+
+
+def check_certificates(doc):
+    where = "certificate check"
+    for key in ("shadow_is_reference", "divergent_control",
+                "assumes_finite_run", "any_violation"):
+        if not isinstance(doc.get(key), bool):
+            fail("%s missing bool %r" % (where, key))
+    integer(doc, where, "capped_bounds", lo=0)
+    if not isinstance(doc.get("arrays"), list):
+        fail(where + " missing arrays")
+    violated = False
+    for i, c in enumerate(doc["arrays"]):
+        cwhere = "certificate array %d" % i
+        if not isinstance(c.get("name"), str):
+            fail(cwhere + " missing name")
+        measured = num(c, cwhere, "measured")
+        certified = num(c, cwhere, "certified")
+        num(c, cwhere, "tightness")
+        for key in ("checked", "violated"):
+            if not isinstance(c.get(key), bool):
+                fail("%s missing bool %r" % (cwhere, key))
+        if c["violated"] and not c["checked"]:
+            fail(cwhere + " violated without being checked")
+        if c["checked"] and (measured > certified) != c["violated"]:
+            fail("%s: violated flag disagrees with measured %r vs "
+                 "certified %r" % (cwhere, measured, certified))
+        violated = violated or c["violated"]
+    if violated != doc["any_violation"]:
+        fail("any_violation disagrees with the per-array flags")
+    return doc["any_violation"]
+
+
+def check_profile(path, fail_on_violation):
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail("profile top level must be an object")
+    violation = False
+    if "hotspots" in doc and isinstance(doc["hotspots"], dict):
+        # Combined --errors document.
+        for section in ("errors", "certificate_check"):
+            if section not in doc:
+                fail("combined profile missing %r" % section)
+        check_hotspots(doc["hotspots"])
+        check_errors(doc["errors"])
+        violation = check_certificates(doc["certificate_check"])
+        n_lines = len(doc["errors"].get("lines", ()))
+        print("validate_obs: OK: %s: combined report, %d error lines, "
+              "violation=%s" % (path, n_lines, violation))
+    else:
+        check_hotspots(doc)
+        print("validate_obs: OK: %s: hot-spot report, %d entries"
+              % (path, len(doc["hotspots"])))
+    if violation and fail_on_violation:
+        fail("%s: a measured error exceeds its certified bound" % path)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--metrics", action="append", default=[],
+                    help="metrics JSON dump to validate (repeatable)")
+    ap.add_argument("--profile", action="append", default=[],
+                    help="`luis profile --json` dump to validate (repeatable)")
+    ap.add_argument("--fail-on-violation", action="store_true",
+                    help="exit 1 if a profile's certificate cross-check "
+                         "reports any violation")
+    args = ap.parse_args()
+    if not args.metrics and not args.profile:
+        fail("nothing to validate (pass --metrics and/or --profile)")
+    for path in args.metrics:
+        check_metrics(path)
+    for path in args.profile:
+        check_profile(path, args.fail_on_violation)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
